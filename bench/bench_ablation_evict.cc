@@ -1,0 +1,137 @@
+// Ablation C (DESIGN.md): base-signal maintenance policies.
+// Part 1 — eviction policy (LFU vs FIFO vs Random) under a deliberately
+// tiny base buffer and a non-stationary stream, where eviction pressure is
+// constant; the paper prescribes LFU.
+// Part 2 — the Section 4.4 shortcut: after a warm-up transmission, freeze
+// the base (update_base = false), skipping GetBase/Search entirely; the
+// bench reports the error penalty and the speedup. The paper's claim is
+// that the penalty is small once the base is of good quality.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compress/sbr_compressor.h"
+#include "datagen/weather.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace sbr;
+
+constexpr size_t kChunkLen = 1024;
+constexpr size_t kChunks = 8;
+
+// Non-stationary feed: each chunk draws from one of three waveform
+// families (sharp sawtooth harmonics, square-wave bursts, smooth chirps),
+// rotating every chunk, so GetBase proposes fresh intervals continuously
+// and the tiny base buffer is under constant eviction pressure.
+datagen::Dataset NonStationaryFeed() {
+  datagen::Dataset ds;
+  ds.name = "nonstationary";
+  ds.signal_names = {"a", "b", "c", "d", "e", "f"};
+  ds.values = linalg::Matrix(6, kChunks * kChunkLen);
+  Rng rng(13);
+  for (size_t c = 0; c < kChunks; ++c) {
+    const int family = static_cast<int>(c % 3);
+    for (size_t s = 0; s < 6; ++s) {
+      const double scale = rng.Uniform(0.5, 2.0);
+      const double offset = rng.Uniform(-3, 3);
+      for (size_t i = 0; i < kChunkLen; ++i) {
+        const double t = static_cast<double>(i);
+        double v = 0.0;
+        switch (family) {
+          case 0:  // sawtooth with harmonics
+            v = std::fmod(t, 64.0) / 32.0 - 1.0 +
+                0.4 * std::fmod(t, 16.0) / 8.0;
+            break;
+          case 1:  // square bursts
+            v = (std::fmod(t, 96.0) < 24.0 ? 1.0 : -0.3) +
+                (std::fmod(t, 24.0) < 6.0 ? 0.5 : 0.0);
+            break;
+          default:  // smooth chirp
+            v = std::sin(2.0 * M_PI * t * (1.0 + t / kChunkLen) / 80.0);
+        }
+        ds.values(s, c * kChunkLen + i) =
+            scale * v + offset + rng.Gaussian(0, 0.02);
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: base-signal maintenance ==\n");
+
+  const datagen::Dataset feed = NonStationaryFeed();
+  const size_t n = feed.num_signals() * kChunkLen;
+  const size_t w = static_cast<size_t>(std::sqrt(static_cast<double>(n)));
+
+  // ---- Part 1: eviction policy under pressure.
+  std::printf("\n-- eviction policy (m_base = 2 slots, ratio 10%%) --\n");
+  std::printf("%-10s %-14s\n", "policy", "total_sse");
+  for (auto [name, policy] :
+       {std::pair{"LFU", core::EvictionPolicy::kLfu},
+        std::pair{"FIFO", core::EvictionPolicy::kFifo},
+        std::pair{"Random", core::EvictionPolicy::kRandom}}) {
+    core::EncoderOptions opts;
+    opts.total_band = n / 10;
+    opts.m_base = 2 * w;
+    opts.eviction = policy;
+    compress::SbrCompressor sbr(opts);
+    double total = 0;
+    for (size_t c = 0; c < kChunks; ++c) {
+      const auto y = datagen::ConcatRows(feed.Chunk(c, kChunkLen));
+      auto rec = sbr.CompressAndReconstruct(y, feed.num_signals(),
+                                            opts.total_band);
+      if (rec.ok()) total += SumSquaredError(y, *rec);
+    }
+    std::printf("%-10s %-14.6g\n", name, total);
+    std::fflush(stdout);
+  }
+
+  // ---- Part 2: frozen-base shortcut on a stationary stream.
+  std::printf("\n-- Section 4.4 shortcut: freeze base after warm-up --\n");
+  datagen::WeatherOptions wopts;
+  wopts.length = kChunks * kChunkLen;
+  wopts.seed = 5;
+  const datagen::Dataset stable = datagen::GenerateWeather(wopts);
+
+  auto run_tail = [&](bool freeze) {
+    core::EncoderOptions opts;
+    opts.total_band = n / 10;
+    opts.m_base = 1024;
+    core::SbrEncoder enc(opts);
+    // Warm-up chunk 0 with updates enabled (not scored).
+    const auto y0 = datagen::ConcatRows(stable.Chunk(0, kChunkLen));
+    (void)enc.EncodeChunk(y0, stable.num_signals());
+    if (freeze) enc.set_update_base(false);
+    double err = 0, sec = 0;
+    for (size_t c = 1; c < kChunks; ++c) {
+      const auto y = datagen::ConcatRows(stable.Chunk(c, kChunkLen));
+      const auto t0 = std::chrono::steady_clock::now();
+      auto t = enc.EncodeChunk(y, stable.num_signals());
+      sec += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+      if (t.ok()) err += enc.last_stats().total_error;
+    }
+    return std::pair{err, sec};
+  };
+
+  const auto [upd_err, upd_sec] = run_tail(/*freeze=*/false);
+  const auto [frz_err, frz_sec] = run_tail(/*freeze=*/true);
+  std::printf("%-22s %-14s %-10s\n", "mode (chunks 1..7)", "total_err",
+              "seconds");
+  std::printf("%-22s %-14.6g %-10.4f\n", "update_base=true", upd_err,
+              upd_sec);
+  std::printf("%-22s %-14.6g %-10.4f\n", "update_base=false", frz_err,
+              frz_sec);
+  std::printf("error penalty %.2fx, speedup %.2fx\n",
+              frz_err / std::max(upd_err, 1e-12),
+              upd_sec / std::max(frz_sec, 1e-12));
+  return 0;
+}

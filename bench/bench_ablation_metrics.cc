@@ -1,0 +1,58 @@
+// Ablation B (DESIGN.md): the three Regression kernels (Section 4.5).
+// Encoding the same workload under each metric, then scoring every run
+// under all three metrics, shows each kernel wins its own game: the
+// relative-metric encoder has the best relative error, the minimax encoder
+// the smallest maximum error, and the SSE encoder the smallest SSE.
+// The minimax kernel's higher cost is also visible in the timing column.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compress/sbr_compressor.h"
+#include "datagen/phonecall.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace sbr;
+  std::printf("== Ablation: error-metric kernels (phone subset) ==\n");
+
+  datagen::PhoneCallOptions popts;
+  popts.length = 3 * 512;
+  const datagen::Dataset full = datagen::GeneratePhoneCalls(popts);
+  const datagen::Dataset ds = full.SelectSignals({0, 1, 4, 12}, "phone4");
+  const size_t chunk_len = 512;
+  const size_t n = ds.num_signals() * chunk_len;
+  const size_t total_band = n * 15 / 100;
+
+  std::printf("%-14s %-14s %-14s %-12s %-10s\n", "encode_metric", "sse",
+              "relative_sse", "max_abs", "seconds");
+  for (core::ErrorMetric metric :
+       {core::ErrorMetric::kSse, core::ErrorMetric::kSseRelative,
+        core::ErrorMetric::kMaxAbs}) {
+    core::EncoderOptions opts;
+    opts.total_band = total_band;
+    opts.m_base = 256;
+    opts.metric = metric;
+    compress::SbrCompressor sbr(opts);
+    double sse = 0, rel = 0, max_abs = 0, seconds = 0;
+    for (size_t c = 0; c < 3; ++c) {
+      const auto y = datagen::ConcatRows(ds.Chunk(c, chunk_len));
+      const auto t0 = std::chrono::steady_clock::now();
+      auto rec = sbr.CompressAndReconstruct(y, ds.num_signals(), total_band);
+      seconds += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+      if (!rec.ok()) {
+        std::fprintf(stderr, "failed: %s\n", rec.status().ToString().c_str());
+        return 1;
+      }
+      sse += SumSquaredError(y, *rec);
+      rel += SumSquaredRelativeError(y, *rec);
+      max_abs = std::max(max_abs, MaxAbsoluteError(y, *rec));
+    }
+    std::printf("%-14s %-14.6g %-14.6g %-12.6g %-10.3f\n",
+                core::ErrorMetricName(metric), sse, rel, max_abs, seconds);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation A (DESIGN.md): sensitivity to the base-interval width W. The
+// paper fixes W = sqrt(n) to balance GetBase cost, shift-scan cost and
+// insertion cost; this bench sweeps multipliers around sqrt(n) on the
+// weather workload at a 10% ratio and reports error and time, showing the
+// sqrt(n) choice is a sane default rather than a magic constant.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compress/sbr_compressor.h"
+
+int main() {
+  using namespace sbr;
+  using namespace sbr::bench;
+  std::printf("== Ablation: base-interval width W (weather, 10%% ratio) ==\n");
+
+  datagen::ExperimentSetup setup = datagen::PaperWeatherSetup();
+  const size_t n = setup.dataset.num_signals() * setup.chunk_len;
+  const size_t total_band = n / 10;
+  const size_t w0 = static_cast<size_t>(std::sqrt(static_cast<double>(n)));
+
+  std::printf("%-12s %-8s %-14s %-10s\n", "W", "W/sqrt(n)", "avg_sse",
+              "sec/chunk");
+  for (double mult : {0.25, 0.5, 0.75, 1.0, 1.5, 2.0}) {
+    const size_t w = std::max<size_t>(8, static_cast<size_t>(w0 * mult));
+    Method sbr{"SBR", [&](size_t tb, size_t mb) {
+                 core::EncoderOptions opts;
+                 opts.total_band = tb;
+                 opts.m_base = mb;
+                 opts.w = w;
+                 return std::make_unique<compress::SbrCompressor>(opts);
+               }};
+    const auto scores = RunMethods(setup, {sbr}, total_band,
+                                   setup.num_chunks);
+    std::printf("%-12zu %-8.2f %-14.6g %-10.4f\n", w, mult,
+                scores[0].avg_sse,
+                scores[0].seconds / static_cast<double>(setup.num_chunks));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Figure 5: "Average Running Time vs TotalBand" — the average
+// per-transmission wall-clock time of the full SBR algorithm on the stock
+// dataset, as the transmitted size varies from 5% to 30% of n, for
+// n = 5120 .. 20480 (10 tickers, M varied) and M_base = 1024.
+//
+// Paper shape to verify: running time scales ~linearly with TotalBand and
+// grows with n; absolute numbers are far below the paper's 300 MHz host
+// (see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compress/sbr_compressor.h"
+
+int main() {
+  using namespace sbr;
+  using namespace sbr::bench;
+  std::printf(
+      "== Figure 5: avg seconds per transmission vs TotalBand "
+      "(stock, M_base=1024) ==\n");
+  std::printf("%-8s", "ratio");
+  for (size_t m : {512u, 1024u, 1536u, 2048u}) {
+    std::printf("   n=%-10zu", 10 * m);
+  }
+  std::printf("\n");
+
+  for (size_t pct : kPaperRatios) {
+    std::printf("%zu%%%-6s", pct, "");
+    for (size_t m : {512u, 1024u, 1536u, 2048u}) {
+      const auto setup = datagen::Fig5StockSetup(m);
+      const size_t n = setup.dataset.num_signals() * setup.chunk_len;
+      const size_t total_band = n * pct / 100;
+      Method sbr{"SBR", [](size_t tb, size_t mb) {
+                   core::EncoderOptions opts;
+                   opts.total_band = tb;
+                   opts.m_base = mb;
+                   return std::make_unique<compress::SbrCompressor>(opts);
+                 }};
+      const auto scores =
+          RunMethods(setup, {sbr}, total_band, setup.num_chunks);
+      std::printf("   %-12.4f",
+                  scores[0].seconds / static_cast<double>(setup.num_chunks));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

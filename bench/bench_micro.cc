@@ -1,0 +1,143 @@
+// Kernel microbenchmarks (google-benchmark): the throughput of every hot
+// path in the pipeline. The paper reports ~1,000 items/second end-to-end
+// on a 300 MHz StrongARM-class host; these numbers calibrate the modern-
+// host equivalent and expose the relative costs of the stages.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "compress/wavelet.h"
+#include "core/best_map.h"
+#include "core/get_base.h"
+#include "core/get_intervals.h"
+#include "core/regression.h"
+#include "linalg/dct.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sbr;
+using namespace sbr::core;
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = std::sin(i * 0.17) * 3 + rng.Gaussian(0, 0.5);
+  }
+  return y;
+}
+
+void BM_FitSse(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const auto x = RandomSeries(len, 1);
+  const auto y = RandomSeries(len, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitSse(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_FitSse)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FitSseRelative(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const auto x = RandomSeries(len, 3);
+  const auto y = RandomSeries(len, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitSseRelative(x, y, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_FitSseRelative)->Arg(256);
+
+void BM_FitMaxAbs(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const auto x = RandomSeries(len, 5);
+  const auto y = RandomSeries(len, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitMaxAbs(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_FitMaxAbs)->Arg(256);
+
+void BM_BestMap(benchmark::State& state) {
+  const size_t base_len = static_cast<size_t>(state.range(0));
+  const auto x = RandomSeries(base_len, 7);
+  const auto y = RandomSeries(512, 8);
+  BestMapOptions opts;
+  for (auto _ : state) {
+    Interval iv;
+    iv.start = 128;
+    iv.length = 64;
+    BestMap(x, y, /*w=*/64, opts, &iv);
+    benchmark::DoNotOptimize(iv);
+  }
+  state.SetItemsProcessed(state.iterations() * base_len);
+}
+BENCHMARK(BM_BestMap)->Arg(512)->Arg(2048);
+
+void BM_GetIntervals(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = RandomSeries(1024, 9);
+  const auto y = RandomSeries(n, 10);
+  GetIntervalsOptions opts;
+  const size_t w = static_cast<size_t>(std::sqrt(static_cast<double>(n)));
+  for (auto _ : state) {
+    auto r = GetIntervals(x, y, /*num_signals=*/4, n / 10, w, opts);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GetIntervals)->Arg(4096)->Arg(16384);
+
+void BM_GetBase(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto y = RandomSeries(n, 11);
+  const size_t w = static_cast<size_t>(std::sqrt(static_cast<double>(n)));
+  GetBaseOptions opts;
+  for (auto _ : state) {
+    auto r = GetBase(y, /*num_signals=*/4, w, /*max_ins=*/8, opts);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GetBase)->Arg(4096)->Arg(16384);
+
+void BM_GetBaseLowMem(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto y = RandomSeries(n, 12);
+  const size_t w = static_cast<size_t>(std::sqrt(static_cast<double>(n)));
+  GetBaseOptions opts;
+  for (auto _ : state) {
+    auto r = GetBaseLowMem(y, /*num_signals=*/4, w, /*max_ins=*/8, opts);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GetBaseLowMem)->Arg(4096);
+
+void BM_HaarForward(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto y = RandomSeries(n, 13);
+  for (auto _ : state) {
+    compress::HaarForward(y);
+    compress::HaarInverse(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HaarForward)->Arg(16384);
+
+void BM_FastDct(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto y = RandomSeries(n, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::DctOrthonormal(y));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FastDct)->Arg(16384);
+
+}  // namespace

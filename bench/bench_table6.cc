@@ -1,0 +1,55 @@
+// Reproduces Table 6: "Number of Inserted Base Intervals per Transmission"
+// over the 10 transmissions of each dataset, using the equal-footprint
+// Figure 6 setups (n = 30720 per transmission, TotalBand = 5012).
+//
+// Paper shape to verify: most insertions happen in the first one or two
+// transmissions; many later transmissions insert nothing; Weather inserts
+// the most intervals overall (most distinct features), Stock the fewest.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compress/sbr_compressor.h"
+
+namespace {
+
+using namespace sbr;
+
+void RunDataset(const char* name, const datagen::ExperimentSetup& setup) {
+  core::EncoderOptions opts;
+  opts.total_band = datagen::kFig6TotalBand;
+  opts.m_base = setup.m_base;
+  compress::SbrCompressor sbr(opts);
+  std::printf("%-10s", name);
+  size_t total = 0;
+  for (size_t c = 0; c < setup.num_chunks; ++c) {
+    const auto y =
+        datagen::ConcatRows(setup.dataset.Chunk(c, setup.chunk_len));
+    auto rec = sbr.CompressAndReconstruct(y, setup.dataset.num_signals(),
+                                          opts.total_band);
+    if (!rec.ok()) {
+      std::printf("  err");
+      continue;
+    }
+    const size_t ins = sbr.last_stats().inserted_base_intervals;
+    total += ins;
+    std::printf("%5zu", ins);
+  }
+  std::printf("  | total %zu\n", total);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Table 6: inserted base intervals per transmission "
+      "(TotalBand=%zu) ==\n",
+      datagen::kFig6TotalBand);
+  std::printf("%-10s", "dataset");
+  for (int t = 1; t <= 10; ++t) std::printf("%5d", t);
+  std::printf("\n");
+  RunDataset("Weather", datagen::Fig6WeatherSetup());
+  RunDataset("Phone", datagen::Fig6PhoneSetup());
+  RunDataset("Stock", datagen::Fig6StockSetup());
+  return 0;
+}

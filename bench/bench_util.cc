@@ -1,0 +1,89 @@
+#include "bench_util.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "compress/dct_compressor.h"
+#include "compress/histogram.h"
+#include "compress/sbr_compressor.h"
+#include "compress/wavelet.h"
+#include "util/stats.h"
+
+namespace sbr::bench {
+
+std::vector<Method> PaperMethodSet() {
+  std::vector<Method> methods;
+  methods.push_back({"SBR", [](size_t total_band, size_t m_base) {
+                       core::EncoderOptions opts;
+                       opts.total_band = total_band;
+                       opts.m_base = m_base;
+                       return std::make_unique<compress::SbrCompressor>(opts);
+                     }});
+  methods.push_back({"Wavelets", [](size_t, size_t) {
+                       return std::make_unique<compress::WaveletCompressor>(
+                           compress::WaveletLayout::kConcat);
+                     }});
+  methods.push_back({"DCT", [](size_t, size_t) {
+                       return std::make_unique<compress::DctCompressor>(
+                           compress::DctLayout::kConcat);
+                     }});
+  methods.push_back({"Histograms", [](size_t, size_t) {
+                       return std::make_unique<compress::HistogramCompressor>(
+                           compress::HistogramKind::kEquiDepth);
+                     }});
+  return methods;
+}
+
+std::vector<MethodScore> RunMethods(const datagen::ExperimentSetup& setup,
+                                    const std::vector<Method>& methods,
+                                    size_t total_band, size_t num_chunks) {
+  const size_t n = setup.dataset.num_signals() * setup.chunk_len;
+  std::vector<MethodScore> scores;
+  for (const Method& method : methods) {
+    MethodScore score;
+    score.name = method.name;
+    auto compressor = method.make(total_band, setup.m_base);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const auto y = datagen::ConcatRows(setup.dataset.Chunk(c, setup.chunk_len));
+      const auto t0 = std::chrono::steady_clock::now();
+      auto rec = compressor->CompressAndReconstruct(
+          y, setup.dataset.num_signals(), total_band);
+      score.seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (!rec.ok()) {
+        std::fprintf(stderr, "[%s] chunk %zu failed: %s\n",
+                     method.name.c_str(), c, rec.status().ToString().c_str());
+        continue;
+      }
+      score.sum_sse += SumSquaredError(y, *rec);
+      score.total_rel += SumSquaredRelativeError(y, *rec);
+    }
+    score.avg_sse = score.sum_sse /
+                    (static_cast<double>(num_chunks) * static_cast<double>(n));
+    scores.push_back(std::move(score));
+  }
+  return scores;
+}
+
+void PrintRatioTable(
+    const std::string& title, const datagen::ExperimentSetup& setup,
+    const std::vector<Method>& methods, const std::vector<size_t>& ratios_pct,
+    const std::function<double(const MethodScore&)>& value,
+    size_t num_chunks) {
+  const size_t n = setup.dataset.num_signals() * setup.chunk_len;
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-8s", "ratio");
+  for (const Method& m : methods) std::printf("%14s", m.name.c_str());
+  std::printf("\n");
+  for (size_t pct : ratios_pct) {
+    const size_t total_band = n * pct / 100;
+    const auto scores = RunMethods(setup, methods, total_band, num_chunks);
+    std::printf("%zu%%%-6s", pct, "");
+    for (const auto& s : scores) std::printf("%14.6g", value(s));
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace sbr::bench

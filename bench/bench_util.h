@@ -1,0 +1,67 @@
+// Shared harness for the table/figure reproduction benches: runs a set of
+// compressors over an ExperimentSetup's transmission sequence and scores
+// them under the paper's metrics, with tabular output helpers.
+#ifndef SBR_BENCH_BENCH_UTIL_H_
+#define SBR_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "datagen/paper_datasets.h"
+
+namespace sbr::bench {
+
+/// Scores accumulated over a transmission sequence.
+struct MethodScore {
+  std::string name;
+  /// Average per-transmission SSE divided by n ("Average SSE Error";
+  /// see EXPERIMENTS.md for the normalization note).
+  double avg_sse = 0.0;
+  /// Sum over transmissions of the sum-squared-relative error
+  /// ("Total Sum Squared Relative Error").
+  double total_rel = 0.0;
+  /// Raw summed SSE across transmissions (un-normalized).
+  double sum_sse = 0.0;
+  /// Wall-clock seconds spent inside the compressor.
+  double seconds = 0.0;
+};
+
+/// A compressor factory: benches construct a fresh (stateful) compressor
+/// per configuration so SBR's base signal starts cold each time.
+using CompressorFactory =
+    std::function<std::unique_ptr<compress::ChunkCompressor>(
+        size_t total_band, size_t m_base)>;
+
+/// Named factory for table rows.
+struct Method {
+  std::string name;
+  CompressorFactory make;
+};
+
+/// The standard method set compared in Tables 2-4: SBR, Wavelets (concat
+/// layout), DCT (concat) and equi-depth histograms.
+std::vector<Method> PaperMethodSet();
+
+/// Runs every method over `num_chunks` transmissions of the setup at the
+/// given bandwidth and returns per-method scores (order preserved).
+std::vector<MethodScore> RunMethods(const datagen::ExperimentSetup& setup,
+                                    const std::vector<Method>& methods,
+                                    size_t total_band, size_t num_chunks);
+
+/// Prints a markdown-style table: one row per ratio, one column per
+/// method, `value` selects the reported score.
+void PrintRatioTable(
+    const std::string& title, const datagen::ExperimentSetup& setup,
+    const std::vector<Method>& methods, const std::vector<size_t>& ratios_pct,
+    const std::function<double(const MethodScore&)>& value,
+    size_t num_chunks);
+
+/// Fixed compression ratios used throughout Section 5.1 (percent of n).
+inline const std::vector<size_t> kPaperRatios = {5, 10, 15, 20, 25, 30};
+
+}  // namespace sbr::bench
+
+#endif  // SBR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,93 @@
+// Strict error bounds (paper Section 4.5): two deployment modes beyond
+// plain budget-constrained compression.
+//
+//  1. Minimax mode: encode under the maximum-absolute-error metric, so the
+//     transmitted approximation carries a guaranteed worst-case bound the
+//     application can publish alongside the data.
+//  2. Error-target mode: give the encoder an error target together with
+//     the bandwidth cap; it stops spending bandwidth as soon as the target
+//     is met, often transmitting far less than the cap.
+//
+//   $ ./error_bounds
+#include <cstdio>
+#include <vector>
+
+#include "core/sbr.h"
+#include "datagen/weather.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace sbr;
+
+  datagen::WeatherOptions wopts;
+  wopts.length = 1024;
+  wopts.seed = 9;
+  const datagen::Dataset ds = datagen::GenerateWeather(wopts);
+  const auto y = datagen::ConcatRows(ds.Chunk(0, 1024));
+  const size_t n = y.size();
+
+  // --- Mode 1: minimax encoding with a published worst-case bound.
+  {
+    core::EncoderOptions opts;
+    opts.total_band = n / 5;
+    opts.m_base = 512;
+    opts.metric = core::ErrorMetric::kMaxAbs;
+    core::SbrEncoder enc(opts);
+    auto t = enc.EncodeChunk(y, ds.num_signals());
+    if (!t.ok()) {
+      std::fprintf(stderr, "encode failed: %s\n",
+                   t.status().ToString().c_str());
+      return 1;
+    }
+    core::SbrDecoder dec(core::DecoderOptions{opts.m_base});
+    auto rec = dec.DecodeChunk(*t);
+    if (!rec.ok()) return 1;
+    std::printf("minimax mode  : %zu values, guaranteed max error %.4f, "
+                "measured %.4f\n",
+                t->ValueCount(), enc.last_stats().total_error,
+                MaxAbsoluteError(y, *rec));
+  }
+
+  // --- Mode 2: SSE target + bandwidth cap: stop early once satisfied.
+  {
+    core::EncoderOptions full;
+    full.total_band = n / 5;
+    full.m_base = 512;
+    core::SbrEncoder full_enc(full);
+    auto full_t = full_enc.EncodeChunk(y, ds.num_signals());
+    if (!full_t.ok()) return 1;
+    const double achievable = full_enc.last_stats().total_error;
+
+    // Accept 5x the achievable error; watch the bandwidth drop.
+    core::EncoderOptions bounded = full;
+    bounded.error_target = 5.0 * achievable;
+    core::SbrEncoder enc(bounded);
+    auto t = enc.EncodeChunk(y, ds.num_signals());
+    if (!t.ok()) return 1;
+    std::printf(
+        "error target  : accept sse <= %.1f -> sent %zu values instead of "
+        "%zu (%.0f%% saved), achieved sse %.1f\n",
+        bounded.error_target, t->ValueCount(), full_t->ValueCount(),
+        100.0 * (1.0 - static_cast<double>(t->ValueCount()) /
+                           static_cast<double>(full_t->ValueCount())),
+        enc.last_stats().total_error);
+  }
+
+  // --- For contrast: what the full budget buys with the default metric.
+  {
+    core::EncoderOptions opts;
+    opts.total_band = n / 5;
+    opts.m_base = 512;
+    core::SbrEncoder enc(opts);
+    auto t = enc.EncodeChunk(y, ds.num_signals());
+    if (!t.ok()) return 1;
+    core::SbrDecoder dec(core::DecoderOptions{opts.m_base});
+    auto rec = dec.DecodeChunk(*t);
+    if (!rec.ok()) return 1;
+    std::printf("sse mode      : %zu values, sse %.1f, max error %.4f "
+                "(no worst-case guarantee)\n",
+                t->ValueCount(), enc.last_stats().total_error,
+                MaxAbsoluteError(y, *rec));
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: compress one batch of correlated sensor measurements with
+// SBR and reconstruct it at the receiver.
+//
+//   $ ./quickstart
+//
+// Walks through the minimal API: build a chunk, configure SbrEncoder with
+// just the two paper-level knobs (TotalBand, M_base), encode, ship the
+// serialized transmission, decode, and compare.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/sbr.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace sbr;
+
+  // --- 1. Some correlated measurements: 4 quantities, 512 samples each.
+  // (Real deployments feed sensor readings; see weather_station.cc.)
+  const size_t kSignals = 4, kSamples = 512;
+  std::vector<double> chunk(kSignals * kSamples);
+  for (size_t s = 0; s < kSignals; ++s) {
+    for (size_t i = 0; i < kSamples; ++i) {
+      const double t = static_cast<double>(i);
+      const double shared = std::sin(2 * M_PI * t / 64) +
+                            0.6 * std::sin(2 * M_PI * t / 16);
+      chunk[s * kSamples + i] = (1.0 + 0.5 * s) * shared + 3.0 * s;
+    }
+  }
+
+  // --- 2. Configure the encoder: budget 10% of the data, 1 KiB of base
+  // signal. Everything else (W, base construction, insert count) is
+  // decided by the algorithm.
+  core::EncoderOptions options;
+  options.total_band = kSignals * kSamples / 10;  // values per transmission
+  options.m_base = 1024;                          // base-signal buffer
+  core::SbrEncoder encoder(options);
+
+  auto transmission = encoder.EncodeChunk(chunk, kSignals);
+  if (!transmission.ok()) {
+    std::fprintf(stderr, "encode failed: %s\n",
+                 transmission.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- 3. Serialize for the radio...
+  BinaryWriter writer;
+  transmission->Serialize(&writer);
+  std::printf("chunk: %zu values -> transmission: %zu values (%zu bytes)\n",
+              chunk.size(), transmission->ValueCount(), writer.size());
+  std::printf("  base intervals inserted: %zu, data intervals: %zu\n",
+              encoder.last_stats().inserted_base_intervals,
+              transmission->intervals.size());
+
+  // --- 4. ...and decode on the base-station side.
+  core::SbrDecoder decoder(core::DecoderOptions{options.m_base});
+  BinaryReader reader(writer.buffer());
+  auto received = core::Transmission::Deserialize(&reader);
+  if (!received.ok()) {
+    std::fprintf(stderr, "wire decode failed\n");
+    return 1;
+  }
+  auto reconstructed = decoder.DecodeChunk(*received);
+  if (!reconstructed.ok()) {
+    std::fprintf(stderr, "decode failed: %s\n",
+                 reconstructed.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- 5. How good is the approximation?
+  const double sse = SumSquaredError(chunk, *reconstructed);
+  const double mse = sse / static_cast<double>(chunk.size());
+  std::printf("compression ratio: %.1fx, mse: %.6f (rmse %.4f)\n",
+              static_cast<double>(chunk.size()) /
+                  static_cast<double>(transmission->ValueCount()),
+              mse, std::sqrt(mse));
+  return 0;
+}

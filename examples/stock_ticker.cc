@@ -1,0 +1,76 @@
+// Multi-stream time-series archiving outside sensor networks: the paper's
+// stock workload. Ten correlated tickers are compressed chunk by chunk
+// with SBR and with the classic transform baselines through the common
+// ChunkCompressor interface, demonstrating how to plug any method into the
+// same budget-for-accuracy harness.
+//
+//   $ ./stock_ticker [compression_percent=10]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "compress/dct_compressor.h"
+#include "compress/histogram.h"
+#include "compress/linear_model.h"
+#include "compress/sbr_compressor.h"
+#include "compress/wavelet.h"
+#include "datagen/stock.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace sbr;
+  const size_t pct = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
+  if (pct == 0 || pct > 100) {
+    std::fprintf(stderr, "usage: %s [compression_percent 1..100]\n", argv[0]);
+    return 1;
+  }
+
+  constexpr size_t kChunkLen = 1024;
+  constexpr size_t kChunks = 6;
+  datagen::StockOptions sopts;
+  sopts.length = kChunks * kChunkLen;
+  const datagen::Dataset ds = datagen::GenerateStock(sopts);
+  const size_t n = ds.num_signals() * kChunkLen;
+  const size_t budget = std::max<size_t>(n * pct / 100, 4 * ds.num_signals());
+
+  core::EncoderOptions sbr_opts;
+  sbr_opts.total_band = budget;
+  sbr_opts.m_base = 1024;
+
+  std::vector<std::unique_ptr<compress::ChunkCompressor>> methods;
+  methods.push_back(std::make_unique<compress::SbrCompressor>(sbr_opts));
+  methods.push_back(std::make_unique<compress::WaveletCompressor>());
+  methods.push_back(std::make_unique<compress::DctCompressor>());
+  methods.push_back(std::make_unique<compress::HistogramCompressor>());
+  methods.push_back(std::make_unique<compress::LinearModelCompressor>());
+
+  std::printf("10 tickers x %zu minutes/chunk, %zu chunks, budget %zu%%\n\n",
+              kChunkLen, kChunks, pct);
+  std::printf("%-18s %14s %18s\n", "method", "avg mse", "total rel. err");
+  for (auto& method : methods) {
+    double sse = 0, rel = 0;
+    bool failed = false;
+    for (size_t c = 0; c < kChunks; ++c) {
+      const auto y = datagen::ConcatRows(ds.Chunk(c, kChunkLen));
+      auto rec =
+          method->CompressAndReconstruct(y, ds.num_signals(), budget);
+      if (!rec.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", method->Name().c_str(),
+                     rec.status().ToString().c_str());
+        failed = true;
+        break;
+      }
+      sse += SumSquaredError(y, *rec);
+      rel += SumSquaredRelativeError(y, *rec);
+    }
+    if (failed) continue;
+    std::printf("%-18s %14.6f %18.6f\n", method->Name().c_str(),
+                sse / static_cast<double>(kChunks * n), rel);
+  }
+  std::printf(
+      "\n(SBR keeps a base signal across chunks; rerun with a different\n"
+      " budget, e.g. `%s 5`, to see how the gap widens under pressure.)\n",
+      argv[0]);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Common interface for every lossy chunk approximation method compared in
+// the paper's Section 5: SBR itself, Haar wavelets, the DCT and
+// histograms. All methods receive the same abstract budget in "values"
+// (see DESIGN.md note 1 for the per-method accounting) and return the
+// reconstructed chunk, so benches can score them uniformly.
+#ifndef SBR_COMPRESS_COMPRESSOR_H_
+#define SBR_COMPRESS_COMPRESSOR_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sbr::compress {
+
+/// A (possibly stateful) chunk approximation method.
+class ChunkCompressor {
+ public:
+  virtual ~ChunkCompressor() = default;
+
+  /// Short name for bench tables.
+  virtual std::string Name() const = 0;
+
+  /// Approximates `y` (the concatenation of num_signals equal-length
+  /// signals) within `budget_values` values and returns the reconstruction
+  /// of the same length. Stateful methods (SBR) treat successive calls as
+  /// successive transmissions.
+  virtual StatusOr<std::vector<double>> CompressAndReconstruct(
+      std::span<const double> y, size_t num_signals,
+      size_t budget_values) = 0;
+};
+
+}  // namespace sbr::compress
+
+#endif  // SBR_COMPRESS_COMPRESSOR_H_

@@ -1,0 +1,45 @@
+#include "compress/dct_compressor.h"
+
+#include <algorithm>
+
+#include "compress/wavelet.h"  // KeepTopCoefficients
+#include "linalg/dct.h"
+
+namespace sbr::compress {
+
+StatusOr<std::vector<double>> DctCompressor::CompressAndReconstruct(
+    std::span<const double> y, size_t num_signals, size_t budget_values) {
+  if (y.empty() || num_signals == 0 || y.size() % num_signals != 0) {
+    return Status::InvalidArgument("bad chunk geometry");
+  }
+  const size_t keep = budget_values / 2;
+  if (keep == 0) {
+    return Status::InvalidArgument("budget cannot afford one coefficient");
+  }
+
+  if (layout_ == DctLayout::kConcat) {
+    std::vector<double> coeffs = linalg::DctOrthonormal(y);
+    KeepTopCoefficients(coeffs, keep);
+    return linalg::IdctOrthonormal(coeffs);
+  }
+
+  // Per-signal transform with one global coefficient selection.
+  const size_t m = y.size() / num_signals;
+  std::vector<double> all;
+  all.reserve(y.size());
+  for (size_t r = 0; r < num_signals; ++r) {
+    std::vector<double> c = linalg::DctOrthonormal(y.subspan(r * m, m));
+    all.insert(all.end(), c.begin(), c.end());
+  }
+  KeepTopCoefficients(all, keep);
+  std::vector<double> out;
+  out.reserve(y.size());
+  for (size_t r = 0; r < num_signals; ++r) {
+    std::vector<double> c(all.begin() + r * m, all.begin() + (r + 1) * m);
+    std::vector<double> rec = linalg::IdctOrthonormal(c);
+    out.insert(out.end(), rec.begin(), rec.end());
+  }
+  return out;
+}
+
+}  // namespace sbr::compress

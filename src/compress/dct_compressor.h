@@ -1,0 +1,35 @@
+// DCT top-B approximation baseline: orthonormal DCT-II over the
+// concatenated chunk (or per signal with global selection), keeping the
+// budget/2 largest-magnitude coefficients at 2 values (index + value)
+// each.
+#ifndef SBR_COMPRESS_DCT_COMPRESSOR_H_
+#define SBR_COMPRESS_DCT_COMPRESSOR_H_
+
+#include "compress/compressor.h"
+
+namespace sbr::compress {
+
+/// Coefficient layout for the DCT baseline.
+enum class DctLayout { kConcat, kPerSignal };
+
+/// DCT top-B compressor.
+class DctCompressor : public ChunkCompressor {
+ public:
+  explicit DctCompressor(DctLayout layout = DctLayout::kConcat)
+      : layout_(layout) {}
+
+  std::string Name() const override {
+    return layout_ == DctLayout::kConcat ? "dct" : "dct_per_signal";
+  }
+
+  StatusOr<std::vector<double>> CompressAndReconstruct(
+      std::span<const double> y, size_t num_signals,
+      size_t budget_values) override;
+
+ private:
+  DctLayout layout_;
+};
+
+}  // namespace sbr::compress
+
+#endif  // SBR_COMPRESS_DCT_COMPRESSOR_H_

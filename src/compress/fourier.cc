@@ -1,0 +1,60 @@
+#include "compress/fourier.h"
+
+#include <algorithm>
+#include <complex>
+#include <numeric>
+#include <vector>
+
+#include "linalg/fft.h"
+
+namespace sbr::compress {
+
+StatusOr<std::vector<double>> FourierCompressor::CompressAndReconstruct(
+    std::span<const double> y, size_t num_signals, size_t budget_values) {
+  if (y.empty() || num_signals == 0 || y.size() % num_signals != 0) {
+    return Status::InvalidArgument("bad chunk geometry");
+  }
+  const size_t keep = budget_values / 3;  // index + re + im
+  if (keep == 0) {
+    return Status::InvalidArgument("budget cannot afford one coefficient");
+  }
+
+  const size_t n = y.size();
+  std::vector<std::complex<double>> spectrum = linalg::FftReal(y);
+
+  // Rank the non-redundant half-spectrum by magnitude. Keeping bin k also
+  // keeps its conjugate mirror n-k for free (the signal is real), so only
+  // bins 0..n/2 compete.
+  const size_t half = n / 2;
+  std::vector<size_t> order(half + 1);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    // Mirror-paired bins carry double energy; DC and Nyquist do not.
+    auto weight = [&](size_t k) {
+      const double mag = std::norm(spectrum[k]);
+      const bool paired = k != 0 && !(n % 2 == 0 && k == half);
+      return paired ? 2.0 * mag : mag;
+    };
+    const double wa = weight(a);
+    const double wb = weight(b);
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+
+  std::vector<bool> kept(n, false);
+  for (size_t i = 0; i < std::min(keep, order.size()); ++i) {
+    const size_t k = order[i];
+    kept[k] = true;
+    if (k != 0 && k != n - k) kept[n - k] = true;
+  }
+  for (size_t k = 0; k < n; ++k) {
+    if (!kept[k]) spectrum[k] = 0.0;
+  }
+
+  const auto time = linalg::Ifft(spectrum);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = time[i].real();
+  return out;
+}
+
+}  // namespace sbr::compress

@@ -1,0 +1,28 @@
+// Fourier top-B approximation baseline. The paper evaluated the Fourier
+// transform and dropped it from the tables because it "produced
+// consistently larger errors than DCT"; this compressor exists to
+// reproduce that side remark (see bench_ablation_baselines).
+//
+// Budget accounting: a retained complex coefficient costs 3 values
+// (index + real + imaginary); conjugate-symmetric pairs are kept together
+// and cost 3 values total since the mirror coefficient is implied.
+#ifndef SBR_COMPRESS_FOURIER_H_
+#define SBR_COMPRESS_FOURIER_H_
+
+#include "compress/compressor.h"
+
+namespace sbr::compress {
+
+/// DFT top-B compressor over the concatenated chunk.
+class FourierCompressor : public ChunkCompressor {
+ public:
+  std::string Name() const override { return "fourier"; }
+
+  StatusOr<std::vector<double>> CompressAndReconstruct(
+      std::span<const double> y, size_t num_signals,
+      size_t budget_values) override;
+};
+
+}  // namespace sbr::compress
+
+#endif  // SBR_COMPRESS_FOURIER_H_

@@ -1,0 +1,143 @@
+#include "compress/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/prefix_sums.h"
+
+namespace sbr::compress {
+namespace {
+
+// One bucket: [start, start + length) approximated by its mean.
+struct Bucket {
+  size_t start;
+  size_t length;
+  double err;  // SSE of the constant fit
+  bool operator<(const Bucket& other) const { return err < other.err; }
+};
+
+double ConstantFitError(const sbr::PrefixSums& ps, size_t start,
+                        size_t length) {
+  const double sum = ps.RangeSum(start, length);
+  const double sum2 = ps.RangeSumSquares(start, length);
+  return std::max(0.0, sum2 - sum * sum / static_cast<double>(length));
+}
+
+std::vector<size_t> EquiDepthBoundaries(std::span<const double> y,
+                                        size_t buckets) {
+  // Boundaries equalize cumulative |value| mass; a small per-element floor
+  // keeps all-zero stretches from collapsing into one giant bucket.
+  double total = 0.0;
+  for (double v : y) total += std::abs(v) + 1e-9;
+  std::vector<size_t> bounds;
+  bounds.reserve(buckets + 1);
+  bounds.push_back(0);
+  double acc = 0.0;
+  size_t next = 1;
+  for (size_t i = 0; i < y.size() && next < buckets; ++i) {
+    acc += std::abs(y[i]) + 1e-9;
+    if (acc >= total * static_cast<double>(next) /
+                   static_cast<double>(buckets)) {
+      // Never emit an empty bucket.
+      if (i + 1 > bounds.back()) bounds.push_back(i + 1);
+      ++next;
+    }
+  }
+  bounds.push_back(y.size());
+  return bounds;
+}
+
+}  // namespace
+
+std::string HistogramCompressor::Name() const {
+  switch (kind_) {
+    case HistogramKind::kEquiDepth:
+      return "hist_equi_depth";
+    case HistogramKind::kEquiWidth:
+      return "hist_equi_width";
+    case HistogramKind::kGreedy:
+      return "hist_greedy";
+  }
+  return "hist";
+}
+
+StatusOr<std::vector<double>> HistogramCompressor::CompressAndReconstruct(
+    std::span<const double> y, size_t num_signals, size_t budget_values) {
+  if (y.empty() || num_signals == 0 || y.size() % num_signals != 0) {
+    return Status::InvalidArgument("bad chunk geometry");
+  }
+  const size_t buckets = std::min(budget_values / 2, y.size());
+  if (buckets == 0) {
+    return Status::InvalidArgument("budget cannot afford one bucket");
+  }
+
+  PrefixSums ps(y);
+  std::vector<double> out(y.size(), 0.0);
+  auto fill = [&](size_t start, size_t length) {
+    const double mean =
+        ps.RangeSum(start, length) / static_cast<double>(length);
+    std::fill(out.begin() + start, out.begin() + start + length, mean);
+  };
+
+  switch (kind_) {
+    case HistogramKind::kEquiWidth: {
+      const size_t base = y.size() / buckets;
+      const size_t extra = y.size() % buckets;
+      size_t pos = 0;
+      for (size_t b = 0; b < buckets; ++b) {
+        const size_t len = base + (b < extra ? 1 : 0);
+        if (len == 0) continue;
+        fill(pos, len);
+        pos += len;
+      }
+      break;
+    }
+    case HistogramKind::kEquiDepth: {
+      const std::vector<size_t> bounds = EquiDepthBoundaries(y, buckets);
+      for (size_t b = 0; b + 1 < bounds.size(); ++b) {
+        if (bounds[b + 1] > bounds[b]) fill(bounds[b], bounds[b + 1] - bounds[b]);
+      }
+      break;
+    }
+    case HistogramKind::kGreedy: {
+      // Worst-bucket-first splitting, one initial bucket per signal so
+      // buckets never straddle signal boundaries.
+      const size_t m = y.size() / num_signals;
+      if (buckets < num_signals) {
+        return Status::InvalidArgument(
+            "greedy histogram needs one bucket per signal");
+      }
+      std::priority_queue<Bucket> queue;
+      size_t count = 0;
+      for (size_t r = 0; r < num_signals; ++r) {
+        queue.push({r * m, m, ConstantFitError(ps, r * m, m)});
+        ++count;
+      }
+      std::vector<Bucket> done;
+      while (count < buckets && !queue.empty()) {
+        const Bucket top = queue.top();
+        if (top.err == 0.0) break;
+        queue.pop();
+        if (top.length <= 1) {
+          done.push_back(top);
+          continue;
+        }
+        const size_t lh = top.length / 2;
+        queue.push({top.start, lh, ConstantFitError(ps, top.start, lh)});
+        queue.push({top.start + lh, top.length - lh,
+                    ConstantFitError(ps, top.start + lh, top.length - lh)});
+        ++count;
+      }
+      while (!queue.empty()) {
+        done.push_back(queue.top());
+        queue.pop();
+      }
+      for (const Bucket& b : done) fill(b.start, b.length);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sbr::compress

@@ -1,0 +1,37 @@
+// Histogram (piecewise-constant) approximation baselines. A histogram of
+// b buckets costs 2 values per bucket (right edge + bucket mean;
+// DESIGN.md note 1). Variants:
+//   kEquiDepth  bucket boundaries equalize the cumulative |value| mass
+//               (the [25]-style equi-depth rule applied to a sequence),
+//   kEquiWidth  equal-length index ranges,
+//   kGreedy     worst-bucket-first recursive splitting (the piecewise-
+//               constant analog of GetIntervals; strongest histogram).
+#ifndef SBR_COMPRESS_HISTOGRAM_H_
+#define SBR_COMPRESS_HISTOGRAM_H_
+
+#include "compress/compressor.h"
+
+namespace sbr::compress {
+
+/// Bucket-boundary policy.
+enum class HistogramKind { kEquiDepth, kEquiWidth, kGreedy };
+
+/// Piecewise-constant compressor over the concatenated chunk.
+class HistogramCompressor : public ChunkCompressor {
+ public:
+  explicit HistogramCompressor(HistogramKind kind = HistogramKind::kEquiDepth)
+      : kind_(kind) {}
+
+  std::string Name() const override;
+
+  StatusOr<std::vector<double>> CompressAndReconstruct(
+      std::span<const double> y, size_t num_signals,
+      size_t budget_values) override;
+
+ private:
+  HistogramKind kind_;
+};
+
+}  // namespace sbr::compress
+
+#endif  // SBR_COMPRESS_HISTOGRAM_H_

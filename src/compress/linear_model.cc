@@ -1,0 +1,20 @@
+#include "compress/linear_model.h"
+
+#include "core/get_intervals.h"
+
+namespace sbr::compress {
+
+StatusOr<std::vector<double>> LinearModelCompressor::CompressAndReconstruct(
+    std::span<const double> y, size_t num_signals, size_t budget_values) {
+  core::GetIntervalsOptions gi;
+  gi.best_map.metric = metric_;
+  gi.best_map.relative_floor = relative_floor_;
+  gi.best_map.allow_linear_fallback = true;
+  gi.values_per_interval = 3;  // no shift pointer without a base signal
+  auto approx = core::GetIntervals(/*x=*/{}, y, num_signals, budget_values,
+                                   /*w=*/1, gi);
+  if (!approx.ok()) return approx.status();
+  return core::ReconstructFromIntervals({}, y.size(), approx->intervals);
+}
+
+}  // namespace sbr::compress

@@ -1,0 +1,34 @@
+// Plain piecewise linear regression baseline (paper Section 5.2): the SBR
+// interval machinery with no base signal at all. Every interval is encoded
+// as a line over time, costing 3 values (start, a, b), so the same budget
+// affords budget/3 intervals.
+#ifndef SBR_COMPRESS_LINEAR_MODEL_H_
+#define SBR_COMPRESS_LINEAR_MODEL_H_
+
+#include "compress/compressor.h"
+#include "core/error_metric.h"
+
+namespace sbr::compress {
+
+/// Piecewise linear-in-time compressor.
+class LinearModelCompressor : public ChunkCompressor {
+ public:
+  explicit LinearModelCompressor(
+      core::ErrorMetric metric = core::ErrorMetric::kSse,
+      double relative_floor = 1.0)
+      : metric_(metric), relative_floor_(relative_floor) {}
+
+  std::string Name() const override { return "linear_regression"; }
+
+  StatusOr<std::vector<double>> CompressAndReconstruct(
+      std::span<const double> y, size_t num_signals,
+      size_t budget_values) override;
+
+ private:
+  core::ErrorMetric metric_;
+  double relative_floor_;
+};
+
+}  // namespace sbr::compress
+
+#endif  // SBR_COMPRESS_LINEAR_MODEL_H_

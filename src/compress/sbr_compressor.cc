@@ -1,0 +1,29 @@
+#include "compress/sbr_compressor.h"
+
+namespace sbr::compress {
+
+SbrCompressor::SbrCompressor(core::EncoderOptions options, std::string name)
+    : name_(std::move(name)),
+      encoder_(options),
+      decoder_(core::DecoderOptions{options.m_base}) {}
+
+StatusOr<std::vector<double>> SbrCompressor::CompressAndReconstruct(
+    std::span<const double> y, size_t num_signals, size_t budget_values) {
+  if (budget_values != encoder_.options().total_band) {
+    return Status::InvalidArgument(
+        "budget " + std::to_string(budget_values) +
+        " does not match the encoder's total_band " +
+        std::to_string(encoder_.options().total_band));
+  }
+  auto transmission = encoder_.EncodeChunk(y, num_signals);
+  if (!transmission.ok()) return transmission.status();
+  if (transmission->ValueCount() > budget_values) {
+    return Status::Internal(
+        "transmission exceeded its budget: " +
+        std::to_string(transmission->ValueCount()) + " > " +
+        std::to_string(budget_values));
+  }
+  return decoder_.DecodeChunk(*transmission);
+}
+
+}  // namespace sbr::compress

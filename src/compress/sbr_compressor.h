@@ -1,0 +1,43 @@
+// ChunkCompressor adapter around the stateful SBR encoder/decoder pair, so
+// SBR competes in the same bench harness as the stateless baselines. Each
+// CompressAndReconstruct call is one sensor transmission: the base signal
+// persists across calls exactly as it would on the device.
+#ifndef SBR_COMPRESS_SBR_COMPRESSOR_H_
+#define SBR_COMPRESS_SBR_COMPRESSOR_H_
+
+#include <memory>
+
+#include "compress/compressor.h"
+#include "core/decoder.h"
+#include "core/encoder.h"
+
+namespace sbr::compress {
+
+/// SBR as a ChunkCompressor. The budget passed to CompressAndReconstruct
+/// must equal options.total_band (SBR plans its base-signal spending
+/// against a fixed per-transmission bandwidth).
+class SbrCompressor : public ChunkCompressor {
+ public:
+  explicit SbrCompressor(core::EncoderOptions options,
+                         std::string name = "sbr");
+
+  std::string Name() const override { return name_; }
+
+  StatusOr<std::vector<double>> CompressAndReconstruct(
+      std::span<const double> y, size_t num_signals,
+      size_t budget_values) override;
+
+  const core::SbrEncoder& encoder() const { return encoder_; }
+  const core::EncodeStats& last_stats() const {
+    return encoder_.last_stats();
+  }
+
+ private:
+  std::string name_;
+  core::SbrEncoder encoder_;
+  core::SbrDecoder decoder_;
+};
+
+}  // namespace sbr::compress
+
+#endif  // SBR_COMPRESS_SBR_COMPRESSOR_H_

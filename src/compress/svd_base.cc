@@ -1,0 +1,47 @@
+#include "compress/svd_base.h"
+
+#include "linalg/svd.h"
+
+namespace sbr::compress {
+
+std::vector<core::CandidateBaseInterval> GetBaseSvd(
+    std::span<const double> y, size_t num_signals, size_t w, size_t max_ins) {
+  std::vector<core::CandidateBaseInterval> result;
+  if (w == 0 || num_signals == 0 || max_ins == 0) return result;
+  const size_t m = y.size() / num_signals;
+  const size_t per_row = m / w;
+  const size_t k = num_signals * per_row;
+  if (k == 0) return result;
+
+  // R: one row per candidate base interval.
+  linalg::Matrix r(k, w);
+  size_t row = 0;
+  for (size_t s = 0; s < num_signals; ++s) {
+    for (size_t c = 0; c < per_row; ++c, ++row) {
+      for (size_t i = 0; i < w; ++i) {
+        r(row, i) = y[s * m + c * w + i];
+      }
+    }
+  }
+
+  const linalg::RightSingularVectors svd =
+      linalg::TopRightSingularVectors(r, max_ins);
+  result.reserve(svd.vectors.size());
+  for (size_t i = 0; i < svd.vectors.size(); ++i) {
+    core::CandidateBaseInterval cbi;
+    cbi.values = svd.vectors[i];
+    cbi.source_index = i;
+    cbi.benefit = svd.singular_values[i];
+    result.push_back(std::move(cbi));
+  }
+  return result;
+}
+
+core::BaseProvider SvdBaseProvider() {
+  return [](std::span<const double> y, size_t num_signals, size_t w,
+            size_t max_ins) {
+    return GetBaseSvd(y, num_signals, w, max_ins);
+  };
+}
+
+}  // namespace sbr::compress

@@ -1,0 +1,27 @@
+// GetBaseSVD (paper Appendix): an alternative base-signal construction
+// that builds the K x W matrix of candidate base intervals and uses its
+// top right singular vectors — each capturing a dominant linear trend
+// across the candidates — as the base intervals.
+#ifndef SBR_COMPRESS_SVD_BASE_H_
+#define SBR_COMPRESS_SVD_BASE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/encoder.h"
+#include "core/get_base.h"
+
+namespace sbr::compress {
+
+/// Direct form: the top-`max_ins` right singular vectors of the candidate
+/// matrix, in decreasing singular-value order (benefit = singular value).
+std::vector<core::CandidateBaseInterval> GetBaseSvd(
+    std::span<const double> y, size_t num_signals, size_t w, size_t max_ins);
+
+/// Adapter usable as EncoderOptions::base_provider with
+/// BaseStrategy::kCustom.
+core::BaseProvider SvdBaseProvider();
+
+}  // namespace sbr::compress
+
+#endif  // SBR_COMPRESS_SVD_BASE_H_

@@ -1,0 +1,190 @@
+#include "compress/wavelet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/fft.h"
+
+namespace sbr::compress {
+namespace {
+
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+
+std::vector<double> PadWithLast(std::span<const double> input) {
+  const size_t padded = linalg::NextPowerOfTwo(std::max<size_t>(1, input.size()));
+  std::vector<double> out(input.begin(), input.end());
+  out.resize(padded, input.empty() ? 0.0 : input.back());
+  return out;
+}
+
+}  // namespace
+
+void HaarForward(std::span<double> data) {
+  const size_t n = data.size();
+  assert(linalg::IsPowerOfTwo(n));
+  std::vector<double> tmp(n);
+  for (size_t len = n; len > 1; len /= 2) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      tmp[i] = (data[2 * i] + data[2 * i + 1]) * kInvSqrt2;
+      tmp[half + i] = (data[2 * i] - data[2 * i + 1]) * kInvSqrt2;
+    }
+    std::copy(tmp.begin(), tmp.begin() + len, data.begin());
+  }
+}
+
+void HaarInverse(std::span<double> data) {
+  const size_t n = data.size();
+  assert(linalg::IsPowerOfTwo(n));
+  std::vector<double> tmp(n);
+  for (size_t len = 2; len <= n; len *= 2) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      tmp[2 * i] = (data[i] + data[half + i]) * kInvSqrt2;
+      tmp[2 * i + 1] = (data[i] - data[half + i]) * kInvSqrt2;
+    }
+    std::copy(tmp.begin(), tmp.begin() + len, data.begin());
+  }
+}
+
+std::vector<double> HaarForwardPadded(std::span<const double> input) {
+  std::vector<double> padded = PadWithLast(input);
+  HaarForward(padded);
+  return padded;
+}
+
+size_t KeepTopCoefficients(std::span<double> coeffs, size_t keep) {
+  if (keep >= coeffs.size()) return coeffs.size();
+  std::vector<size_t> order(coeffs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + keep, order.end(),
+                   [&](size_t a, size_t b) {
+                     const double fa = std::abs(coeffs[a]);
+                     const double fb = std::abs(coeffs[b]);
+                     if (fa != fb) return fa > fb;
+                     return a < b;
+                   });
+  std::vector<bool> kept(coeffs.size(), false);
+  size_t nonzero = 0;
+  for (size_t i = 0; i < keep; ++i) {
+    kept[order[i]] = true;
+  }
+  for (size_t i = 0; i < coeffs.size(); ++i) {
+    if (!kept[i]) {
+      coeffs[i] = 0.0;
+    } else if (coeffs[i] != 0.0) {
+      ++nonzero;
+    }
+  }
+  return nonzero;
+}
+
+std::string WaveletCompressor::Name() const {
+  switch (layout_) {
+    case WaveletLayout::kConcat:
+      return "wavelet";
+    case WaveletLayout::kPerSignal:
+      return "wavelet_per_signal";
+    case WaveletLayout::kTwoD:
+      return "wavelet_2d";
+  }
+  return "wavelet";
+}
+
+StatusOr<std::vector<double>> WaveletCompressor::CompressAndReconstruct(
+    std::span<const double> y, size_t num_signals, size_t budget_values) {
+  if (y.empty() || num_signals == 0 || y.size() % num_signals != 0) {
+    return Status::InvalidArgument("bad chunk geometry");
+  }
+  const size_t keep = budget_values / 2;  // index + value per coefficient
+  if (keep == 0) {
+    return Status::InvalidArgument("budget cannot afford one coefficient");
+  }
+  switch (layout_) {
+    case WaveletLayout::kConcat:
+      return Concat(y, keep);
+    case WaveletLayout::kPerSignal:
+      return PerSignal(y, num_signals, keep);
+    case WaveletLayout::kTwoD:
+      return TwoD(y, num_signals, keep);
+  }
+  return Status::Internal("unknown layout");
+}
+
+StatusOr<std::vector<double>> WaveletCompressor::Concat(
+    std::span<const double> y, size_t keep) {
+  std::vector<double> coeffs = HaarForwardPadded(y);
+  KeepTopCoefficients(coeffs, keep);
+  HaarInverse(coeffs);
+  coeffs.resize(y.size());
+  return coeffs;
+}
+
+StatusOr<std::vector<double>> WaveletCompressor::PerSignal(
+    std::span<const double> y, size_t num_signals, size_t keep) {
+  const size_t m = y.size() / num_signals;
+  // Transform each signal, then one global top-B selection so signals that
+  // are harder to approximate get more coefficients (paper Section 5.1).
+  std::vector<std::vector<double>> rows(num_signals);
+  std::vector<double> all;
+  for (size_t r = 0; r < num_signals; ++r) {
+    rows[r] = HaarForwardPadded(y.subspan(r * m, m));
+    all.insert(all.end(), rows[r].begin(), rows[r].end());
+  }
+  KeepTopCoefficients(all, keep);
+  std::vector<double> out;
+  out.reserve(y.size());
+  size_t offset = 0;
+  for (size_t r = 0; r < num_signals; ++r) {
+    std::copy(all.begin() + offset, all.begin() + offset + rows[r].size(),
+              rows[r].begin());
+    offset += rows[r].size();
+    HaarInverse(rows[r]);
+    out.insert(out.end(), rows[r].begin(), rows[r].begin() + m);
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> WaveletCompressor::TwoD(
+    std::span<const double> y, size_t num_signals, size_t keep) {
+  const size_t m = y.size() / num_signals;
+  const size_t rows2 = linalg::NextPowerOfTwo(num_signals);
+  const size_t cols2 = linalg::NextPowerOfTwo(m);
+  // Pad rows with their last value, extra rows with the last real row.
+  std::vector<double> grid(rows2 * cols2, 0.0);
+  for (size_t r = 0; r < rows2; ++r) {
+    const size_t src = std::min(r, num_signals - 1);
+    for (size_t c = 0; c < cols2; ++c) {
+      grid[r * cols2 + c] = y[src * m + std::min(c, m - 1)];
+    }
+  }
+  // Standard decomposition: full transform of every row, then of every
+  // column.
+  for (size_t r = 0; r < rows2; ++r) {
+    HaarForward(std::span<double>(grid.data() + r * cols2, cols2));
+  }
+  std::vector<double> col(rows2);
+  for (size_t c = 0; c < cols2; ++c) {
+    for (size_t r = 0; r < rows2; ++r) col[r] = grid[r * cols2 + c];
+    HaarForward(col);
+    for (size_t r = 0; r < rows2; ++r) grid[r * cols2 + c] = col[r];
+  }
+  KeepTopCoefficients(grid, keep);
+  for (size_t c = 0; c < cols2; ++c) {
+    for (size_t r = 0; r < rows2; ++r) col[r] = grid[r * cols2 + c];
+    HaarInverse(col);
+    for (size_t r = 0; r < rows2; ++r) grid[r * cols2 + c] = col[r];
+  }
+  std::vector<double> out;
+  out.reserve(y.size());
+  for (size_t r = 0; r < num_signals; ++r) {
+    HaarInverse(std::span<double>(grid.data() + r * cols2, cols2));
+    out.insert(out.end(), grid.begin() + r * cols2,
+               grid.begin() + r * cols2 + m);
+  }
+  return out;
+}
+
+}  // namespace sbr::compress

@@ -1,0 +1,66 @@
+// Haar wavelet approximation (the paper's strongest competitor). The
+// orthonormal Haar decomposition is computed over the signal (padded with
+// its last value to a power of two), and the budget/2 largest-magnitude
+// coefficients are retained — index + value accounting, 2 values per kept
+// coefficient (DESIGN.md note 1). Three layouts are provided, matching the
+// paper's Section 5.1 discussion:
+//   kConcat     one 1-D transform over the concatenated N*M series
+//               (what the paper found best and reports),
+//   kPerSignal  a 1-D transform per signal with a single global top-B
+//               selection across all signals,
+//   kTwoD       the standard 2-D decomposition of the N x M array.
+#ifndef SBR_COMPRESS_WAVELET_H_
+#define SBR_COMPRESS_WAVELET_H_
+
+#include <span>
+#include <vector>
+
+#include "compress/compressor.h"
+
+namespace sbr::compress {
+
+/// In-place orthonormal Haar transform; length must be a power of two.
+void HaarForward(std::span<double> data);
+
+/// Inverse of HaarForward.
+void HaarInverse(std::span<double> data);
+
+/// Forward transform of an arbitrary-length signal: pads with the final
+/// value up to the next power of two and returns the padded coefficient
+/// vector (callers remember the original length).
+std::vector<double> HaarForwardPadded(std::span<const double> input);
+
+/// Zeroes all but the `keep` largest-magnitude entries (ties broken toward
+/// lower index) — the classic L2-optimal thresholding for an orthonormal
+/// basis. Returns the number of nonzero entries actually kept.
+size_t KeepTopCoefficients(std::span<double> coeffs, size_t keep);
+
+/// Wavelet layout (see file comment).
+enum class WaveletLayout { kConcat, kPerSignal, kTwoD };
+
+/// Haar top-B compressor.
+class WaveletCompressor : public ChunkCompressor {
+ public:
+  explicit WaveletCompressor(WaveletLayout layout = WaveletLayout::kConcat)
+      : layout_(layout) {}
+
+  std::string Name() const override;
+
+  StatusOr<std::vector<double>> CompressAndReconstruct(
+      std::span<const double> y, size_t num_signals,
+      size_t budget_values) override;
+
+ private:
+  StatusOr<std::vector<double>> Concat(std::span<const double> y,
+                                       size_t keep);
+  StatusOr<std::vector<double>> PerSignal(std::span<const double> y,
+                                          size_t num_signals, size_t keep);
+  StatusOr<std::vector<double>> TwoD(std::span<const double> y,
+                                     size_t num_signals, size_t keep);
+
+  WaveletLayout layout_;
+};
+
+}  // namespace sbr::compress
+
+#endif  // SBR_COMPRESS_WAVELET_H_

@@ -1,0 +1,39 @@
+#include "core/adaptive.h"
+
+namespace sbr::core {
+
+StatusOr<Transmission> AdaptiveSbrEncoder::EncodeChunk(
+    std::span<const double> y, size_t num_signals) {
+  const bool warming = transmissions_ < adaptive_.warmup_transmissions;
+  const bool periodic =
+      adaptive_.periodic_refresh > 0 && transmissions_ > 0 &&
+      transmissions_ % adaptive_.periodic_refresh == 0;
+  const bool full = warming || periodic || refresh_requested_;
+
+  encoder_.set_update_base(full);
+  auto t = encoder_.EncodeChunk(y, num_signals);
+  if (!t.ok()) return t;
+
+  ++transmissions_;
+  last_full_ = full;
+  if (full) ++full_count_;
+  refresh_requested_ = false;
+
+  // Track the error baseline and schedule a refresh on degradation. The
+  // refresh applies to the *next* transmission: the degradation is only
+  // observable after the cheap path has run, exactly as in a deployment.
+  const double err = encoder_.last_stats().total_error;
+  if (!ema_initialized_) {
+    error_ema_ = err;
+    ema_initialized_ = true;
+  } else {
+    if (err > adaptive_.degradation_factor * error_ema_) {
+      refresh_requested_ = true;
+    }
+    error_ema_ = adaptive_.ema_alpha * err +
+                 (1.0 - adaptive_.ema_alpha) * error_ema_;
+  }
+  return t;
+}
+
+}  // namespace sbr::core

@@ -1,0 +1,65 @@
+// AdaptiveSbrEncoder: the deployment policy of paper Section 4.4. The
+// expensive GetBase/Search phase runs for the first transmissions (while
+// the base signal is being populated) and is then switched off; it is
+// switched back on only when the approximation error degrades relative to
+// the recent baseline — "perform their execution only periodically (i.e.,
+// when we notice a degradation in the quality of the approximation)".
+#ifndef SBR_CORE_ADAPTIVE_H_
+#define SBR_CORE_ADAPTIVE_H_
+
+#include "core/encoder.h"
+
+namespace sbr::core {
+
+/// Policy knobs for the adaptive update schedule.
+struct AdaptiveOptions {
+  /// Transmissions that always run the full pipeline before the shortcut
+  /// may engage (the base is still warming up).
+  size_t warmup_transmissions = 2;
+  /// Re-enable updates when the chunk error exceeds this multiple of the
+  /// exponential moving average of recent errors.
+  double degradation_factor = 1.5;
+  /// EMA smoothing for the error baseline (0 < alpha <= 1).
+  double ema_alpha = 0.3;
+  /// Also refresh unconditionally every this many transmissions
+  /// (0 = never; a periodic safety net for slow drift).
+  size_t periodic_refresh = 0;
+};
+
+/// Wraps SbrEncoder with the Section 4.4 schedule. Drop-in: the chunk API
+/// and transmission format are identical; only *when* the base updates run
+/// differs.
+class AdaptiveSbrEncoder {
+ public:
+  AdaptiveSbrEncoder(EncoderOptions encoder_options,
+                     AdaptiveOptions adaptive_options = AdaptiveOptions())
+      : encoder_(std::move(encoder_options)), adaptive_(adaptive_options) {}
+
+  /// Encodes the next chunk, deciding beforehand whether this transmission
+  /// runs the full pipeline or the fast frozen-base path.
+  StatusOr<Transmission> EncodeChunk(std::span<const double> y,
+                                     size_t num_signals);
+
+  /// Did the most recent transmission run the full GetBase/Search phase?
+  bool last_used_full_pipeline() const { return last_full_; }
+  /// How many of the transmissions so far ran the full pipeline.
+  size_t full_pipeline_count() const { return full_count_; }
+  size_t transmissions() const { return transmissions_; }
+
+  const SbrEncoder& encoder() const { return encoder_; }
+  const EncodeStats& last_stats() const { return encoder_.last_stats(); }
+
+ private:
+  SbrEncoder encoder_;
+  AdaptiveOptions adaptive_;
+  size_t transmissions_ = 0;
+  size_t full_count_ = 0;
+  bool last_full_ = false;
+  bool refresh_requested_ = false;
+  double error_ema_ = 0.0;
+  bool ema_initialized_ = false;
+};
+
+}  // namespace sbr::core
+
+#endif  // SBR_CORE_ADAPTIVE_H_

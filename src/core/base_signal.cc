@@ -1,0 +1,96 @@
+#include "core/base_signal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace sbr::core {
+
+BaseSignal::BaseSignal(size_t w, size_t capacity_values,
+                       EvictionPolicy policy)
+    : w_(w),
+      num_slots_(w == 0 ? 0 : capacity_values / w),
+      policy_(policy),
+      values_(num_slots_ * w, 0.0),
+      use_counts_(num_slots_, 0),
+      inserted_at_(num_slots_, 0) {
+  assert(w > 0);
+}
+
+std::vector<size_t> BaseSignal::PlanPlacement(size_t ins) {
+  assert(ins <= num_slots_);
+  std::vector<size_t> plan;
+  plan.reserve(ins);
+  // Free slots first, in order.
+  size_t next_free = used_slots_;
+  while (plan.size() < ins && next_free < num_slots_) {
+    plan.push_back(next_free++);
+  }
+  if (plan.size() == ins) return plan;
+
+  // Evict existing slots. Candidates are all currently used slots; rank by
+  // policy and take the worst.
+  std::vector<size_t> order(used_slots_);
+  std::iota(order.begin(), order.end(), 0);
+  switch (policy_) {
+    case EvictionPolicy::kLfu:
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (use_counts_[a] != use_counts_[b]) {
+          return use_counts_[a] < use_counts_[b];
+        }
+        return inserted_at_[a] < inserted_at_[b];  // older first on ties
+      });
+      break;
+    case EvictionPolicy::kFifo:
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return inserted_at_[a] < inserted_at_[b];
+      });
+      break;
+    case EvictionPolicy::kRandom:
+      // Fisher-Yates with a private xorshift stream for determinism.
+      for (size_t i = order.size(); i > 1; --i) {
+        random_state_ ^= random_state_ << 13;
+        random_state_ ^= random_state_ >> 7;
+        random_state_ ^= random_state_ << 17;
+        std::swap(order[i - 1], order[random_state_ % i]);
+      }
+      break;
+  }
+  for (size_t i = 0; plan.size() < ins; ++i) {
+    assert(i < order.size());
+    plan.push_back(order[i]);
+  }
+  return plan;
+}
+
+Status BaseSignal::Overwrite(size_t slot, std::span<const double> vals) {
+  if (vals.size() != w_) {
+    return Status::InvalidArgument("interval has " +
+                                   std::to_string(vals.size()) +
+                                   " values, slot width is " +
+                                   std::to_string(w_));
+  }
+  if (slot > used_slots_ || slot >= num_slots_) {
+    return Status::OutOfRange("slot " + std::to_string(slot) +
+                              " out of range (used " +
+                              std::to_string(used_slots_) + " of " +
+                              std::to_string(num_slots_) + ")");
+  }
+  std::copy(vals.begin(), vals.end(), values_.begin() + slot * w_);
+  if (slot == used_slots_) ++used_slots_;
+  use_counts_[slot] = 0;
+  inserted_at_[slot] = ++insertion_clock_;
+  return Status::Ok();
+}
+
+void BaseSignal::RecordUse(size_t shift, size_t length) {
+  if (length == 0 || w_ == 0) return;
+  assert(shift + length <= used_slots_ * w_);
+  const size_t first = shift / w_;
+  const size_t last = (shift + length - 1) / w_;
+  for (size_t s = first; s <= last && s < used_slots_; ++s) {
+    ++use_counts_[s];
+  }
+}
+
+}  // namespace sbr::core

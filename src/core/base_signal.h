@@ -1,0 +1,83 @@
+// The base-signal buffer: a fixed-capacity, slot-organized collection of
+// W-wide value intervals kept in sensor memory and mirrored at the base
+// station. Slots are concatenated into one flat series so that interval
+// mappings may shift across slot boundaries, exactly as Algorithm 3
+// treats the base signal. Eviction is LFU over per-slot use counts
+// (paper Algorithm 5 lines 10-13).
+#ifndef SBR_CORE_BASE_SIGNAL_H_
+#define SBR_CORE_BASE_SIGNAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sbr::core {
+
+/// Eviction policies; the paper prescribes LFU, the alternatives exist for
+/// the ablation bench.
+enum class EvictionPolicy {
+  kLfu,     ///< least-frequently-used (paper)
+  kFifo,    ///< oldest insertion first
+  kRandom,  ///< uniform random old slot (seeded, deterministic)
+};
+
+/// Slot-organized base-signal buffer.
+class BaseSignal {
+ public:
+  BaseSignal() = default;
+
+  /// `w`: slot width in values. `capacity_values`: M_base; the number of
+  /// slots is floor(capacity_values / w).
+  BaseSignal(size_t w, size_t capacity_values,
+             EvictionPolicy policy = EvictionPolicy::kLfu);
+
+  size_t w() const { return w_; }
+  size_t num_slots() const { return num_slots_; }
+  size_t used_slots() const { return used_slots_; }
+  bool empty() const { return used_slots_ == 0; }
+
+  /// Flat concatenated view of the populated slots (used_slots * w values).
+  std::span<const double> values() const {
+    return {values_.data(), used_slots_ * w_};
+  }
+
+  /// Per-slot use count (number of encoded intervals whose base mapping
+  /// overlapped the slot, accumulated over all transmissions).
+  uint64_t use_count(size_t slot) const { return use_counts_[slot]; }
+
+  /// Chooses `ins` slot positions for new intervals: free slots first (in
+  /// order), then evictions of existing slots per the policy. `ins` must
+  /// not exceed num_slots(). The returned order matches the order the
+  /// caller should write its intervals in.
+  std::vector<size_t> PlanPlacement(size_t ins);
+
+  /// Writes `vals` (exactly w values) into `slot`. Appending to the first
+  /// unused slot grows the signal; writing past it is an error. Resets the
+  /// slot's use count.
+  Status Overwrite(size_t slot, std::span<const double> vals);
+
+  /// Records that an encoded interval mapped to [shift, shift + length) of
+  /// the flat signal: increments the use count of every overlapped slot.
+  void RecordUse(size_t shift, size_t length);
+
+  /// Monotone counter of Overwrite calls, used for FIFO ordering and
+  /// LFU tie-breaking (older slot evicted first).
+  uint64_t insertions() const { return insertion_clock_; }
+
+ private:
+  size_t w_ = 0;
+  size_t num_slots_ = 0;
+  size_t used_slots_ = 0;
+  EvictionPolicy policy_ = EvictionPolicy::kLfu;
+  std::vector<double> values_;        // num_slots * w, flat
+  std::vector<uint64_t> use_counts_;  // per slot
+  std::vector<uint64_t> inserted_at_; // insertion_clock_ at last Overwrite
+  uint64_t insertion_clock_ = 0;
+  uint64_t random_state_ = 0x5bd1e995;  // for kRandom, deterministic
+};
+
+}  // namespace sbr::core
+
+#endif  // SBR_CORE_BASE_SIGNAL_H_

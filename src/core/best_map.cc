@@ -1,0 +1,205 @@
+#include "core/best_map.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/regression.h"
+#include "util/prefix_sums.h"
+
+namespace sbr::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Shift scan specialised for the SSE metric: sum_x and sum_x2 come from
+// prefix sums, only sum_xy needs an O(len) pass per shift, and the residual
+// error follows from the normal equations without a second pass.
+void ScanShiftsSse(std::span<const double> x, std::span<const double> yseg,
+                   Interval* best) {
+  const size_t len = yseg.size();
+  const size_t num_shifts = x.size() - len + 1;
+  const double flen = static_cast<double>(len);
+
+  PrefixSums px(x);
+  double sum_y = 0.0, sum_y2 = 0.0;
+  for (double v : yseg) {
+    sum_y += v;
+    sum_y2 += v * v;
+  }
+
+  const double* xp = x.data();
+  const double* yp = yseg.data();
+  for (size_t shift = 0; shift < num_shifts; ++shift) {
+    double sum_xy = 0.0;
+    const double* xs = xp + shift;
+    for (size_t i = 0; i < len; ++i) sum_xy += xs[i] * yp[i];
+
+    const double sum_x = px.RangeSum(shift, len);
+    const double sum_x2 = px.RangeSumSquares(shift, len);
+    const double denom = flen * sum_x2 - sum_x * sum_x;
+
+    double a, b, err;
+    if (denom <= 1e-12 * std::max(1.0, flen * sum_x2)) {
+      a = 0.0;
+      b = sum_y / flen;
+      err = std::max(0.0, sum_y2 - b * sum_y);
+    } else {
+      a = (flen * sum_xy - sum_x * sum_y) / denom;
+      b = (sum_y - a * sum_x) / flen;
+      err = std::max(0.0, sum_y2 - a * sum_xy - b * sum_y);
+    }
+    if (err < best->err) {
+      best->shift = static_cast<int64_t>(shift);
+      best->a = a;
+      best->b = b;
+      best->err = err;
+    }
+  }
+}
+
+// Shift scan for the relative-error metric: weights depend only on y, so
+// the y-side weighted sums are hoisted out of the shift loop.
+void ScanShiftsRelative(std::span<const double> x,
+                        std::span<const double> yseg, double floor,
+                        Interval* best) {
+  const size_t len = yseg.size();
+  const size_t num_shifts = x.size() - len + 1;
+
+  std::vector<double> w(len), wy(len);
+  double sw = 0.0, swy = 0.0, swy2 = 0.0;
+  for (size_t i = 0; i < len; ++i) {
+    const double d = std::max(std::abs(yseg[i]), floor);
+    w[i] = 1.0 / (d * d);
+    wy[i] = w[i] * yseg[i];
+    sw += w[i];
+    swy += wy[i];
+    swy2 += wy[i] * yseg[i];
+  }
+
+  for (size_t shift = 0; shift < num_shifts; ++shift) {
+    const double* xs = x.data() + shift;
+    double swx = 0.0, swx2 = 0.0, swxy = 0.0;
+    for (size_t i = 0; i < len; ++i) {
+      swx += w[i] * xs[i];
+      swx2 += w[i] * xs[i] * xs[i];
+      swxy += wy[i] * xs[i];
+    }
+    const double denom = sw * swx2 - swx * swx;
+    double a, b, err;
+    if (denom <= 1e-12 * std::max(1.0, sw * swx2)) {
+      a = 0.0;
+      b = swy / sw;
+      err = std::max(0.0, swy2 - 2.0 * b * swy + b * b * sw);
+    } else {
+      a = (sw * swxy - swx * swy) / denom;
+      b = (swy - a * swx) / sw;
+      err = std::max(0.0, swy2 - a * swxy - b * swy);
+    }
+    if (err < best->err) {
+      best->shift = static_cast<int64_t>(shift);
+      best->a = a;
+      best->b = b;
+      best->err = err;
+    }
+  }
+}
+
+// Shift scan for the minimax metric: each shift runs a full Chebyshev fit.
+// Costly (see regression.h); intended for the error-bound workloads where
+// budgets, and therefore scan counts, are small.
+void ScanShiftsMaxAbs(std::span<const double> x,
+                      std::span<const double> yseg, Interval* best) {
+  const size_t len = yseg.size();
+  const size_t num_shifts = x.size() - len + 1;
+  for (size_t shift = 0; shift < num_shifts; ++shift) {
+    const RegressionResult r = FitMaxAbs(x.subspan(shift, len), yseg);
+    if (r.err < best->err) {
+      best->shift = static_cast<int64_t>(shift);
+      best->a = r.a;
+      best->b = r.b;
+      best->err = r.err;
+    }
+  }
+}
+
+// Shift scan for the quadratic encoding extension: a full 3x3 solve per
+// shift. O(len) per shift like the other scans, larger constant.
+void ScanShiftsQuadratic(std::span<const double> x,
+                         std::span<const double> yseg, Interval* best) {
+  const size_t len = yseg.size();
+  const size_t num_shifts = x.size() - len + 1;
+  for (size_t shift = 0; shift < num_shifts; ++shift) {
+    const QuadraticResult q = FitQuadratic(x.subspan(shift, len), yseg);
+    if (q.err < best->err) {
+      best->shift = static_cast<int64_t>(shift);
+      best->a = q.a;
+      best->b = q.b;
+      best->c = q.c;
+      best->err = q.err;
+    }
+  }
+}
+
+}  // namespace
+
+void BestMap(std::span<const double> x, std::span<const double> y,
+             size_t w, const BestMapOptions& options, Interval* interval) {
+  assert(interval->start + interval->length <= y.size());
+  assert(interval->length > 0);
+  const std::span<const double> yseg =
+      y.subspan(interval->start, interval->length);
+
+  interval->shift = kShiftLinearFallback;
+  interval->c = 0.0;
+  interval->err = kInf;
+
+  const bool scan_possible =
+      interval->length <= options.max_shift_multiple * w &&
+      x.size() >= interval->length;
+
+  if (scan_possible) {
+    if (options.quadratic) {
+      ScanShiftsQuadratic(x, yseg, interval);
+    } else {
+      switch (options.metric) {
+        case ErrorMetric::kSse:
+          ScanShiftsSse(x, yseg, interval);
+          break;
+        case ErrorMetric::kSseRelative:
+          ScanShiftsRelative(x, yseg, options.relative_floor, interval);
+          break;
+        case ErrorMetric::kMaxAbs:
+          ScanShiftsMaxAbs(x, yseg, interval);
+          break;
+      }
+    }
+  }
+
+  if (options.allow_linear_fallback || !scan_possible) {
+    if (options.quadratic) {
+      const QuadraticResult q = FitTimeQuadratic(yseg);
+      if (q.err < interval->err) {
+        interval->shift = kShiftLinearFallback;
+        interval->a = q.a;
+        interval->b = q.b;
+        interval->c = q.c;
+        interval->err = q.err;
+      }
+    } else {
+      const RegressionResult r =
+          FitTime(options.metric, yseg, options.relative_floor);
+      if (r.err < interval->err) {
+        interval->shift = kShiftLinearFallback;
+        interval->a = r.a;
+        interval->b = r.b;
+        interval->c = 0.0;
+        interval->err = r.err;
+      }
+    }
+  }
+}
+
+}  // namespace sbr::core

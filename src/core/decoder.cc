@@ -1,0 +1,106 @@
+#include "core/decoder.h"
+
+#include <algorithm>
+
+#include "core/fixed_base.h"
+#include "core/get_intervals.h"
+#include "core/interval.h"
+
+namespace sbr::core {
+
+Status SbrDecoder::ApplyHeader(const Transmission& t) {
+  if (t.num_signals == 0 || t.w == 0 || t.TotalSamples() == 0) {
+    return Status::DataLoss("transmission header has zero geometry");
+  }
+  if (!t.signal_lengths.empty() &&
+      t.signal_lengths.size() != t.num_signals) {
+    return Status::DataLoss("signal_lengths count mismatch");
+  }
+  if (w_ == 0) {
+    w_ = t.w;
+    base_kind_ = t.base_kind;
+    if (base_kind_ == BaseKind::kStored) {
+      if (options_.m_base < w_) {
+        return Status::InvalidArgument("decoder m_base smaller than W");
+      }
+      base_ = BaseSignal(w_, options_.m_base);
+    } else if (base_kind_ == BaseKind::kDctFixed) {
+      dct_base_ = MakeDctFixedBase(w_);
+    }
+    return Status::Ok();
+  }
+  if (t.w != w_) {
+    return Status::DataLoss("transmission W changed mid-stream");
+  }
+  if (t.base_kind != base_kind_) {
+    return Status::DataLoss("transmission base kind changed mid-stream");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> SbrDecoder::DecodeChunk(const Transmission& t) {
+  SBR_RETURN_IF_ERROR(ApplyHeader(t));
+
+  if (base_kind_ != BaseKind::kStored && !t.base_updates.empty()) {
+    return Status::DataLoss("base updates present without a stored base");
+  }
+  for (const BaseUpdate& bu : t.base_updates) {
+    SBR_RETURN_IF_ERROR(base_.Overwrite(bu.slot, bu.values));
+  }
+
+  std::span<const double> x;
+  if (base_kind_ == BaseKind::kStored) {
+    x = base_.values();
+  } else if (base_kind_ == BaseKind::kDctFixed) {
+    x = dct_base_;
+  }
+
+  const size_t total_len = t.TotalSamples();
+  if (total_len > options_.max_chunk_samples) {
+    return Status::DataLoss("chunk of " + std::to_string(total_len) +
+                            " samples exceeds the decoder limit");
+  }
+
+  // Rebuild intervals: sort by start, infer lengths from the gaps.
+  std::vector<IntervalRecord> recs = t.intervals;
+  std::sort(recs.begin(), recs.end(),
+            [](const IntervalRecord& a, const IntervalRecord& b) {
+              return a.start < b.start;
+            });
+  if (recs.empty() || recs[0].start != 0) {
+    return Status::DataLoss("interval records do not start at 0");
+  }
+  std::vector<Interval> intervals;
+  intervals.reserve(recs.size());
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const size_t end =
+        i + 1 < recs.size() ? recs[i + 1].start : total_len;
+    if (end <= recs[i].start) {
+      return Status::DataLoss("interval records overlap or are empty");
+    }
+    Interval iv;
+    iv.start = recs[i].start;
+    iv.length = end - recs[i].start;
+    iv.shift = recs[i].shift;
+    iv.a = recs[i].a;
+    iv.b = recs[i].b;
+    iv.c = recs[i].c;
+    if (iv.shift != kShiftLinearFallback) {
+      if (iv.shift < 0 ||
+          static_cast<size_t>(iv.shift) + iv.length > x.size()) {
+        return Status::DataLoss("interval shift outside the base signal");
+      }
+    }
+    intervals.push_back(iv);
+  }
+  return ReconstructFromIntervals(x, total_len, intervals);
+}
+
+StatusOr<linalg::Matrix> SbrDecoder::DecodeChunkToMatrix(
+    const Transmission& t) {
+  auto flat = DecodeChunk(t);
+  if (!flat.ok()) return flat.status();
+  return linalg::Matrix(t.num_signals, t.chunk_len, std::move(flat).value());
+}
+
+}  // namespace sbr::core

@@ -1,0 +1,53 @@
+// SbrDecoder: the base-station-side inverse of SbrEncoder. Mirrors the
+// sensor's base-signal buffer by applying the slot updates carried in each
+// transmission, then reconstructs the approximate chunk from the interval
+// records. Feeding it the encoder's transmissions in order reproduces the
+// encoder-side approximation exactly (bit-for-bit; verified by tests).
+#ifndef SBR_CORE_DECODER_H_
+#define SBR_CORE_DECODER_H_
+
+#include <vector>
+
+#include "core/base_signal.h"
+#include "core/transmission.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace sbr::core {
+
+/// Decoder configuration: must match the encoder's m_base; everything else
+/// is carried in transmission headers.
+struct DecoderOptions {
+  size_t m_base = 0;
+  /// Upper bound on samples per chunk, guarding reconstruction buffers
+  /// against corrupted geometry headers.
+  size_t max_chunk_samples = size_t{1} << 26;
+};
+
+/// Stateful per-sensor decoder.
+class SbrDecoder {
+ public:
+  explicit SbrDecoder(DecoderOptions options) : options_(options) {}
+
+  /// Applies the transmission's base updates and reconstructs the chunk as
+  /// the flat concatenated series (num_signals * chunk_len values).
+  StatusOr<std::vector<double>> DecodeChunk(const Transmission& t);
+
+  /// Like DecodeChunk but reshaped to a num_signals x chunk_len matrix.
+  StatusOr<linalg::Matrix> DecodeChunkToMatrix(const Transmission& t);
+
+  const BaseSignal& base_signal() const { return base_; }
+
+ private:
+  Status ApplyHeader(const Transmission& t);
+
+  DecoderOptions options_;
+  size_t w_ = 0;
+  BaseKind base_kind_ = BaseKind::kStored;
+  BaseSignal base_;
+  std::vector<double> dct_base_;
+};
+
+}  // namespace sbr::core
+
+#endif  // SBR_CORE_DECODER_H_

@@ -1,0 +1,261 @@
+#include "core/encoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "core/fixed_base.h"
+#include "core/search.h"
+
+namespace sbr::core {
+
+SbrEncoder::SbrEncoder(EncoderOptions options)
+    : options_(std::move(options)) {}
+
+Status SbrEncoder::ValidateGeometry(std::span<const size_t> row_lengths) {
+  if (row_lengths.empty()) {
+    return Status::InvalidArgument("empty chunk");
+  }
+  for (size_t len : row_lengths) {
+    if (len == 0) return Status::InvalidArgument("zero-length signal row");
+  }
+  if (options_.quadratic && options_.metric != ErrorMetric::kSse) {
+    return Status::InvalidArgument(
+        "quadratic encoding is defined for the SSE metric only");
+  }
+  if (row_lengths_.empty()) {
+    // First chunk fixes the geometry and derived parameters.
+    row_lengths_.assign(row_lengths.begin(), row_lengths.end());
+    const size_t n =
+        std::accumulate(row_lengths.begin(), row_lengths.end(), size_t{0});
+    w_ = options_.w != 0
+             ? options_.w
+             : static_cast<size_t>(std::floor(std::sqrt(
+                   static_cast<double>(n))));
+    if (w_ == 0) return Status::InvalidArgument("W resolved to 0");
+    size_t per_interval =
+        options_.base_strategy == BaseStrategy::kNone ? 3 : 4;
+    if (options_.quadratic) ++per_interval;
+    if (options_.total_band / per_interval < row_lengths.size()) {
+      return Status::InvalidArgument(
+          "total_band " + std::to_string(options_.total_band) +
+          " cannot afford one interval per signal");
+    }
+    if (options_.base_strategy == BaseStrategy::kGetBase ||
+        options_.base_strategy == BaseStrategy::kGetBaseLowMem ||
+        options_.base_strategy == BaseStrategy::kCustom) {
+      if (options_.m_base < w_) {
+        return Status::InvalidArgument(
+            "m_base " + std::to_string(options_.m_base) +
+            " smaller than one base interval (W = " + std::to_string(w_) +
+            ")");
+      }
+      base_ = BaseSignal(w_, options_.m_base, options_.eviction);
+    } else if (options_.base_strategy == BaseStrategy::kDctFixed) {
+      dct_base_ = MakeDctFixedBase(w_);
+    }
+    if (options_.base_strategy == BaseStrategy::kCustom &&
+        !options_.base_provider) {
+      return Status::InvalidArgument(
+          "base_strategy kCustom requires base_provider");
+    }
+    return Status::Ok();
+  }
+  if (row_lengths.size() != row_lengths_.size() ||
+      !std::equal(row_lengths.begin(), row_lengths.end(),
+                  row_lengths_.begin())) {
+    return Status::FailedPrecondition("chunk geometry changed mid-stream");
+  }
+  return Status::Ok();
+}
+
+std::vector<CandidateBaseInterval> SbrEncoder::BuildCandidates(
+    std::span<const double> y, size_t max_ins) const {
+  GetBaseOptions gb;
+  gb.metric = options_.metric;
+  gb.relative_floor = options_.relative_floor;
+  switch (options_.base_strategy) {
+    case BaseStrategy::kGetBase:
+      return GetBaseMultiRate(y, row_lengths_, w_, max_ins, gb);
+    case BaseStrategy::kGetBaseLowMem:
+      // The low-memory variant requires uniform rows; multi-rate streams
+      // with this strategy fall back to the full-matrix construction,
+      // which selects identically (see GetBase tests).
+      if (std::adjacent_find(row_lengths_.begin(), row_lengths_.end(),
+                             std::not_equal_to<>()) == row_lengths_.end()) {
+        return GetBaseLowMem(y, row_lengths_.size(), w_, max_ins, gb);
+      }
+      return GetBaseMultiRate(y, row_lengths_, w_, max_ins, gb);
+    case BaseStrategy::kCustom:
+      return options_.base_provider(y, row_lengths_.size(), w_, max_ins);
+    case BaseStrategy::kDctFixed:
+    case BaseStrategy::kNone:
+      break;
+  }
+  return {};
+}
+
+StatusOr<Transmission> SbrEncoder::EncodeChunk(const linalg::Matrix& chunk) {
+  std::vector<double> y;
+  y.reserve(chunk.rows() * chunk.cols());
+  for (size_t r = 0; r < chunk.rows(); ++r) {
+    const auto row = chunk.Row(r);
+    y.insert(y.end(), row.begin(), row.end());
+  }
+  return EncodeChunk(y, chunk.rows());
+}
+
+StatusOr<Transmission> SbrEncoder::EncodeChunk(std::span<const double> y,
+                                               size_t num_signals) {
+  if (num_signals == 0 || y.size() % num_signals != 0) {
+    return Status::InvalidArgument("series length not divisible by signals");
+  }
+  const std::vector<size_t> lengths(num_signals, y.size() / num_signals);
+  return EncodeImpl(y, lengths, /*uniform=*/true);
+}
+
+StatusOr<Transmission> SbrEncoder::EncodeChunkMultiRate(
+    std::span<const double> y, std::span<const size_t> row_lengths) {
+  const size_t total =
+      std::accumulate(row_lengths.begin(), row_lengths.end(), size_t{0});
+  if (total != y.size()) {
+    return Status::InvalidArgument("row lengths do not sum to series size");
+  }
+  return EncodeImpl(y, row_lengths, /*uniform=*/false);
+}
+
+StatusOr<Transmission> SbrEncoder::EncodeImpl(
+    std::span<const double> y, std::span<const size_t> row_lengths,
+    bool uniform) {
+  SBR_RETURN_IF_ERROR(ValidateGeometry(row_lengths));
+  // Reject non-finite samples up front: a single NaN would otherwise
+  // poison every regression downstream and surface as a nonsense
+  // approximation instead of an error.
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (!std::isfinite(y[i])) {
+      return Status::InvalidArgument("non-finite sample at index " +
+                                     std::to_string(i));
+    }
+  }
+
+  stats_ = EncodeStats{};
+
+  GetIntervalsOptions gi;
+  gi.best_map.metric = options_.metric;
+  gi.best_map.relative_floor = options_.relative_floor;
+  gi.best_map.allow_linear_fallback = options_.allow_linear_fallback;
+  gi.best_map.max_shift_multiple = options_.max_shift_multiple;
+  gi.best_map.quadratic = options_.quadratic;
+  gi.values_per_interval =
+      options_.base_strategy == BaseStrategy::kNone ? 3 : 4;
+  if (options_.quadratic) ++gi.values_per_interval;
+  gi.error_target = options_.error_target;
+
+  const bool stored_base =
+      options_.base_strategy == BaseStrategy::kGetBase ||
+      options_.base_strategy == BaseStrategy::kGetBaseLowMem ||
+      options_.base_strategy == BaseStrategy::kCustom;
+
+  // Phase 1: decide what to insert into the base signal.
+  std::vector<CandidateBaseInterval> candidates;
+  size_t ins = 0;
+  if (stored_base && options_.update_base) {
+    size_t max_ins =
+        std::min(options_.m_base, options_.total_band) / w_;
+    max_ins = std::min(max_ins, base_.num_slots());
+    candidates = BuildCandidates(y, max_ins);
+    SearchContext ctx;
+    ctx.current_base = base_.values();
+    ctx.candidates = &candidates;
+    ctx.y = y;
+    ctx.row_lengths = row_lengths_;
+    ctx.w = w_;
+    ctx.total_band = options_.total_band;
+    ctx.get_intervals = gi;
+    const SearchResult sr = SearchInsertCount(ctx);
+    ins = sr.ins;
+    stats_.search_probes = sr.probes;
+  }
+
+  // Phase 2: place the chosen intervals (free slots first, then eviction),
+  // *before* the final approximation so encoder and decoder agree on the
+  // base-signal layout (DESIGN.md note 2).
+  Transmission t;
+  t.num_signals = static_cast<uint32_t>(row_lengths_.size());
+  if (uniform) {
+    t.chunk_len = static_cast<uint32_t>(row_lengths_[0]);
+  } else {
+    t.chunk_len = 0;
+    t.signal_lengths.reserve(row_lengths_.size());
+    for (size_t len : row_lengths_) {
+      t.signal_lengths.push_back(static_cast<uint32_t>(len));
+    }
+  }
+  t.w = static_cast<uint32_t>(w_);
+  t.quadratic = options_.quadratic;
+  switch (options_.base_strategy) {
+    case BaseStrategy::kDctFixed:
+      t.base_kind = BaseKind::kDctFixed;
+      break;
+    case BaseStrategy::kNone:
+      t.base_kind = BaseKind::kNone;
+      break;
+    default:
+      t.base_kind = BaseKind::kStored;
+  }
+  t.precision = options_.compact_wire ? WirePrecision::kFloat32
+                                      : WirePrecision::kFloat64;
+  if (ins > 0) {
+    const std::vector<size_t> plan = base_.PlanPlacement(ins);
+    for (size_t i = 0; i < ins; ++i) {
+      std::vector<double> vals = candidates[i].values;
+      if (options_.compact_wire) {
+        // Round through binary32 before the values enter either side's
+        // buffer, keeping the mirrors bit-identical.
+        for (double& v : vals) v = static_cast<double>(static_cast<float>(v));
+      }
+      SBR_RETURN_IF_ERROR(base_.Overwrite(plan[i], vals));
+      BaseUpdate bu;
+      bu.slot = static_cast<uint32_t>(plan[i]);
+      bu.values = std::move(vals);
+      t.base_updates.push_back(std::move(bu));
+    }
+  }
+
+  // Phase 3: approximate the chunk against the final base signal.
+  std::span<const double> x;
+  if (stored_base) {
+    x = base_.values();
+  } else if (options_.base_strategy == BaseStrategy::kDctFixed) {
+    x = dct_base_;
+  }
+  const size_t insert_cost = ins * (w_ + 1);
+  if (insert_cost >= options_.total_band) {
+    return Status::Internal("insertions consumed the entire bandwidth");
+  }
+  const size_t budget = options_.total_band - insert_cost;
+  auto approx = GetIntervalsMultiRate(x, y, row_lengths_, budget, w_, gi);
+  if (!approx.ok()) return approx.status();
+
+  for (const Interval& iv : approx->intervals) {
+    if (iv.shift != kShiftLinearFallback && stored_base) {
+      base_.RecordUse(static_cast<size_t>(iv.shift), iv.length);
+    }
+    IntervalRecord rec;
+    rec.start = static_cast<uint32_t>(iv.start);
+    rec.shift = static_cast<int32_t>(iv.shift);
+    rec.a = iv.a;
+    rec.b = iv.b;
+    rec.c = iv.c;
+    t.intervals.push_back(rec);
+  }
+
+  stats_.inserted_base_intervals = ins;
+  stats_.num_intervals = approx->intervals.size();
+  stats_.total_error = approx->total_error;
+  stats_.values_used = t.ValueCount();
+  return t;
+}
+
+}  // namespace sbr::core

@@ -1,0 +1,42 @@
+// Error metrics the SBR pipeline can minimize. Changing the metric swaps
+// the Regression kernel (paper Section 4.5) but leaves every other
+// algorithm untouched.
+#ifndef SBR_CORE_ERROR_METRIC_H_
+#define SBR_CORE_ERROR_METRIC_H_
+
+namespace sbr::core {
+
+/// Objective minimized by the regression kernels and, transitively, by
+/// BestMap / GetIntervals / GetBase / the full encoder.
+enum class ErrorMetric {
+  /// Sum of squared residuals (the paper's default).
+  kSse,
+  /// Sum of squared relative residuals, residual / max(|y|, floor).
+  kSseRelative,
+  /// Maximum absolute residual (minimax / Chebyshev fit).
+  kMaxAbs,
+};
+
+/// Short name for logs and bench output.
+inline const char* ErrorMetricName(ErrorMetric metric) {
+  switch (metric) {
+    case ErrorMetric::kSse:
+      return "sse";
+    case ErrorMetric::kSseRelative:
+      return "sse_relative";
+    case ErrorMetric::kMaxAbs:
+      return "max_abs";
+  }
+  return "unknown";
+}
+
+/// Combines two per-interval errors into a running total: sum for the SSE
+/// family, max for the minimax metric.
+inline double CombineErrors(ErrorMetric metric, double acc, double err) {
+  return metric == ErrorMetric::kMaxAbs ? (acc > err ? acc : err)
+                                        : acc + err;
+}
+
+}  // namespace sbr::core
+
+#endif  // SBR_CORE_ERROR_METRIC_H_

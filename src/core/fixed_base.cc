@@ -1,0 +1,22 @@
+#include "core/fixed_base.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sbr::core {
+
+std::vector<double> MakeDctFixedBase(size_t w) {
+  std::vector<double> out;
+  if (w == 0) return out;
+  out.reserve((w + 1) * w);
+  for (size_t f = 0; f <= w; ++f) {
+    for (size_t i = 0; i < w; ++i) {
+      out.push_back(std::cos((2.0 * static_cast<double>(i) + 1.0) *
+                             std::numbers::pi * static_cast<double>(f) /
+                             (2.0 * static_cast<double>(w))));
+    }
+  }
+  return out;
+}
+
+}  // namespace sbr::core

@@ -1,0 +1,18 @@
+// The fixed DCT cosine dictionary of the paper's Appendix
+// (GetBaseDCT): one base interval per frequency f in [0, W], with values
+// cos((2i+1) pi f / (2W)). It is never transmitted or stored against
+// M_base; encoder and decoder both regenerate it on the fly.
+#ifndef SBR_CORE_FIXED_BASE_H_
+#define SBR_CORE_FIXED_BASE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sbr::core {
+
+/// Flat concatenation of the W + 1 cosine base intervals, (W+1)*W values.
+std::vector<double> MakeDctFixedBase(size_t w);
+
+}  // namespace sbr::core
+
+#endif  // SBR_CORE_FIXED_BASE_H_

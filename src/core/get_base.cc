@@ -1,0 +1,159 @@
+#include "core/get_base.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "core/regression.h"
+
+namespace sbr::core {
+namespace {
+
+// Enumerates the K candidate windows: each signal row contributes
+// floor(len / w) non-overlapping W-wide windows; the tail remainder of
+// each row is not a candidate (DESIGN.md note 5). Rows may have distinct
+// lengths (multi-rate sampling, Section 3.2 footnote 2).
+std::vector<std::span<const double>> EnumerateCandidates(
+    std::span<const double> y, std::span<const size_t> row_lengths,
+    size_t w) {
+  std::vector<std::span<const double>> cands;
+  if (w == 0) return cands;
+  size_t offset = 0;
+  for (size_t len : row_lengths) {
+    for (size_t k = 0; (k + 1) * w <= len; ++k) {
+      cands.push_back(y.subspan(offset + k * w, w));
+    }
+    offset += len;
+  }
+  return cands;
+}
+
+// Shared greedy-selection body over a fixed candidate list.
+std::vector<CandidateBaseInterval> SelectGreedy(
+    const std::vector<std::span<const double>>& cands, size_t max_ins,
+    const GetBaseOptions& options) {
+  const size_t k = cands.size();
+  std::vector<CandidateBaseInterval> result;
+  if (k == 0 || max_ins == 0) return result;
+
+  // err[i * k + j]: error of approximating CBI j as a linear projection of
+  // CBI i. The diagonal is ~0 (a=1, b=0).
+  std::vector<double> err(k * k);
+  std::vector<double> best_err(k);
+  for (size_t j = 0; j < k; ++j) {
+    best_err[j] =
+        FitTime(options.metric, cands[j], options.relative_floor).err;
+  }
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      err[i * k + j] =
+          Fit(options.metric, cands[i], cands[j], options.relative_floor).err;
+    }
+  }
+
+  std::vector<bool> selected(k, false);
+  max_ins = std::min(max_ins, k);
+  result.reserve(max_ins);
+  for (size_t round = 0; round < max_ins; ++round) {
+    double best_benefit = -1.0;
+    size_t best_i = k;
+    for (size_t i = 0; i < k; ++i) {
+      if (selected[i]) continue;
+      double benefit = 0.0;
+      const double* row = &err[i * k];
+      for (size_t j = 0; j < k; ++j) {
+        const double gain = best_err[j] - row[j];
+        if (gain > 0.0) benefit += gain;
+      }
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best_i = i;
+      }
+    }
+    if (best_i == k || best_benefit <= options.min_benefit) break;
+    selected[best_i] = true;
+    CandidateBaseInterval cbi;
+    cbi.values.assign(cands[best_i].begin(), cands[best_i].end());
+    cbi.source_index = best_i;
+    cbi.benefit = best_benefit;
+    result.push_back(std::move(cbi));
+    const double* row = &err[best_i * k];
+    for (size_t j = 0; j < k; ++j) {
+      best_err[j] = std::min(best_err[j], row[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<CandidateBaseInterval> GetBase(std::span<const double> y,
+                                           size_t num_signals, size_t w,
+                                           size_t max_ins,
+                                           const GetBaseOptions& options) {
+  if (num_signals == 0) return {};
+  const std::vector<size_t> lengths(num_signals, y.size() / num_signals);
+  return SelectGreedy(EnumerateCandidates(y, lengths, w), max_ins, options);
+}
+
+std::vector<CandidateBaseInterval> GetBaseMultiRate(
+    std::span<const double> y, std::span<const size_t> row_lengths, size_t w,
+    size_t max_ins, const GetBaseOptions& options) {
+  return SelectGreedy(EnumerateCandidates(y, row_lengths, w), max_ins,
+                      options);
+}
+
+std::vector<CandidateBaseInterval> GetBaseLowMem(
+    std::span<const double> y, size_t num_signals, size_t w, size_t max_ins,
+    const GetBaseOptions& options) {
+  if (num_signals == 0) return {};
+  const std::vector<size_t> lengths(num_signals, y.size() / num_signals);
+  const auto cands = EnumerateCandidates(y, lengths, w);
+  const size_t k = cands.size();
+  std::vector<CandidateBaseInterval> result;
+  if (k == 0 || max_ins == 0) return result;
+
+  std::vector<double> best_err(k);
+  for (size_t j = 0; j < k; ++j) {
+    best_err[j] =
+        FitTime(options.metric, cands[j], options.relative_floor).err;
+  }
+
+  auto pair_err = [&](size_t i, size_t j) {
+    return Fit(options.metric, cands[i], cands[j], options.relative_floor)
+        .err;
+  };
+
+  std::vector<bool> selected(k, false);
+  max_ins = std::min(max_ins, k);
+  result.reserve(max_ins);
+  for (size_t round = 0; round < max_ins; ++round) {
+    double best_benefit = -1.0;
+    size_t best_i = k;
+    for (size_t i = 0; i < k; ++i) {
+      if (selected[i]) continue;
+      double benefit = 0.0;
+      for (size_t j = 0; j < k; ++j) {
+        const double gain = best_err[j] - pair_err(i, j);
+        if (gain > 0.0) benefit += gain;
+      }
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best_i = i;
+      }
+    }
+    if (best_i == k || best_benefit <= options.min_benefit) break;
+    selected[best_i] = true;
+    CandidateBaseInterval cbi;
+    cbi.values.assign(cands[best_i].begin(), cands[best_i].end());
+    cbi.source_index = best_i;
+    cbi.benefit = best_benefit;
+    result.push_back(std::move(cbi));
+    for (size_t j = 0; j < k; ++j) {
+      best_err[j] = std::min(best_err[j], pair_err(best_i, j));
+    }
+  }
+  return result;
+}
+
+}  // namespace sbr::core

@@ -1,0 +1,41 @@
+// The interval data structure of Section 4.2: a contiguous range of the
+// concatenated data series Y together with its mapping onto the base
+// signal and the regression coefficients of that mapping.
+#ifndef SBR_CORE_INTERVAL_H_
+#define SBR_CORE_INTERVAL_H_
+
+#include <cstdint>
+
+namespace sbr::core {
+
+/// Marker for intervals approximated by the fall-back linear-in-time
+/// regression instead of a base-signal projection.
+inline constexpr int64_t kShiftLinearFallback = -1;
+
+/// One approximation interval. Values Y[start .. start+length) are encoded
+/// as a * X[shift .. shift+length) + b when shift >= 0, or as
+/// a * (i - start) + b when shift == kShiftLinearFallback.
+struct Interval {
+  uint64_t start = 0;
+  uint64_t length = 0;
+  int64_t shift = kShiftLinearFallback;
+  double a = 0.0;
+  double b = 0.0;
+  /// Quadratic coefficient of the non-linear encoding extension
+  /// (paper Section 6): y' = a x + b + c x^2. Zero under the standard
+  /// linear encoding.
+  double c = 0.0;
+  /// Error of the approximation under the active metric.
+  double err = 0.0;
+
+  /// Ordering used by the GetIntervals priority queue: worst error first.
+  bool operator<(const Interval& other) const {
+    // std::priority_queue is a max-heap on operator<, so "less" means
+    // "lower priority" = smaller error.
+    return err < other.err;
+  }
+};
+
+}  // namespace sbr::core
+
+#endif  // SBR_CORE_INTERVAL_H_

@@ -1,0 +1,299 @@
+#include "core/regression.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace sbr::core {
+namespace {
+
+// Treats near-zero normal-equation denominators as degenerate; relative to
+// the magnitude of the sums involved.
+constexpr double kDegenerate = 1e-12;
+
+// Width of the minimal vertical strip containing the points when lines of
+// slope a are used: f(a) = max_i (y_i - a x_i) - min_i (y_i - a x_i).
+// Also reports the centering intercept b.
+double StripWidth(std::span<const double> x, std::span<const double> y,
+                  double a, double* b_out) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - a * x[i];
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  if (b_out != nullptr) *b_out = 0.5 * (lo + hi);
+  return hi - lo;
+}
+
+}  // namespace
+
+RegressionResult FitSse(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  const size_t n = x.size();
+  RegressionResult r;
+  if (n == 0) return r;
+
+  double sum_x = 0.0, sum_y = 0.0, sum_xy = 0.0, sum_x2 = 0.0, sum_y2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+    sum_xy += x[i] * y[i];
+    sum_x2 += x[i] * x[i];
+    sum_y2 += y[i] * y[i];
+  }
+  const double len = static_cast<double>(n);
+  const double denom = len * sum_x2 - sum_x * sum_x;
+  const double scale = std::max(len * sum_x2, sum_x * sum_x);
+  if (denom <= kDegenerate * std::max(scale, 1.0)) {
+    // x carries no information: best constant fit.
+    r.a = 0.0;
+    r.b = sum_y / len;
+    double err = 0.0;
+    for (size_t i = 0; i < n; ++i) err += (y[i] - r.b) * (y[i] - r.b);
+    r.err = err;
+    return r;
+  }
+  r.a = (len * sum_xy - sum_x * sum_y) / denom;
+  r.b = (sum_y - r.a * sum_x) / len;
+  // Residual sum of squares via the normal equations; clamp tiny negative
+  // round-off to zero.
+  r.err = std::max(0.0, sum_y2 - r.a * sum_xy - r.b * sum_y);
+  return r;
+}
+
+RegressionResult FitSseRelative(std::span<const double> x,
+                                std::span<const double> y, double floor) {
+  assert(x.size() == y.size());
+  const size_t n = x.size();
+  RegressionResult r;
+  if (n == 0) return r;
+
+  // Weighted least squares, w_i = 1 / max(|y_i|, floor)^2.
+  double sw = 0.0, swx = 0.0, swy = 0.0, swxy = 0.0, swx2 = 0.0, swy2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = std::max(std::abs(y[i]), floor);
+    const double w = 1.0 / (d * d);
+    sw += w;
+    swx += w * x[i];
+    swy += w * y[i];
+    swxy += w * x[i] * y[i];
+    swx2 += w * x[i] * x[i];
+    swy2 += w * y[i] * y[i];
+  }
+  const double denom = sw * swx2 - swx * swx;
+  const double scale = std::max(sw * swx2, swx * swx);
+  if (denom <= kDegenerate * std::max(scale, 1.0)) {
+    r.a = 0.0;
+    r.b = swy / sw;
+    r.err = std::max(0.0, swy2 - 2.0 * r.b * swy + r.b * r.b * sw);
+    return r;
+  }
+  r.a = (sw * swxy - swx * swy) / denom;
+  r.b = (swy - r.a * swx) / sw;
+  // Weighted residual sum via the weighted normal equations.
+  r.err = std::max(0.0, swy2 - r.a * swxy - r.b * swy);
+  return r;
+}
+
+RegressionResult FitMaxAbs(std::span<const double> x,
+                           std::span<const double> y) {
+  assert(x.size() == y.size());
+  const size_t n = x.size();
+  RegressionResult r;
+  if (n == 0) return r;
+  if (n == 1) {
+    r.a = 0.0;
+    r.b = y[0];
+    r.err = 0.0;
+    return r;
+  }
+
+  // Bracket the optimal slope by the extreme pairwise slopes; the SSE slope
+  // is a good interior seed. f(a) is convex and piecewise linear.
+  const RegressionResult sse = FitSse(x, y);
+  auto [xmin, xmax] = std::minmax_element(x.begin(), x.end());
+  const double xspan = *xmax - *xmin;
+  if (xspan <= 0.0) {
+    // Vertical stack of points: slope is irrelevant, center the band.
+    double b = 0.0;
+    const double width = StripWidth(x, y, 0.0, &b);
+    return {0.0, b, 0.5 * width};
+  }
+  auto [ymin, ymax] = std::minmax_element(y.begin(), y.end());
+  const double max_slope = 2.0 * (*ymax - *ymin) / xspan + 1.0;
+  double lo = std::min(sse.a, -max_slope);
+  double hi = std::max(sse.a, max_slope);
+
+  // Ternary search on the convex width function.
+  for (int iter = 0; iter < 200 && hi - lo > 1e-14 * (1.0 + std::abs(lo));
+       ++iter) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (StripWidth(x, y, m1, nullptr) <= StripWidth(x, y, m2, nullptr)) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  const double a = 0.5 * (lo + hi);
+  double b = 0.0;
+  const double width = StripWidth(x, y, a, &b);
+  r.a = a;
+  r.b = b;
+  r.err = 0.5 * width;
+
+  // Guard: never return a fit worse than the SSE line under this metric.
+  double b_sse = 0.0;
+  const double width_sse = StripWidth(x, y, sse.a, &b_sse);
+  if (0.5 * width_sse < r.err) {
+    r.a = sse.a;
+    r.b = b_sse;
+    r.err = 0.5 * width_sse;
+  }
+  return r;
+}
+
+RegressionResult Fit(ErrorMetric metric, std::span<const double> x,
+                     std::span<const double> y, double relative_floor) {
+  switch (metric) {
+    case ErrorMetric::kSse:
+      return FitSse(x, y);
+    case ErrorMetric::kSseRelative:
+      return FitSseRelative(x, y, relative_floor);
+    case ErrorMetric::kMaxAbs:
+      return FitMaxAbs(x, y);
+  }
+  return {};
+}
+
+RegressionResult FitTime(ErrorMetric metric, std::span<const double> y,
+                         double relative_floor) {
+  // Materializing the ramp keeps all kernels on one code path; interval
+  // lengths are at most a few thousand so this is cheap relative to the
+  // shift scans that dominate.
+  static thread_local std::vector<double> ramp;
+  if (ramp.size() < y.size()) {
+    const size_t old = ramp.size();
+    ramp.resize(y.size());
+    for (size_t i = old; i < ramp.size(); ++i) {
+      ramp[i] = static_cast<double>(i);
+    }
+  }
+  return Fit(metric, std::span<const double>(ramp.data(), y.size()), y,
+             relative_floor);
+}
+
+QuadraticResult FitQuadratic(std::span<const double> x,
+                             std::span<const double> y) {
+  assert(x.size() == y.size());
+  const size_t n = x.size();
+  QuadraticResult q;
+  if (n == 0) return q;
+
+  // Normal equations for the basis {x, 1, x^2}:
+  //   [Sx2  Sx   Sx3 ] [a]   [Sxy ]
+  //   [Sx   n    Sx2 ] [b] = [Sy  ]
+  //   [Sx3  Sx2  Sx4 ] [c]   [Sx2y]
+  double sx = 0, sx2 = 0, sx3 = 0, sx4 = 0;
+  double sy = 0, sy2 = 0, sxy = 0, sx2y = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double xi = x[i];
+    const double xi2 = xi * xi;
+    sx += xi;
+    sx2 += xi2;
+    sx3 += xi2 * xi;
+    sx4 += xi2 * xi2;
+    sy += y[i];
+    sy2 += y[i] * y[i];
+    sxy += xi * y[i];
+    sx2y += xi2 * y[i];
+  }
+  double m[3][4] = {{sx2, sx, sx3, sxy},
+                    {sx, static_cast<double>(n), sx2, sy},
+                    {sx3, sx2, sx4, sx2y}};
+  // Gaussian elimination with partial pivoting.
+  bool singular = false;
+  for (int col = 0; col < 3 && !singular; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::abs(m[r][col]) > std::abs(m[pivot][col])) pivot = r;
+    }
+    for (int k = 0; k < 4; ++k) std::swap(m[col][k], m[pivot][k]);
+    if (std::abs(m[col][col]) < 1e-10 * std::max(1.0, sx4)) {
+      singular = true;
+      break;
+    }
+    for (int r = 0; r < 3; ++r) {
+      if (r == col) continue;
+      const double f = m[r][col] / m[col][col];
+      for (int k = col; k < 4; ++k) m[r][k] -= f * m[col][k];
+    }
+  }
+  if (!singular) {
+    q.a = m[0][3] / m[0][0];
+    q.b = m[1][3] / m[1][1];
+    q.c = m[2][3] / m[2][2];
+    // Residual via the normal equations, clamped against round-off.
+    q.err = std::max(0.0, sy2 - q.a * sxy - q.b * sy - q.c * sx2y);
+    // Guard against conditioning trouble: verify directly and fall back to
+    // the linear fit if the quadratic is not actually better.
+    const double direct = [&] {
+      double acc = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const double r = y[i] - (q.a * x[i] + q.b + q.c * x[i] * x[i]);
+        acc += r * r;
+      }
+      return acc;
+    }();
+    if (std::isfinite(direct)) q.err = direct;
+    else singular = true;
+  }
+  const RegressionResult lin = FitSse(x, y);
+  if (singular || !(q.err <= lin.err)) {
+    q.a = lin.a;
+    q.b = lin.b;
+    q.c = 0.0;
+    q.err = lin.err;
+  }
+  return q;
+}
+
+QuadraticResult FitTimeQuadratic(std::span<const double> y) {
+  std::vector<double> ramp(y.size());
+  for (size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = static_cast<double>(i);
+  }
+  return FitQuadratic(ramp, y);
+}
+
+double EvaluateLine(ErrorMetric metric, std::span<const double> x,
+                    std::span<const double> y, double a, double b,
+                    double relative_floor) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double resid = y[i] - (a * x[i] + b);
+    switch (metric) {
+      case ErrorMetric::kSse:
+        acc += resid * resid;
+        break;
+      case ErrorMetric::kSseRelative: {
+        const double d = std::max(std::abs(y[i]), relative_floor);
+        acc += (resid / d) * (resid / d);
+        break;
+      }
+      case ErrorMetric::kMaxAbs:
+        acc = std::max(acc, std::abs(resid));
+        break;
+    }
+  }
+  return acc;
+}
+
+}  // namespace sbr::core

@@ -1,0 +1,79 @@
+// Regression kernels: fit y ~ a * x + b over paired value ranges under a
+// chosen error metric (paper Algorithm 1 and its Section 4.5 variants).
+//
+// All kernels run in O(length) time except the minimax fit, which is
+// O(length * iterations) via ternary search over the (convex) strip-width
+// function; see FitMaxAbs for details.
+#ifndef SBR_CORE_REGRESSION_H_
+#define SBR_CORE_REGRESSION_H_
+
+#include <span>
+
+#include "core/error_metric.h"
+
+namespace sbr::core {
+
+/// Result of fitting y' = a * x + b: the coefficients and the error of the
+/// fit under the metric that produced it.
+struct RegressionResult {
+  double a = 0.0;
+  double b = 0.0;
+  double err = 0.0;
+};
+
+/// Fits y ~ a * x + b minimizing the sum of squared residuals.
+/// Degenerate x (zero variance) falls back to a = 0, b = mean(y).
+RegressionResult FitSse(std::span<const double> x, std::span<const double> y);
+
+/// Fits y ~ a * x + b minimizing sum ((y - y') / max(|y|, floor))^2
+/// (weighted least squares with weights fixed by y).
+RegressionResult FitSseRelative(std::span<const double> x,
+                                std::span<const double> y,
+                                double floor);
+
+/// Fits y ~ a * x + b minimizing max |y - y'| (Chebyshev). The width
+/// function f(a) = max_i(y_i - a x_i) - min_i(y_i - a x_i) is convex in a,
+/// so the optimum is located by ternary search between the extreme
+/// pairwise slopes; b centers the residual band. Accurate to ~1e-12 of the
+/// slope range.
+RegressionResult FitMaxAbs(std::span<const double> x,
+                           std::span<const double> y);
+
+/// Metric-dispatching fit of y against a base segment x.
+RegressionResult Fit(ErrorMetric metric, std::span<const double> x,
+                     std::span<const double> y,
+                     double relative_floor);
+
+/// Fits y ~ a * t + b against the time index t = 0..len-1 (the "standard
+/// linear regression" fall-back of Algorithm 2), under the given metric.
+RegressionResult FitTime(ErrorMetric metric, std::span<const double> y,
+                         double relative_floor);
+
+/// Evaluates the error of a *given* line y' = a x + b under the metric
+/// (used by tests and by the decoder-side quality reporting).
+double EvaluateLine(ErrorMetric metric, std::span<const double> x,
+                    std::span<const double> y, double a, double b,
+                    double relative_floor);
+
+/// Result of the quadratic (non-linear) encoding extension of the paper's
+/// Section 6: y' = a * x + b + c * x^2.
+struct QuadraticResult {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+  double err = 0.0;
+};
+
+/// Least-squares quadratic fit y ~ a x + b + c x^2 (SSE metric; the
+/// quadratic extension is defined for the default metric only).
+/// Falls back to the linear fit when the 3x3 normal equations are
+/// ill-conditioned, so it is never worse than FitSse.
+QuadraticResult FitQuadratic(std::span<const double> x,
+                             std::span<const double> y);
+
+/// Quadratic-in-time fall-back: y ~ a t + b + c t^2, t = 0..len-1.
+QuadraticResult FitTimeQuadratic(std::span<const double> y);
+
+}  // namespace sbr::core
+
+#endif  // SBR_CORE_REGRESSION_H_

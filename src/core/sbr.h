@@ -1,0 +1,22 @@
+// Umbrella header for the SBR core library: include this to get the full
+// encoder/decoder pipeline and every building block (regression kernels,
+// BestMap, GetIntervals, GetBase, Search, the base-signal buffer and the
+// transmission wire format).
+#ifndef SBR_CORE_SBR_H_
+#define SBR_CORE_SBR_H_
+
+#include "core/adaptive.h"        // IWYU pragma: export
+#include "core/base_signal.h"     // IWYU pragma: export
+#include "core/best_map.h"        // IWYU pragma: export
+#include "core/decoder.h"         // IWYU pragma: export
+#include "core/encoder.h"         // IWYU pragma: export
+#include "core/error_metric.h"    // IWYU pragma: export
+#include "core/fixed_base.h"      // IWYU pragma: export
+#include "core/get_base.h"        // IWYU pragma: export
+#include "core/get_intervals.h"   // IWYU pragma: export
+#include "core/interval.h"        // IWYU pragma: export
+#include "core/regression.h"      // IWYU pragma: export
+#include "core/search.h"          // IWYU pragma: export
+#include "core/transmission.h"    // IWYU pragma: export
+
+#endif  // SBR_CORE_SBR_H_

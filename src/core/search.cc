@@ -1,0 +1,94 @@
+#include "core/search.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sbr::core {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class Prober {
+ public:
+  explicit Prober(const SearchContext& ctx)
+      : ctx_(ctx),
+        errors_(ctx.candidates->size() + 1, kNan) {}
+
+  // Memoized Algorithm 6: total error with the first `pos` candidates
+  // appended to the current base signal.
+  double Error(size_t pos) {
+    assert(pos < errors_.size());
+    if (!std::isnan(errors_[pos])) return errors_[pos];
+    ++probes_;
+    const size_t insert_cost = pos * (ctx_.w + 1);
+    if (insert_cost >= ctx_.total_band) {
+      return errors_[pos] = kInf;
+    }
+    const size_t budget = ctx_.total_band - insert_cost;
+
+    std::vector<double> trial(ctx_.current_base.begin(),
+                              ctx_.current_base.end());
+    for (size_t i = 0; i < pos; ++i) {
+      const auto& vals = (*ctx_.candidates)[i].values;
+      trial.insert(trial.end(), vals.begin(), vals.end());
+    }
+    auto approx =
+        ctx_.row_lengths.empty()
+            ? GetIntervals(trial, ctx_.y, ctx_.num_signals, budget, ctx_.w,
+                           ctx_.get_intervals)
+            : GetIntervalsMultiRate(trial, ctx_.y, ctx_.row_lengths, budget,
+                                    ctx_.w, ctx_.get_intervals);
+    return errors_[pos] = approx.ok() ? approx->total_error : kInf;
+  }
+
+  size_t probes() const { return probes_; }
+  std::vector<double> TakeErrors() { return std::move(errors_); }
+
+ private:
+  const SearchContext& ctx_;
+  std::vector<double> errors_;
+  size_t probes_ = 0;
+};
+
+// Algorithm 7, verbatim structure. Returns the position of a local (and,
+// under the unimodality assumption, global) minimum in [start, end].
+size_t Search(Prober& prober, size_t start, size_t end) {
+  if (end == start) return start;
+  const size_t middle = (start + end) / 2;
+  const double e_middle = prober.Error(middle);
+  const double e_start = prober.Error(start);
+  if (e_middle > e_start) {
+    const double e_end = prober.Error(end);
+    if (e_end > e_start) {
+      return Search(prober, start, middle);
+    }
+    return Search(prober, middle, end);
+  }
+  const double e_next = prober.Error(middle + 1);
+  if (e_next < e_middle) {
+    return Search(prober, middle + 1, end);
+  }
+  return Search(prober, start, middle);
+}
+
+}  // namespace
+
+SearchResult SearchInsertCount(const SearchContext& ctx) {
+  assert(ctx.candidates != nullptr);
+  Prober prober(ctx);
+  SearchResult result;
+  result.ins = Search(prober, 0, ctx.candidates->size());
+  // Guard the unimodality assumption: never return a position whose error
+  // is infinite (budget exhausted) or worse than inserting nothing.
+  if (!(prober.Error(result.ins) < kInf) ||
+      prober.Error(result.ins) > prober.Error(0)) {
+    result.ins = 0;
+  }
+  result.probes = prober.probes();
+  result.errors = prober.TakeErrors();
+  return result;
+}
+
+}  // namespace sbr::core

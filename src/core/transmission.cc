@@ -1,0 +1,146 @@
+#include "core/transmission.h"
+
+namespace sbr::core {
+
+size_t Transmission::ValueCount() const {
+  size_t per_interval = base_kind == BaseKind::kNone ? 3 : 4;
+  if (quadratic) ++per_interval;
+  size_t total = intervals.size() * per_interval;
+  for (const BaseUpdate& bu : base_updates) {
+    total += bu.values.size() + 1;
+  }
+  return total;
+}
+
+size_t Transmission::TotalSamples() const {
+  if (signal_lengths.empty()) {
+    return static_cast<size_t>(num_signals) * chunk_len;
+  }
+  size_t total = 0;
+  for (uint32_t len : signal_lengths) total += len;
+  return total;
+}
+
+namespace {
+
+void PutValue(BinaryWriter* writer, WirePrecision precision, double v) {
+  if (precision == WirePrecision::kFloat32) {
+    writer->PutF32(v);
+  } else {
+    writer->PutDouble(v);
+  }
+}
+
+Status GetValue(BinaryReader* reader, WirePrecision precision, double* v) {
+  return precision == WirePrecision::kFloat32 ? reader->GetF32(v)
+                                              : reader->GetDouble(v);
+}
+
+}  // namespace
+
+void Transmission::Serialize(BinaryWriter* writer) const {
+  writer->PutU32(num_signals);
+  writer->PutU32(chunk_len);
+  writer->PutU32(static_cast<uint32_t>(signal_lengths.size()));
+  for (uint32_t len : signal_lengths) writer->PutU32(len);
+  writer->PutU32(w);
+  writer->PutU8(static_cast<uint8_t>(base_kind));
+  writer->PutU8(quadratic ? 1 : 0);
+  writer->PutU8(static_cast<uint8_t>(precision));
+  writer->PutU32(static_cast<uint32_t>(base_updates.size()));
+  for (const BaseUpdate& bu : base_updates) {
+    writer->PutU32(bu.slot);
+    writer->PutU32(static_cast<uint32_t>(bu.values.size()));
+    for (double v : bu.values) PutValue(writer, precision, v);
+  }
+  writer->PutU32(static_cast<uint32_t>(intervals.size()));
+  for (const IntervalRecord& iv : intervals) {
+    writer->PutU32(iv.start);
+    writer->PutU32(static_cast<uint32_t>(iv.shift));
+    PutValue(writer, precision, iv.a);
+    PutValue(writer, precision, iv.b);
+    if (quadratic) PutValue(writer, precision, iv.c);
+  }
+}
+
+StatusOr<Transmission> Transmission::Deserialize(BinaryReader* reader) {
+  Transmission t;
+  SBR_RETURN_IF_ERROR(reader->GetU32(&t.num_signals));
+  SBR_RETURN_IF_ERROR(reader->GetU32(&t.chunk_len));
+  uint32_t num_lengths;
+  SBR_RETURN_IF_ERROR(reader->GetU32(&num_lengths));
+  if (num_lengths != 0 && num_lengths != t.num_signals) {
+    return Status::DataLoss("signal_lengths count mismatch");
+  }
+  // Guard allocations against corrupted counts: every entry needs at
+  // least 4 more bytes of input.
+  if (static_cast<size_t>(num_lengths) * 4 > reader->remaining()) {
+    return Status::DataLoss("signal_lengths count exceeds input");
+  }
+  t.signal_lengths.resize(num_lengths);
+  for (auto& len : t.signal_lengths) {
+    SBR_RETURN_IF_ERROR(reader->GetU32(&len));
+  }
+  SBR_RETURN_IF_ERROR(reader->GetU32(&t.w));
+  uint8_t kind;
+  SBR_RETURN_IF_ERROR(reader->GetU8(&kind));
+  if (kind > static_cast<uint8_t>(BaseKind::kNone)) {
+    return Status::DataLoss("invalid base kind " + std::to_string(kind));
+  }
+  t.base_kind = static_cast<BaseKind>(kind);
+  uint8_t quad;
+  SBR_RETURN_IF_ERROR(reader->GetU8(&quad));
+  if (quad > 1) {
+    return Status::DataLoss("invalid quadratic flag " + std::to_string(quad));
+  }
+  t.quadratic = quad == 1;
+  uint8_t precision;
+  SBR_RETURN_IF_ERROR(reader->GetU8(&precision));
+  if (precision > static_cast<uint8_t>(WirePrecision::kFloat32)) {
+    return Status::DataLoss("invalid wire precision " +
+                            std::to_string(precision));
+  }
+  t.precision = static_cast<WirePrecision>(precision);
+
+  uint32_t num_updates;
+  SBR_RETURN_IF_ERROR(reader->GetU32(&num_updates));
+  // Each update carries at least a slot id and a length prefix (8 bytes).
+  if (static_cast<size_t>(num_updates) * 8 > reader->remaining()) {
+    return Status::DataLoss("base update count exceeds input");
+  }
+  t.base_updates.resize(num_updates);
+  for (auto& bu : t.base_updates) {
+    SBR_RETURN_IF_ERROR(reader->GetU32(&bu.slot));
+    uint32_t len;
+    SBR_RETURN_IF_ERROR(reader->GetU32(&len));
+    if (static_cast<size_t>(len) * 4 > reader->remaining()) {
+      return Status::DataLoss("base update length exceeds input");
+    }
+    bu.values.resize(len);
+    for (auto& v : bu.values) {
+      SBR_RETURN_IF_ERROR(GetValue(reader, t.precision, &v));
+    }
+  }
+
+  uint32_t num_intervals;
+  SBR_RETURN_IF_ERROR(reader->GetU32(&num_intervals));
+  // Each interval record is at least 16 bytes on the wire (f32 mode).
+  if (static_cast<size_t>(num_intervals) * 16 > reader->remaining()) {
+    return Status::DataLoss("interval count exceeds input");
+  }
+  t.intervals.resize(num_intervals);
+  for (auto& iv : t.intervals) {
+    SBR_RETURN_IF_ERROR(reader->GetU32(&iv.start));
+    uint32_t shift;
+    SBR_RETURN_IF_ERROR(reader->GetU32(&shift));
+    iv.shift = static_cast<int32_t>(shift);
+    SBR_RETURN_IF_ERROR(GetValue(reader, t.precision, &iv.a));
+    SBR_RETURN_IF_ERROR(GetValue(reader, t.precision, &iv.b));
+    if (t.quadratic) {
+      SBR_RETURN_IF_ERROR(GetValue(reader, t.precision, &iv.c));
+    }
+  }
+  return t;
+}
+
+}  // namespace sbr::core

@@ -1,0 +1,99 @@
+// The wire format of one sensor-to-base-station transmission (paper
+// Section 3.2 / Figure 1): the newly inserted base intervals with their
+// slot positions, followed by the interval records approximating the data
+// chunk. Value accounting (how many of the TotalBand "values" each part
+// consumes) lives here so encoder, decoder, benches and the network
+// simulator all agree.
+#ifndef SBR_CORE_TRANSMISSION_H_
+#define SBR_CORE_TRANSMISSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace sbr::core {
+
+/// How the decoder obtains the base signal.
+enum class BaseKind : uint8_t {
+  /// Slots are populated via BaseUpdate records (GetBase / SVD bases).
+  kStored = 0,
+  /// The base is the fixed DCT cosine dictionary, regenerated locally;
+  /// nothing is transmitted or stored against M_base.
+  kDctFixed = 1,
+  /// No base signal: every interval uses the linear-in-time encoding and
+  /// interval records carry no shift (3 values each).
+  kNone = 2,
+};
+
+/// Wire precision for coefficients and base-signal values. kFloat32 is
+/// the "compact" mode matching the paper's 32-bit value accounting (and
+/// the energy model's default bits_per_value = 32); kFloat64 is lossless
+/// with respect to the encoder's arithmetic.
+enum class WirePrecision : uint8_t {
+  kFloat64 = 0,
+  kFloat32 = 1,
+};
+
+/// One base-signal slot write: `w` values placed at slot `slot`.
+struct BaseUpdate {
+  uint32_t slot = 0;
+  std::vector<double> values;
+};
+
+/// One approximation interval as transmitted: the interval length is not
+/// sent; the receiver sorts records by start and infers lengths from the
+/// gaps (paper Section 4.2).
+struct IntervalRecord {
+  uint32_t start = 0;
+  int32_t shift = -1;  ///< -1 = linear-in-time fall-back
+  double a = 0.0;
+  double b = 0.0;
+  /// Quadratic coefficient; only transmitted when Transmission::quadratic
+  /// is set (the Section 6 non-linear encoding extension).
+  double c = 0.0;
+};
+
+/// One transmission.
+struct Transmission {
+  /// Geometry header, validated by the decoder.
+  uint32_t num_signals = 0;
+  uint32_t chunk_len = 0;  ///< M: values per signal in this chunk
+  /// Multi-rate chunks: when non-empty (size == num_signals), per-signal
+  /// lengths replace the uniform chunk_len (which is then 0).
+  std::vector<uint32_t> signal_lengths;
+  uint32_t w = 0;          ///< base-interval width
+  BaseKind base_kind = BaseKind::kStored;
+  /// Quadratic-encoding extension: interval records carry a third
+  /// coefficient and cost one extra value each.
+  bool quadratic = false;
+  /// Wire precision for doubles (see WirePrecision).
+  WirePrecision precision = WirePrecision::kFloat64;
+
+  std::vector<BaseUpdate> base_updates;
+  std::vector<IntervalRecord> intervals;
+
+  /// Abstract transmission size in "values" (the unit of TotalBand):
+  /// (w + 1) per base update, 4 per interval with a shift pointer
+  /// (5 when quadratic), 3 per interval when base_kind == kNone
+  /// (4 when quadratic).
+  size_t ValueCount() const;
+
+  /// Total values in the chunk this transmission encodes.
+  size_t TotalSamples() const;
+
+  /// Bits on the air under the declared precision (ValueCount values of
+  /// 32 or 64 bits each) — what the radio energy model charges for.
+  size_t WireBits() const {
+    return ValueCount() * (precision == WirePrecision::kFloat32 ? 32 : 64);
+  }
+
+  /// Binary wire encoding.
+  void Serialize(BinaryWriter* writer) const;
+  static StatusOr<Transmission> Deserialize(BinaryReader* reader);
+};
+
+}  // namespace sbr::core
+
+#endif  // SBR_CORE_TRANSMISSION_H_

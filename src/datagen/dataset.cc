@@ -1,0 +1,81 @@
+#include "datagen/dataset.h"
+
+#include <cassert>
+
+namespace sbr::datagen {
+
+linalg::Matrix Dataset::Chunk(size_t c, size_t chunk_len) const {
+  assert(c < NumChunks(chunk_len));
+  linalg::Matrix out(num_signals(), chunk_len);
+  for (size_t r = 0; r < num_signals(); ++r) {
+    for (size_t j = 0; j < chunk_len; ++j) {
+      out(r, j) = values(r, c * chunk_len + j);
+    }
+  }
+  return out;
+}
+
+Dataset Dataset::SelectSignals(const std::vector<size_t>& rows,
+                               const std::string& new_name) const {
+  Dataset out;
+  out.name = new_name;
+  out.values = linalg::Matrix(rows.size(), length());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i] < num_signals());
+    out.signal_names.push_back(signal_names[rows[i]]);
+    for (size_t j = 0; j < length(); ++j) {
+      out.values(i, j) = values(rows[i], j);
+    }
+  }
+  return out;
+}
+
+Dataset Dataset::Truncate(size_t len) const {
+  assert(len <= length());
+  Dataset out;
+  out.name = name;
+  out.signal_names = signal_names;
+  out.values = linalg::Matrix(num_signals(), len);
+  for (size_t r = 0; r < num_signals(); ++r) {
+    for (size_t j = 0; j < len; ++j) out.values(r, j) = values(r, j);
+  }
+  return out;
+}
+
+StatusOr<Dataset> Concatenate(const std::vector<Dataset>& parts,
+                              const std::string& name) {
+  if (parts.empty()) return Status::InvalidArgument("no datasets to combine");
+  const size_t len = parts[0].length();
+  size_t total_rows = 0;
+  for (const auto& p : parts) {
+    if (p.length() != len) {
+      return Status::InvalidArgument("dataset '" + p.name + "' has length " +
+                                     std::to_string(p.length()) +
+                                     ", expected " + std::to_string(len));
+    }
+    total_rows += p.num_signals();
+  }
+  Dataset out;
+  out.name = name;
+  out.values = linalg::Matrix(total_rows, len);
+  size_t row = 0;
+  for (const auto& p : parts) {
+    for (size_t r = 0; r < p.num_signals(); ++r, ++row) {
+      out.signal_names.push_back(p.name + "/" + p.signal_names[r]);
+      for (size_t j = 0; j < len; ++j) out.values(row, j) = p.values(r, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ConcatRows(const linalg::Matrix& chunk) {
+  std::vector<double> out;
+  out.reserve(chunk.rows() * chunk.cols());
+  for (size_t r = 0; r < chunk.rows(); ++r) {
+    const auto row = chunk.Row(r);
+    out.insert(out.end(), row.begin(), row.end());
+  }
+  return out;
+}
+
+}  // namespace sbr::datagen

@@ -1,0 +1,56 @@
+// Multi-signal dataset container: N named time series of equal length,
+// with helpers for splitting into the fixed-size chunks ("files" in the
+// paper's terminology) that a sensor transmits one at a time.
+#ifndef SBR_DATAGEN_DATASET_H_
+#define SBR_DATAGEN_DATASET_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace sbr::datagen {
+
+/// N aligned time series of equal length. Row i of `values` is signal i.
+struct Dataset {
+  std::string name;
+  std::vector<std::string> signal_names;
+  linalg::Matrix values;
+
+  size_t num_signals() const { return values.rows(); }
+  size_t length() const { return values.cols(); }
+
+  /// Signal row as a span.
+  std::span<const double> Signal(size_t i) const { return values.Row(i); }
+
+  /// Number of whole chunks of `chunk_len` columns.
+  size_t NumChunks(size_t chunk_len) const {
+    return chunk_len == 0 ? 0 : length() / chunk_len;
+  }
+
+  /// Extracts chunk `c`: an N x chunk_len matrix of columns
+  /// [c * chunk_len, (c+1) * chunk_len). Asserts the chunk exists.
+  linalg::Matrix Chunk(size_t c, size_t chunk_len) const;
+
+  /// Returns a new dataset containing the selected signal rows, in order.
+  Dataset SelectSignals(const std::vector<size_t>& rows,
+                        const std::string& new_name) const;
+
+  /// Returns a new dataset truncated to the first `len` columns.
+  Dataset Truncate(size_t len) const;
+};
+
+/// Stacks datasets vertically (same length required); used to build the
+/// paper's Mixed dataset out of phone + weather + stock rows.
+StatusOr<Dataset> Concatenate(const std::vector<Dataset>& parts,
+                              const std::string& name);
+
+/// Flattens an N x M chunk into the single concatenated series
+/// Y = Y_1 . Y_2 ... Y_N that the approximation algorithms operate on.
+std::vector<double> ConcatRows(const linalg::Matrix& chunk);
+
+}  // namespace sbr::datagen
+
+#endif  // SBR_DATAGEN_DATASET_H_

@@ -1,0 +1,31 @@
+// The paper's Mixed dataset (Section 5.1.2): three phone-call states
+// (AZ, CA, FL), three weather quantities (air temperature, humidity
+// standing in for pressure availability, solar irradiance) and three stocks
+// (MSFT, INTC, ORCL), each contributing series of equal length. Cross-
+// domain correlations are intentionally weak; the experiment measures how
+// gracefully each method degrades.
+#ifndef SBR_DATAGEN_MIXED_H_
+#define SBR_DATAGEN_MIXED_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "datagen/dataset.h"
+
+namespace sbr::datagen {
+
+/// Tuning knobs for the mixed dataset.
+struct MixedOptions {
+  size_t length = 20480;  ///< samples per series (10 chunks of 2048)
+  uint64_t seed = 777;    ///< RNG seed offset applied to all three sources
+};
+
+/// Number of series in the mixed dataset (3 + 3 + 3).
+inline constexpr size_t kNumMixedSignals = 9;
+
+/// Generates the 9-signal mixed dataset.
+Dataset GenerateMixed(const MixedOptions& options);
+
+}  // namespace sbr::datagen
+
+#endif  // SBR_DATAGEN_MIXED_H_

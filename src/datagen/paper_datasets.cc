@@ -1,0 +1,74 @@
+#include "datagen/paper_datasets.h"
+
+#include "datagen/mixed.h"
+#include "datagen/phonecall.h"
+#include "datagen/stock.h"
+#include "datagen/weather.h"
+
+namespace sbr::datagen {
+
+ExperimentSetup PaperWeatherSetup() {
+  WeatherOptions opts;
+  opts.length = 40960;  // 10 chunks of 4096
+  opts.seed = 2002;
+  return {GenerateWeather(opts), /*chunk_len=*/4096, /*m_base=*/3456,
+          /*num_chunks=*/10};
+}
+
+ExperimentSetup PaperStockSetup() {
+  StockOptions opts;
+  opts.length = 20480;  // 10 chunks of 2048
+  opts.seed = 2000;
+  return {GenerateStock(opts), /*chunk_len=*/2048, /*m_base=*/2048,
+          /*num_chunks=*/10};
+}
+
+ExperimentSetup PaperPhoneSetup() {
+  PhoneCallOptions opts;
+  opts.length = 25600;  // 10 chunks of 2560
+  opts.seed = 1999;
+  return {GeneratePhoneCalls(opts), /*chunk_len=*/2560, /*m_base=*/2048,
+          /*num_chunks=*/10};
+}
+
+ExperimentSetup PaperMixedSetup() {
+  MixedOptions opts;
+  opts.length = 20480;  // 10 chunks of 2048
+  opts.seed = 777;
+  return {GenerateMixed(opts), /*chunk_len=*/2048, /*m_base=*/2048,
+          /*num_chunks=*/10};
+}
+
+ExperimentSetup Fig6WeatherSetup() {
+  WeatherOptions opts;
+  opts.length = 51200;  // 10 chunks of 5120; n = 6 * 5120 = 30720
+  opts.seed = 2002;
+  return {GenerateWeather(opts), /*chunk_len=*/5120, /*m_base=*/3456,
+          /*num_chunks=*/10};
+}
+
+ExperimentSetup Fig6StockSetup() {
+  StockOptions opts;
+  opts.length = 30720;  // 10 chunks of 3072; n = 10 * 3072 = 30720
+  opts.seed = 2000;
+  return {GenerateStock(opts), /*chunk_len=*/3072, /*m_base=*/2048,
+          /*num_chunks=*/10};
+}
+
+ExperimentSetup Fig6PhoneSetup() {
+  PhoneCallOptions opts;
+  opts.length = 20480;  // 10 chunks of 2048; n = 15 * 2048 = 30720
+  opts.seed = 1999;
+  return {GeneratePhoneCalls(opts), /*chunk_len=*/2048, /*m_base=*/2048,
+          /*num_chunks=*/10};
+}
+
+ExperimentSetup Fig5StockSetup(size_t m_per_signal) {
+  StockOptions opts;
+  opts.length = m_per_signal * 10;  // keep 10 transmissions for averaging
+  opts.seed = 2000;
+  return {GenerateStock(opts), /*chunk_len=*/m_per_signal, /*m_base=*/1024,
+          /*num_chunks=*/10};
+}
+
+}  // namespace sbr::datagen

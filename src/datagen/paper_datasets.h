@@ -1,0 +1,52 @@
+// Fixed-seed dataset configurations matching each experiment in the paper's
+// Section 5. Benches and integration tests all construct their inputs
+// through these helpers so results are reproducible run to run.
+#ifndef SBR_DATAGEN_PAPER_DATASETS_H_
+#define SBR_DATAGEN_PAPER_DATASETS_H_
+
+#include <cstddef>
+
+#include "datagen/dataset.h"
+
+namespace sbr::datagen {
+
+/// A dataset plus the transmission geometry the paper pairs it with.
+struct ExperimentSetup {
+  Dataset dataset;
+  size_t chunk_len = 0;  ///< M: values per signal per transmission
+  size_t m_base = 0;     ///< base-signal buffer capacity in values
+  size_t num_chunks = 0; ///< number of transmissions simulated
+};
+
+/// Weather setup of Tables 2/5/6: N=6 signals, 10 chunks of M=4096,
+/// M_base=3456.
+ExperimentSetup PaperWeatherSetup();
+
+/// Stock setup of Tables 2/5/6: N=10 tickers, 10 chunks of M=2048,
+/// M_base=2048.
+ExperimentSetup PaperStockSetup();
+
+/// Phone-call setup of Tables 3/5/6: N=15 states, 10 chunks of M=2560,
+/// M_base=2048.
+ExperimentSetup PaperPhoneSetup();
+
+/// Mixed setup of Table 4: N=9 series, 10 chunks of M=2048, M_base=2048.
+ExperimentSetup PaperMixedSetup();
+
+/// Figure 6 / Table 6 equal-size setups: every dataset has the same
+/// per-chunk footprint n = N * M (stock M=3072, phone M=2048,
+/// weather M=5120) and TotalBand=5012 (~16% ratio).
+ExperimentSetup Fig6WeatherSetup();
+ExperimentSetup Fig6StockSetup();
+ExperimentSetup Fig6PhoneSetup();
+
+/// TotalBand used by the Figure 6 / Table 6 experiments.
+inline constexpr size_t kFig6TotalBand = 5012;
+
+/// Stock data sized for the Figure 5 timing sweep: 10 tickers, chunks of
+/// M in {512, 1024, 1536, 2048} -> n in {5120, ..., 20480}, M_base=1024.
+ExperimentSetup Fig5StockSetup(size_t m_per_signal);
+
+}  // namespace sbr::datagen
+
+#endif  // SBR_DATAGEN_PAPER_DATASETS_H_

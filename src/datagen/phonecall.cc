@@ -1,0 +1,98 @@
+#include "datagen/phonecall.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace sbr::datagen {
+namespace {
+
+constexpr size_t kMinutesPerDay = 1440;
+
+struct StateSpec {
+  const char* name;
+  double scale;  // relative call volume (population / business activity)
+};
+
+// The 15 states in the paper, with rough relative traffic scales.
+constexpr std::array<StateSpec, kNumPhoneStates> kStates = {{
+    {"AZ", 140.0}, {"CA", 900.0}, {"CO", 130.0}, {"CT", 110.0},
+    {"FL", 450.0}, {"GA", 230.0}, {"IL", 360.0}, {"IN", 170.0},
+    {"MD", 150.0}, {"MN", 140.0}, {"MO", 160.0}, {"NJ", 250.0},
+    {"NY", 560.0}, {"TX", 600.0}, {"WA", 170.0},
+}};
+
+// Piecewise diurnal profile (fraction of peak) sampled on the hour and
+// interpolated: near-silent overnight, business-hours plateau, evening
+// residential bump.
+constexpr std::array<double, 24> kHourShape = {
+    0.04, 0.03, 0.02, 0.02, 0.03, 0.06, 0.14, 0.34, 0.62, 0.85,
+    0.97, 1.00, 0.93, 0.96, 0.98, 0.92, 0.80, 0.66, 0.52, 0.44,
+    0.36, 0.24, 0.13, 0.07};
+
+double DayShape(size_t minute_of_day) {
+  const size_t hour = minute_of_day / 60;
+  const size_t next = (hour + 1) % 24;
+  const double frac = static_cast<double>(minute_of_day % 60) / 60.0;
+  return kHourShape[hour] * (1.0 - frac) + kHourShape[next] * frac;
+}
+
+double WeekFactor(size_t day_of_week) {
+  // Weekdays full volume, Saturday/Sunday reduced.
+  switch (day_of_week) {
+    case 5:
+      return 0.55;  // Saturday
+    case 6:
+      return 0.45;  // Sunday
+    default:
+      return 1.0;
+  }
+}
+
+}  // namespace
+
+Dataset GeneratePhoneCalls(const PhoneCallOptions& options) {
+  const size_t n = options.length;
+  Rng rng(options.seed);
+
+  Dataset ds;
+  ds.name = "phone";
+  ds.values = linalg::Matrix(kNumPhoneStates, n);
+  for (const auto& s : kStates) ds.signal_names.emplace_back(s.name);
+
+  // Per-state slowly varying modulation (regional events, weather) and
+  // occasional short bursts (mass call-ins) shared with nobody.
+  std::array<double, kNumPhoneStates> modulation{};
+  std::array<int, kNumPhoneStates> burst_left{};
+  std::array<double, kNumPhoneStates> burst_gain{};
+  modulation.fill(1.0);
+  burst_left.fill(0);
+  burst_gain.fill(1.0);
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t minute_of_day = i % kMinutesPerDay;
+    const size_t day = i / kMinutesPerDay;
+    const double shape = DayShape(minute_of_day) * WeekFactor(day % 7);
+    for (size_t k = 0; k < kNumPhoneStates; ++k) {
+      modulation[k] = 0.9995 * modulation[k] + 0.0005 * 1.0 +
+                      rng.Gaussian(0.0, 0.002 * options.noise_scale);
+      modulation[k] = std::clamp(modulation[k], 0.6, 1.5);
+      if (burst_left[k] > 0) {
+        --burst_left[k];
+      } else if (rng.NextDouble() < options.burst_rate) {
+        burst_left[k] = static_cast<int>(rng.UniformInt(8, 40));
+        burst_gain[k] = rng.Uniform(1.3, 2.2);
+      }
+      const double gain = burst_left[k] > 0 ? burst_gain[k] : 1.0;
+      const double rate =
+          std::max(0.5, kStates[k].scale * shape * modulation[k] * gain);
+      ds.values(k, i) = static_cast<double>(rng.Poisson(rate));
+    }
+  }
+  return ds;
+}
+
+}  // namespace sbr::datagen

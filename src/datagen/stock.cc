@@ -1,0 +1,78 @@
+#include "datagen/stock.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sbr::datagen {
+namespace {
+
+struct TickerSpec {
+  const char* name;
+  double base_price;  // price level in April-2000 dollars
+  double beta;        // loading on the market factor
+  int sector;         // 0 = software, 1 = hardware, 2 = telecom/other
+  double gamma;       // loading on the sector factor
+};
+
+// The ten tickers the paper extracts from the trade data.
+constexpr std::array<TickerSpec, kNumStockTickers> kTickers = {{
+    {"MSFT", 90.0, 1.00, 0, 0.9},
+    {"ORCL", 78.0, 1.10, 0, 1.0},
+    {"INTC", 130.0, 0.95, 1, 1.0},
+    {"DELL", 52.0, 1.05, 1, 0.9},
+    {"YHOO", 170.0, 1.45, 0, 1.2},
+    {"NOK", 55.0, 0.90, 2, 1.0},
+    {"CSCO", 72.0, 1.15, 1, 1.1},
+    {"WCOM", 44.0, 1.20, 2, 1.2},
+    {"ARBA", 105.0, 1.60, 0, 1.4},
+    {"LGTO", 38.0, 1.30, 0, 1.1},
+}};
+
+}  // namespace
+
+Dataset GenerateStock(const StockOptions& options) {
+  const size_t n = options.length;
+  Rng rng(options.seed);
+
+  Dataset ds;
+  ds.name = "stock";
+  ds.values = linalg::Matrix(kNumStockTickers, n);
+  for (const auto& t : kTickers) ds.signal_names.emplace_back(t.name);
+
+  double market = 0.0;
+  std::array<double, 3> sectors = {0.0, 0.0, 0.0};
+  std::array<double, kNumStockTickers> idio{};
+
+  // Mild mean reversion keeps log-prices bounded over long runs while still
+  // producing the multi-hour drifts visible in real trade feeds.
+  for (size_t i = 0; i < n; ++i) {
+    market = 0.99995 * market + rng.Gaussian(0.0, options.market_vol);
+    // Market-wide jumps (news shocks): rare step moves that hit every
+    // ticker at the same instant — the within-window discontinuities that
+    // make the April-2000 trade feeds piecewise-correlated across stocks.
+    if (rng.NextDouble() < 0.0012) {
+      market += rng.Gaussian(0.0, 18.0 * options.market_vol);
+    }
+    for (auto& s : sectors) {
+      s = 0.9999 * s + rng.Gaussian(0.0, options.sector_vol);
+    }
+    for (size_t k = 0; k < kTickers.size(); ++k) {
+      const TickerSpec& spec = kTickers[k];
+      idio[k] = 0.9995 * idio[k] + rng.Gaussian(0.0, options.idio_vol);
+      const double log_ret = spec.beta * market +
+                             spec.gamma * sectors[spec.sector] + idio[k];
+      // Trade value = price plus per-trade microstructure jitter (odd lots,
+      // spread bounce), which is what the paper's "trade value" measures.
+      const double price = spec.base_price * std::exp(log_ret);
+      const double jitter = rng.Gaussian(0.0, 0.0004 * spec.base_price);
+      // April-2000 US equities traded in sixteenths of a dollar; trade
+      // values are staircases on that tick grid.
+      ds.values(k, i) = std::round((price + jitter) * 16.0) / 16.0;
+    }
+  }
+  return ds;
+}
+
+}  // namespace sbr::datagen

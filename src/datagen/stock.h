@@ -1,0 +1,37 @@
+// Synthetic per-minute stock trade values standing in for the paper's
+// April 2000 NASDAQ/NYSE trades (DESIGN.md section 4). Each ticker is a
+// geometric process driven by a shared market factor, a sector factor and
+// idiosyncratic noise, then sampled like the paper's "random sample of
+// 20,480 trade values": smooth piecewise trends, strong co-movement, few
+// repeating features.
+#ifndef SBR_DATAGEN_STOCK_H_
+#define SBR_DATAGEN_STOCK_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "datagen/dataset.h"
+
+namespace sbr::datagen {
+
+/// Tuning knobs for the stock generator.
+struct StockOptions {
+  size_t length = 20480;   ///< samples per ticker
+  uint64_t seed = 2000;    ///< RNG seed
+  /// Volatility split mimics the April-2000 sampling window: the market
+  /// factor (the NASDAQ sell-off) dominates, so the ten tickers are
+  /// near-affine copies of one rough common path.
+  double market_vol = 0.0040;  ///< per-step market factor volatility
+  double sector_vol = 0.0018;  ///< per-step sector factor volatility
+  double idio_vol = 0.0007;    ///< per-step idiosyncratic volatility
+};
+
+/// The ten tickers used by the paper's stock experiments.
+inline constexpr size_t kNumStockTickers = 10;
+
+/// Generates the 10-ticker trade-value dataset.
+Dataset GenerateStock(const StockOptions& options);
+
+}  // namespace sbr::datagen
+
+#endif  // SBR_DATAGEN_STOCK_H_

@@ -1,0 +1,188 @@
+#include "datagen/weather.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace sbr::datagen {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// Asymmetric diurnal temperature shape: fast morning rise, slow evening
+// decay — the sawtooth-like profile of real stations, harmonically rich
+// enough that no small orthogonal basis captures it.
+double DiurnalTempShape(double frac_of_day) {
+  // frac in [0, 1), 0 = midnight. Minimum at ~05:00, peak at ~15:00.
+  const double t = frac_of_day;
+  if (t < 5.0 / 24.0) {
+    return -1.0 + 0.3 * std::cos(kTwoPi * t);  // slow pre-dawn cooling
+  }
+  if (t < 15.0 / 24.0) {
+    // Rapid warm-up over 10 hours with a sharp late-morning knee.
+    const double u = (t - 5.0 / 24.0) / (10.0 / 24.0);
+    return -1.0 + 2.0 * std::pow(u, 0.7);
+  }
+  // Slow decay into the night.
+  const double u = (t - 15.0 / 24.0) / (9.0 / 24.0);
+  return 1.0 - 2.0 * std::pow(u, 1.6) * 0.9;
+}
+
+}  // namespace
+
+Dataset GenerateWeather(const WeatherOptions& options) {
+  const size_t n = options.length;
+  const double spd = static_cast<double>(options.samples_per_day);
+  Rng rng(options.seed);
+
+  Dataset ds;
+  ds.name = "weather";
+  ds.signal_names = {"air_temp", "dewpoint", "wind_speed",
+                     "wind_peak", "solar",    "humidity"};
+  ds.values = linalg::Matrix(6, n);
+
+  // Slowly varying stochastic states shared across quantities.
+  double temp_ar = 0.0;    // synoptic temperature anomaly (weather fronts)
+  double wind_ar = 3.0;    // mean wind level
+  double spread_ar = 3.0;  // temperature-dewpoint spread
+  double gust_ar = 0.5;    // slowly varying gust offset (wind peak channel)
+
+  // Day-scale regimes: each day is clear, broken (passing clouds) or
+  // overcast. Regime changes are sharp and localized — the kind of
+  // repeated-but-not-orthogonalizable structure real stations exhibit.
+  int day_regime = 0;          // 0 clear, 1 broken, 2 overcast
+  double regime_cloud = 0.1;   // base cloudiness of the current regime
+  // Passing-cloud transient state (for "broken" days).
+  int cloud_burst_left = 0;
+  double cloud_burst_depth = 0.0;
+  // Frontal passage event: a sharp multi-quantity disturbance lasting a
+  // few hours (temperature crash, humidity spike, wind burst).
+  int front_left = 0;
+  double front_intensity = 0.0;
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t sample_of_day = i % options.samples_per_day;
+    const double frac_of_day = static_cast<double>(sample_of_day) / spd;
+    const double season_phase = kTwoPi * static_cast<double>(i) / (spd * 365.0);
+
+    if (sample_of_day == 0) {
+      // Draw the day's regime: persistent-ish Markov chain.
+      const double u = rng.NextDouble();
+      if (day_regime == 0) {
+        day_regime = u < 0.6 ? 0 : (u < 0.85 ? 1 : 2);
+      } else if (day_regime == 1) {
+        day_regime = u < 0.35 ? 0 : (u < 0.75 ? 1 : 2);
+      } else {
+        day_regime = u < 0.2 ? 0 : (u < 0.55 ? 1 : 2);
+      }
+      regime_cloud = day_regime == 0   ? rng.Uniform(0.02, 0.12)
+                     : day_regime == 1 ? rng.Uniform(0.25, 0.45)
+                                       : rng.Uniform(0.7, 0.95);
+    }
+
+    // Passing clouds on broken days: sharp, short dips in irradiance.
+    if (cloud_burst_left > 0) {
+      --cloud_burst_left;
+    } else if (day_regime == 1 && rng.NextDouble() < 0.06) {
+      cloud_burst_left = static_cast<int>(rng.UniformInt(2, 8));
+      cloud_burst_depth = rng.Uniform(0.5, 0.95);
+    }
+    const double cloud =
+        std::clamp(regime_cloud + (cloud_burst_left > 0 ? cloud_burst_depth
+                                                        : 0.0),
+                   0.0, 1.0);
+
+    // Frontal passages: every ~5 days on average, lasting 4-10 hours.
+    if (front_left > 0) {
+      --front_left;
+    } else if (rng.NextDouble() < 1.0 / (5.0 * spd)) {
+      front_left = static_cast<int>(
+          rng.UniformInt(static_cast<int64_t>(spd / 6),
+                         static_cast<int64_t>(spd / 2.4)));
+      front_intensity = rng.Uniform(0.5, 1.0);
+    }
+    const double front = front_left > 0 ? front_intensity : 0.0;
+
+    // Multi-day AR(1) anomalies. Per-sample measurement noise is small —
+    // these are 10-minute averages from a fixed station, so day-to-day
+    // shapes repeat nearly exactly; the variability lives in the regimes
+    // and the synoptic anomalies, not in white noise.
+    temp_ar = 0.999 * temp_ar + rng.Gaussian(0.0, 0.08 * options.noise_scale);
+    wind_ar = 0.998 * wind_ar + 0.002 * 3.0 +
+              rng.Gaussian(0.0, 0.05 * options.noise_scale);
+    wind_ar = std::max(0.2, wind_ar);
+    spread_ar = 0.997 * spread_ar + 0.003 * 3.0 +
+                rng.Gaussian(0.0, 0.03 * options.noise_scale);
+    spread_ar = std::clamp(spread_ar, 0.5, 12.0);
+    gust_ar = 0.98 * gust_ar + rng.Gaussian(0.0, 0.12 * options.noise_scale);
+
+    const double diurnal = DiurnalTempShape(frac_of_day);
+    const double temp = options.mean_temperature_c +
+                        options.seasonal_amplitude_c * std::sin(season_phase) +
+                        options.diurnal_amplitude_c * diurnal *
+                            (1.0 - 0.45 * cloud) -
+                        6.0 * front + temp_ar +
+                        rng.Gaussian(0.0, 0.05 * options.noise_scale);
+
+    // Dewpoint: temperature minus the spread; fronts slam the spread shut
+    // (rain), clear afternoons open it up.
+    const double spread =
+        std::max(0.3, spread_ar * (1.0 - 0.5 * cloud) +
+                          1.2 * std::max(0.0, diurnal) - 2.5 * front);
+    const double dewpoint =
+        temp - spread + rng.Gaussian(0.0, 0.05 * options.noise_scale);
+
+    const double humidity = std::clamp(
+        100.0 - 5.0 * spread + rng.Gaussian(0.0, 0.4 * options.noise_scale),
+        3.0, 100.0);
+
+    // Solar: clipped day-arc with a midday plateau. On clear days the arc
+    // is the same astronomical shape every day (sharp sunrise knee, flat
+    // saturation) with only tiny scatter; broken days carve sharp cloud
+    // notches out of it; overcast days flatten it.
+    const double sun_elev = std::sin(kTwoPi * (frac_of_day - 0.25));
+    const double season_gain = 0.75 + 0.25 * std::sin(season_phase);
+    double solar = 0.0;
+    if (sun_elev > 0.0) {
+      // Airmass attenuation steepens the arc edges: irradiance follows
+      // ~sin(elevation)^1.35 rather than the sine itself, clipped into a
+      // midday plateau. (Deliberately non-sinusoidal: no cosine segment
+      // reproduces it, while yesterday's arc does.)
+      const double arc = std::min(1.0, 1.3 * std::pow(sun_elev, 1.35));
+      const double sky = day_regime == 2 ? 0.18 : 1.0;
+      const double notch =
+          (day_regime == 1 && cloud_burst_left > 0) ? 1.0 - cloud_burst_depth
+                                                    : 1.0;
+      solar = 900.0 * arc * season_gain * sky * notch * (1.0 - 0.9 * front);
+      solar =
+          std::max(0.0, solar + rng.Gaussian(0.0, 1.5 * options.noise_scale));
+    }
+
+    // Wind: daytime convective bump plus a slowly-varying gust offset; the
+    // peak channel tracks the mean channel structurally (real anemometer
+    // pairs are tightly coupled) instead of by per-sample randomness.
+    const double wind = std::max(
+        0.0, wind_ar + 1.2 * std::max(0.0, diurnal) + 6.0 * front +
+                 rng.Gaussian(0.0, 0.15 * options.noise_scale));
+    const double peak = std::max(
+        wind, 1.32 * wind + std::abs(gust_ar) +
+                  rng.Gaussian(0.0, 0.08 * options.noise_scale));
+
+    // Instrument quantization, matching the station's reporting
+    // resolution: temperatures in 0.1 C, wind in 0.1 m/s, irradiance in
+    // 1 W/m^2, relative humidity in integer percent. Real feeds are
+    // staircases at this scale — a property global bases (SVD/DCT) handle
+    // poorly and data exemplars handle naturally.
+    ds.values(0, i) = std::round(temp * 10.0) / 10.0;
+    ds.values(1, i) = std::round(dewpoint * 10.0) / 10.0;
+    ds.values(2, i) = std::round(wind * 10.0) / 10.0;
+    ds.values(3, i) = std::round(peak * 10.0) / 10.0;
+    ds.values(4, i) = std::round(solar);
+    ds.values(5, i) = std::round(humidity);
+  }
+  return ds;
+}
+
+}  // namespace sbr::datagen

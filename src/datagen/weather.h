@@ -1,0 +1,38 @@
+// Synthetic weather-station feed standing in for the paper's University of
+// Washington 2002 dataset (see DESIGN.md section 4). Six quantities sharing
+// diurnal and seasonal drivers:
+//   air temperature, dewpoint temperature, wind speed, wind peak,
+//   solar irradiance, relative humidity.
+// Temperature and dewpoint are strongly correlated, humidity is
+// anti-correlated with the dewpoint spread, wind peak tracks wind speed,
+// and solar irradiance is a clipped day-curve modulated by cloud cover —
+// i.e. many mutually correlated but differently shaped signals, which is
+// the property the paper's base-signal scheme feeds on.
+#ifndef SBR_DATAGEN_WEATHER_H_
+#define SBR_DATAGEN_WEATHER_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "datagen/dataset.h"
+
+namespace sbr::datagen {
+
+/// Tuning knobs for the weather generator. Defaults mimic a 10-minute
+/// sampling interval over a mid-latitude station.
+struct WeatherOptions {
+  size_t length = 40960;       ///< samples per signal
+  uint64_t seed = 2002;        ///< RNG seed (dataset is pure function of it)
+  size_t samples_per_day = 144;  ///< 10-minute sampling
+  double mean_temperature_c = 12.0;
+  double seasonal_amplitude_c = 9.0;
+  double diurnal_amplitude_c = 5.5;
+  double noise_scale = 1.0;    ///< scales every stochastic component
+};
+
+/// Generates the 6-signal weather dataset.
+Dataset GenerateWeather(const WeatherOptions& options);
+
+}  // namespace sbr::datagen
+
+#endif  // SBR_DATAGEN_WEATHER_H_

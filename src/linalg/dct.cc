@@ -1,0 +1,108 @@
+#include "linalg/dct.h"
+
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "linalg/fft.h"
+
+namespace sbr::linalg {
+namespace {
+
+using Complex = std::complex<double>;
+
+// Even/odd interleaving used by Makhoul's DCT-via-FFT:
+// v[i] = x[2i] for the first half, v[n-1-i] = x[2i+1] for the second.
+std::vector<Complex> Interleave(std::span<const double> x) {
+  const size_t n = x.size();
+  std::vector<Complex> v(n);
+  size_t idx = 0;
+  for (size_t i = 0; i < n; i += 2) v[idx++] = Complex(x[i], 0.0);
+  for (size_t i = (n % 2 == 0) ? n - 1 : n - 2; idx < n; i -= 2) {
+    v[idx++] = Complex(x[i], 0.0);
+    if (i < 2) break;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<double> Dct2(std::span<const double> input) {
+  const size_t n = input.size();
+  if (n == 0) return {};
+  if (n == 1) return {input[0]};
+  std::vector<Complex> v = Interleave(input);
+  std::vector<Complex> fft = Fft(v);
+  std::vector<double> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double angle =
+        -std::numbers::pi * static_cast<double>(k) / (2.0 * static_cast<double>(n));
+    out[k] = (fft[k] * Complex(std::cos(angle), std::sin(angle))).real();
+  }
+  return out;
+}
+
+std::vector<double> Idct2(std::span<const double> coeffs) {
+  const size_t n = coeffs.size();
+  if (n == 0) return {};
+  if (n == 1) return {coeffs[0]};
+  // Reconstruct the FFT of the interleaved sequence from the real DCT
+  // values: W_k = C[k] - i C[n-k] (k > 0), V[k] = e^{+i pi k / 2n} W_k.
+  std::vector<Complex> fft(n);
+  fft[0] = Complex(coeffs[0], 0.0);
+  for (size_t k = 1; k < n; ++k) {
+    const double angle =
+        std::numbers::pi * static_cast<double>(k) / (2.0 * static_cast<double>(n));
+    const Complex w(coeffs[k], -coeffs[n - k]);
+    fft[k] = w * Complex(std::cos(angle), std::sin(angle));
+  }
+  std::vector<Complex> v = Ifft(fft);
+  std::vector<double> out(n);
+  size_t idx = 0;
+  for (size_t i = 0; i < n; i += 2) out[i] = v[idx++].real();
+  for (size_t i = (n % 2 == 0) ? n - 1 : n - 2; idx < n; i -= 2) {
+    out[i] = v[idx++].real();
+    if (i < 2) break;
+  }
+  return out;
+}
+
+std::vector<double> DctOrthonormal(std::span<const double> input) {
+  std::vector<double> out = Dct2(input);
+  const size_t n = input.size();
+  if (n == 0) return out;
+  const double s0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double sk = std::sqrt(2.0 / static_cast<double>(n));
+  out[0] *= s0;
+  for (size_t k = 1; k < n; ++k) out[k] *= sk;
+  return out;
+}
+
+std::vector<double> IdctOrthonormal(std::span<const double> coeffs) {
+  const size_t n = coeffs.size();
+  if (n == 0) return {};
+  const double s0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double sk = std::sqrt(2.0 / static_cast<double>(n));
+  std::vector<double> unnorm(n);
+  unnorm[0] = coeffs[0] / s0;
+  for (size_t k = 1; k < n; ++k) unnorm[k] = coeffs[k] / sk;
+  return Idct2(unnorm);
+}
+
+std::vector<double> Dct2Naive(std::span<const double> input) {
+  const size_t n = input.size();
+  std::vector<double> out(n, 0.0);
+  for (size_t k = 0; k < n; ++k) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += input[i] * std::cos(std::numbers::pi * (2.0 * i + 1.0) *
+                                 static_cast<double>(k) /
+                                 (2.0 * static_cast<double>(n)));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+}  // namespace sbr::linalg

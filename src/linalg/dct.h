@@ -1,0 +1,33 @@
+// Discrete cosine transforms (type II and its inverse), both a naive
+// O(n^2) reference and an O(n log n) FFT-based implementation (Makhoul's
+// reordering). The unnormalized kernel matches the paper's Appendix:
+// basis value cos((2i+1) pi f / (2W)).
+#ifndef SBR_LINALG_DCT_H_
+#define SBR_LINALG_DCT_H_
+
+#include <span>
+#include <vector>
+
+namespace sbr::linalg {
+
+/// Unnormalized DCT-II: C[k] = sum_i x[i] cos(pi (2i+1) k / (2n)).
+/// O(n log n) via FFT.
+std::vector<double> Dct2(std::span<const double> input);
+
+/// Exact inverse of Dct2 (i.e. scaled DCT-III). O(n log n).
+std::vector<double> Idct2(std::span<const double> coeffs);
+
+/// Orthonormal DCT-II: the unitary variant where truncating to the largest
+/// coefficients minimizes the L2 reconstruction error. X[k] = s_k * Dct2[k]
+/// with s_0 = sqrt(1/n), s_k = sqrt(2/n).
+std::vector<double> DctOrthonormal(std::span<const double> input);
+
+/// Inverse of DctOrthonormal.
+std::vector<double> IdctOrthonormal(std::span<const double> coeffs);
+
+/// Naive O(n^2) DCT-II used as a test oracle for the fast path.
+std::vector<double> Dct2Naive(std::span<const double> input);
+
+}  // namespace sbr::linalg
+
+#endif  // SBR_LINALG_DCT_H_

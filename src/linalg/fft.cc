@@ -1,0 +1,110 @@
+#include "linalg/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace sbr::linalg {
+namespace {
+
+using Complex = std::complex<double>;
+
+// Bluestein's algorithm: expresses a length-n DFT as a convolution, which is
+// evaluated with power-of-two FFTs of length >= 2n - 1.
+std::vector<Complex> Bluestein(std::span<const Complex> input, bool inverse) {
+  const size_t n = input.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  // Chirp w[j] = e^{sign * pi i j^2 / n}. j^2 mod 2n keeps the argument
+  // bounded so precision does not degrade for large j.
+  std::vector<Complex> chirp(n);
+  for (size_t j = 0; j < n; ++j) {
+    const uintmax_t j2 = (static_cast<uintmax_t>(j) * j) % (2 * n);
+    const double angle =
+        sign * std::numbers::pi * static_cast<double>(j2) / static_cast<double>(n);
+    chirp[j] = Complex(std::cos(angle), std::sin(angle));
+  }
+  const size_t m = NextPowerOfTwo(2 * n - 1);
+  std::vector<Complex> a(m, Complex(0, 0)), b(m, Complex(0, 0));
+  for (size_t j = 0; j < n; ++j) a[j] = input[j] * chirp[j];
+  b[0] = std::conj(chirp[0]);
+  for (size_t j = 1; j < n; ++j) b[j] = b[m - j] = std::conj(chirp[j]);
+  FftPow2(a, /*inverse=*/false);
+  FftPow2(b, /*inverse=*/false);
+  for (size_t j = 0; j < m; ++j) a[j] *= b[j];
+  FftPow2(a, /*inverse=*/true);
+  std::vector<Complex> out(n);
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = a[j] * chirp[j] / static_cast<double>(m);
+  }
+  return out;
+}
+
+}  // namespace
+
+void FftPow2(std::vector<Complex>& data, bool inverse) {
+  const size_t n = data.size();
+  assert(IsPowerOfTwo(n));
+  if (n == 1) return;
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  const double sign = inverse ? 1.0 : -1.0;
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1, 0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  // No normalization here: Fft()/Ifft() wrappers own the 1/n convention.
+}
+
+std::vector<Complex> Fft(std::span<const Complex> input) {
+  if (input.empty()) return {};
+  if (IsPowerOfTwo(input.size())) {
+    std::vector<Complex> data(input.begin(), input.end());
+    FftPow2(data, /*inverse=*/false);
+    return data;
+  }
+  return Bluestein(input, /*inverse=*/false);
+}
+
+std::vector<Complex> Ifft(std::span<const Complex> input) {
+  if (input.empty()) return {};
+  std::vector<Complex> out;
+  if (IsPowerOfTwo(input.size())) {
+    out.assign(input.begin(), input.end());
+    FftPow2(out, /*inverse=*/true);
+  } else {
+    out = Bluestein(input, /*inverse=*/true);
+  }
+  const double inv = 1.0 / static_cast<double>(input.size());
+  for (auto& v : out) v *= inv;
+  return out;
+}
+
+std::vector<Complex> FftReal(std::span<const double> input) {
+  std::vector<Complex> tmp(input.size());
+  for (size_t i = 0; i < input.size(); ++i) tmp[i] = Complex(input[i], 0.0);
+  return Fft(tmp);
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  assert(n >= 1);
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace sbr::linalg

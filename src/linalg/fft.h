@@ -1,0 +1,39 @@
+// Fast Fourier transforms. The paper's DCT baseline and the fast DCT-II/III
+// used by the compressors are built on these.
+//
+// Power-of-two sizes use an iterative radix-2 Cooley-Tukey; arbitrary sizes
+// fall back to Bluestein's chirp-z algorithm so that callers never need to
+// pad their data themselves.
+#ifndef SBR_LINALG_FFT_H_
+#define SBR_LINALG_FFT_H_
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace sbr::linalg {
+
+/// In-place forward FFT of a power-of-two-length buffer.
+/// Requires data.size() to be a power of two (1 is allowed).
+void FftPow2(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Forward DFT of arbitrary length: X[k] = sum_j x[j] e^{-2 pi i jk / n}.
+std::vector<std::complex<double>> Fft(
+    std::span<const std::complex<double>> input);
+
+/// Inverse DFT, normalized by 1/n so that Ifft(Fft(x)) == x.
+std::vector<std::complex<double>> Ifft(
+    std::span<const std::complex<double>> input);
+
+/// Real-input convenience wrapper for the forward DFT.
+std::vector<std::complex<double>> FftReal(std::span<const double> input);
+
+/// True iff n is a (positive) power of two.
+constexpr bool IsPowerOfTwo(size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+}  // namespace sbr::linalg
+
+#endif  // SBR_LINALG_FFT_H_

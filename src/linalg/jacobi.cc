@@ -1,0 +1,89 @@
+#include "linalg/jacobi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace sbr::linalg {
+namespace {
+
+double OffDiagonalNorm(const Matrix& a) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) sum += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+EigenDecomposition JacobiEigen(const Matrix& a_in, double tol,
+                               int max_sweeps) {
+  assert(a_in.rows() == a_in.cols());
+  const size_t n = a_in.rows();
+  Matrix a = a_in;
+  Matrix v = Matrix::Identity(n);
+
+  const double scale = std::max(a.FrobeniusNorm(), 1e-300);
+  int sweeps = 0;
+  while (sweeps < max_sweeps && OffDiagonalNorm(a) > tol * scale) {
+    ++sweeps;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Smaller-root tangent for numerical stability.
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation G(p, q, theta) on both sides: A <- G^T A G.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors: V <- V G.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by decreasing eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return diag[x] > diag[y]; });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    out.values[i] = diag[order[i]];
+    for (size_t k = 0; k < n; ++k) out.vectors(k, i) = v(k, order[i]);
+  }
+  out.sweeps = sweeps;
+  return out;
+}
+
+}  // namespace sbr::linalg

@@ -1,0 +1,32 @@
+// Cyclic Jacobi eigendecomposition for real symmetric matrices. Sufficient
+// for the W x W Gram matrices (W ~ sqrt(n) ~ a few hundred) of the
+// SVD-based base-signal construction.
+#ifndef SBR_LINALG_JACOBI_H_
+#define SBR_LINALG_JACOBI_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace sbr::linalg {
+
+/// Result of a symmetric eigendecomposition A = V diag(values) V^T.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in decreasing order.
+  std::vector<double> values;
+  /// Column i of this matrix is the unit eigenvector for values[i].
+  Matrix vectors;
+  /// Number of full sweeps performed before convergence.
+  int sweeps = 0;
+};
+
+/// Decomposes a symmetric matrix. `a` must be square and symmetric
+/// (asserted up to a small tolerance). Converges when the off-diagonal
+/// Frobenius mass drops below `tol` times the matrix norm, or after
+/// `max_sweeps` sweeps.
+EigenDecomposition JacobiEigen(const Matrix& a, double tol = 1e-12,
+                               int max_sweeps = 64);
+
+}  // namespace sbr::linalg
+
+#endif  // SBR_LINALG_JACOBI_H_

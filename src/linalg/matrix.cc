@@ -1,0 +1,68 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace sbr::linalg {
+
+std::vector<double> Matrix::Col(size_t c) const {
+  assert(c < cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double v = (*this)(r, k);
+      if (v == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += v * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const std::span<const double> row = Row(r);
+    for (size_t i = 0; i < cols_; ++i) {
+      const double v = row[i];
+      if (v == 0.0) continue;
+      for (size_t j = i; j < cols_; ++j) {
+        out(i, j) += v * row[j];
+      }
+    }
+  }
+  // Mirror the upper triangle.
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+  }
+  return out;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+}  // namespace sbr::linalg

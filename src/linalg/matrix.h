@@ -1,0 +1,80 @@
+// Dense row-major matrix used by the SVD-based base-signal construction and
+// by the dataset containers. Deliberately small: only the operations the
+// library needs, no expression templates.
+#ifndef SBR_LINALG_MATRIX_H_
+#define SBR_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sbr::linalg {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Builds from a flat row-major buffer; data.size() must be rows * cols.
+  Matrix(size_t rows, size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// View of row r as a contiguous span.
+  std::span<const double> Row(size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> MutableRow(size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copy of column c.
+  std::vector<double> Col(size_t c) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix Transposed() const;
+
+  /// this * other; requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// this^T * this, a cols x cols symmetric Gram matrix, computed without
+  /// materializing the transpose.
+  Matrix Gram() const;
+
+  /// Identity matrix of order n.
+  static Matrix Identity(size_t n);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace sbr::linalg
+
+#endif  // SBR_LINALG_MATRIX_H_

@@ -1,0 +1,28 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/jacobi.h"
+
+namespace sbr::linalg {
+
+RightSingularVectors TopRightSingularVectors(const Matrix& r, size_t k) {
+  RightSingularVectors out;
+  if (r.empty()) return out;
+  k = std::min(k, r.cols());
+
+  const Matrix gram = r.Gram();
+  const EigenDecomposition eig = JacobiEigen(gram);
+
+  out.singular_values.reserve(k);
+  out.vectors.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const double lambda = std::max(eig.values[i], 0.0);
+    out.singular_values.push_back(std::sqrt(lambda));
+    out.vectors.push_back(eig.vectors.Col(i));
+  }
+  return out;
+}
+
+}  // namespace sbr::linalg

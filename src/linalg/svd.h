@@ -1,0 +1,30 @@
+// Thin singular value decomposition helpers. The SVD base-signal
+// construction (paper Appendix) only needs the top-k right singular vectors
+// of the K x W candidate-interval matrix, which we obtain from the
+// eigendecomposition of the W x W Gram matrix R^T R.
+#ifndef SBR_LINALG_SVD_H_
+#define SBR_LINALG_SVD_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace sbr::linalg {
+
+/// Result of a (partial) right-singular-vector computation.
+struct RightSingularVectors {
+  /// Singular values sigma_1 >= sigma_2 >= ... (k of them).
+  std::vector<double> singular_values;
+  /// vectors[i] is the unit right singular vector for singular_values[i],
+  /// each of length r.cols().
+  std::vector<std::vector<double>> vectors;
+};
+
+/// Top-k right singular vectors of r (k is clamped to r.cols()).
+/// Eigenvalues of R^T R are the squared singular values; tiny negative
+/// round-off eigenvalues are clamped to zero.
+RightSingularVectors TopRightSingularVectors(const Matrix& r, size_t k);
+
+}  // namespace sbr::linalg
+
+#endif  // SBR_LINALG_SVD_H_

@@ -1,0 +1,65 @@
+#include "net/base_station.h"
+
+namespace sbr::net {
+
+BaseStation::BaseStation(size_t m_base, std::string log_dir)
+    : m_base_(m_base), log_dir_(std::move(log_dir)) {}
+
+StatusOr<BaseStation::PerSensor*> BaseStation::GetOrCreate(
+    uint32_t sensor_id) {
+  auto it = sensors_.find(sensor_id);
+  if (it != sensors_.end()) return &it->second;
+
+  storage::ChunkLog log;
+  if (!log_dir_.empty()) {
+    auto opened = storage::ChunkLog::Open(
+        log_dir_ + "/sensor_" + std::to_string(sensor_id) + ".log");
+    if (!opened.ok()) return opened.status();
+    log = std::move(opened).value();
+  }
+  // Replay any recovered records so the history matches the log.
+  auto history = log.empty()
+                     ? StatusOr<storage::HistoryStore>(
+                           storage::HistoryStore(m_base_))
+                     : storage::HistoryStore::FromLog(log, m_base_);
+  if (!history.ok()) return history.status();
+  auto [pos, inserted] = sensors_.emplace(
+      sensor_id, PerSensor{std::move(log), std::move(history).value()});
+  (void)inserted;
+  return &pos->second;
+}
+
+Status BaseStation::Receive(uint32_t sensor_id, const core::Transmission& t) {
+  auto sensor = GetOrCreate(sensor_id);
+  if (!sensor.ok()) return sensor.status();
+  SBR_RETURN_IF_ERROR((*sensor)->log.Append(t));
+  return (*sensor)->history.Ingest(t);
+}
+
+Status BaseStation::ReceiveBytes(uint32_t sensor_id,
+                                 std::span<const uint8_t> bytes) {
+  BinaryReader reader(bytes);
+  auto t = core::Transmission::Deserialize(&reader);
+  if (!t.ok()) return t.status();
+  return Receive(sensor_id, *t);
+}
+
+StatusOr<const storage::HistoryStore*> BaseStation::History(
+    uint32_t sensor_id) const {
+  auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) {
+    return Status::NotFound("sensor " + std::to_string(sensor_id));
+  }
+  return &it->second.history;
+}
+
+StatusOr<const storage::ChunkLog*> BaseStation::Log(
+    uint32_t sensor_id) const {
+  auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) {
+    return Status::NotFound("sensor " + std::to_string(sensor_id));
+  }
+  return &it->second.log;
+}
+
+}  // namespace sbr::net

@@ -1,0 +1,60 @@
+// BaseStation: receives transmissions from many sensors, appends each to
+// the sensor's chunk log and maintains a queryable decoded history per
+// sensor (paper Figure 1: one log file per sensor, plus the base-signal
+// updates folded into the same stream).
+#ifndef SBR_NET_BASE_STATION_H_
+#define SBR_NET_BASE_STATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/transmission.h"
+#include "storage/chunk_log.h"
+#include "storage/history_store.h"
+#include "util/status.h"
+
+namespace sbr::net {
+
+/// The sink node of the network.
+class BaseStation {
+ public:
+  /// `m_base` must match the sensors' encoder configuration. When
+  /// `log_dir` is non-empty, one durable log file per sensor is kept under
+  /// it ("sensor_<id>.log"); otherwise logs are in-memory.
+  explicit BaseStation(size_t m_base, std::string log_dir = "");
+
+  /// Ingests one transmission from `sensor_id`.
+  Status Receive(uint32_t sensor_id, const core::Transmission& t);
+
+  /// Ingests a serialized transmission (the on-air byte form).
+  Status ReceiveBytes(uint32_t sensor_id, std::span<const uint8_t> bytes);
+
+  /// Sensors heard from so far.
+  size_t num_sensors() const { return sensors_.size(); }
+  bool HasSensor(uint32_t sensor_id) const {
+    return sensors_.count(sensor_id) > 0;
+  }
+
+  /// Decoded history of a sensor; NotFound if never heard from.
+  StatusOr<const storage::HistoryStore*> History(uint32_t sensor_id) const;
+
+  /// The raw log of a sensor; NotFound if never heard from.
+  StatusOr<const storage::ChunkLog*> Log(uint32_t sensor_id) const;
+
+ private:
+  struct PerSensor {
+    storage::ChunkLog log;
+    storage::HistoryStore history;
+  };
+
+  StatusOr<PerSensor*> GetOrCreate(uint32_t sensor_id);
+
+  size_t m_base_;
+  std::string log_dir_;
+  std::map<uint32_t, PerSensor> sensors_;
+};
+
+}  // namespace sbr::net
+
+#endif  // SBR_NET_BASE_STATION_H_

@@ -1,0 +1,28 @@
+#include "net/energy.h"
+
+namespace sbr::net {
+
+void EnergyModel::ChargeTransmission(size_t values, size_t hops,
+                                     EnergyAccount* account) const {
+  const double bits = static_cast<double>(values) * params_.bits_per_value;
+  const double h = static_cast<double>(hops);
+  account->tx_nj += bits * params_.tx_nj_per_bit * h;
+  account->rx_nj += bits * params_.rx_nj_per_bit * h;
+  account->overhear_nj +=
+      bits * params_.rx_nj_per_bit * params_.overhear_neighbors * h;
+}
+
+void EnergyModel::ChargeCpu(double instructions,
+                            EnergyAccount* account) const {
+  account->cpu_nj += instructions * params_.cpu_nj_per_instruction;
+}
+
+double EnergyModel::RawTransmissionNj(size_t values, size_t hops) const {
+  const double bits = static_cast<double>(values) * params_.bits_per_value;
+  const double h = static_cast<double>(hops);
+  return bits * h *
+         (params_.tx_nj_per_bit +
+          params_.rx_nj_per_bit * (1.0 + params_.overhear_neighbors));
+}
+
+}  // namespace sbr::net

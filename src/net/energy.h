@@ -1,0 +1,61 @@
+// Radio energy model for the sensor-network simulation, parameterized from
+// the figures the paper cites: on a Berkeley MICA mote, transmitting one
+// bit costs about as much energy as 1,000 CPU instructions, and every
+// transmitted message is also received (and paid for) by each node within
+// radio range along a multi-hop route.
+#ifndef SBR_NET_ENERGY_H_
+#define SBR_NET_ENERGY_H_
+
+#include <cstddef>
+
+namespace sbr::net {
+
+/// Radio/CPU energy parameters. Defaults approximate a MICA-class mote.
+struct EnergyParams {
+  double bits_per_value = 32.0;      ///< transmitted values are 32-bit
+  double tx_nj_per_bit = 720.0;      ///< transmit energy per bit (nJ)
+  double rx_nj_per_bit = 360.0;      ///< receive energy per bit (nJ)
+  double cpu_nj_per_instruction = 0.72;  ///< ~1000 instructions per tx bit
+  /// Average number of non-addressee neighbors that overhear (and pay rx
+  /// for) each broadcast hop.
+  double overhear_neighbors = 2.0;
+};
+
+/// Accumulated energy cost, in nanojoules, broken down by component.
+struct EnergyAccount {
+  double tx_nj = 0.0;
+  double rx_nj = 0.0;
+  double overhear_nj = 0.0;
+  double cpu_nj = 0.0;
+
+  double total_nj() const { return tx_nj + rx_nj + overhear_nj + cpu_nj; }
+  double total_mj() const { return total_nj() * 1e-6; }
+};
+
+/// Stateless calculator charging an EnergyAccount for network events.
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyParams params = EnergyParams())
+      : params_(params) {}
+
+  const EnergyParams& params() const { return params_; }
+
+  /// Charges the transmission of `values` values over `hops` hops: every
+  /// hop pays tx at the sender, rx at the receiver, plus overhearing.
+  void ChargeTransmission(size_t values, size_t hops,
+                          EnergyAccount* account) const;
+
+  /// Charges `instructions` CPU instructions (the encoder's compute).
+  void ChargeCpu(double instructions, EnergyAccount* account) const;
+
+  /// Energy of sending `values` raw (uncompressed) values over `hops`
+  /// hops; the baseline the simulation compares against.
+  double RawTransmissionNj(size_t values, size_t hops) const;
+
+ private:
+  EnergyParams params_;
+};
+
+}  // namespace sbr::net
+
+#endif  // SBR_NET_ENERGY_H_

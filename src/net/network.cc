@@ -1,0 +1,109 @@
+#include "net/network.h"
+
+#include "util/stats.h"
+
+namespace sbr::net {
+
+double SimulationReport::CompressionFactor() const {
+  return total_values_sent == 0
+             ? 0.0
+             : static_cast<double>(total_values_raw) /
+                   static_cast<double>(total_values_sent);
+}
+
+double SimulationReport::EnergySavingFactor() const {
+  return total_energy_nj == 0.0 ? 0.0
+                                : total_raw_energy_nj / total_energy_nj;
+}
+
+NetworkSim::NetworkSim(std::vector<NodePlacement> placements,
+                       core::EncoderOptions encoder_options,
+                       size_t chunk_len, EnergyParams energy,
+                       LinkOptions link)
+    : placements_(std::move(placements)),
+      encoder_options_(std::move(encoder_options)),
+      chunk_len_(chunk_len),
+      energy_(energy),
+      link_(link),
+      link_rng_(link.seed),
+      station_(encoder_options_.m_base) {}
+
+StatusOr<SimulationReport> NetworkSim::Run(
+    const std::vector<datagen::Dataset>& feeds) {
+  if (feeds.size() != placements_.size()) {
+    return Status::InvalidArgument(
+        "got " + std::to_string(feeds.size()) + " feeds for " +
+        std::to_string(placements_.size()) + " nodes");
+  }
+
+  SimulationReport report;
+  std::vector<double> sample;
+  for (size_t i = 0; i < placements_.size(); ++i) {
+    const NodePlacement& place = placements_[i];
+    const datagen::Dataset& feed = feeds[i];
+    SensorNode node(place.id, feed.num_signals(), chunk_len_,
+                    encoder_options_);
+    NodeReport nr;
+    nr.id = place.id;
+
+    sample.resize(feed.num_signals());
+    for (size_t t = 0; t < feed.length(); ++t) {
+      for (size_t s = 0; s < feed.num_signals(); ++s) {
+        sample[s] = feed.values(s, t);
+      }
+      auto emitted = node.AddSamples(sample);
+      if (!emitted.ok()) return emitted.status();
+      if (!emitted->has_value()) continue;
+
+      const core::Transmission& tx = **emitted;
+      const size_t values = tx.ValueCount();
+      nr.values_sent += values;
+      nr.values_raw += feed.num_signals() * chunk_len_;
+      // Hop-by-hop delivery with retransmission on loss: every attempt
+      // pays one hop of radio energy.
+      for (size_t hop = 0; hop < place.hops_to_base; ++hop) {
+        size_t attempts = 1;
+        while (link_.loss_probability > 0.0 &&
+               link_rng_.NextDouble() < link_.loss_probability) {
+          if (++attempts > link_.max_attempts) {
+            return Status::DataLoss(
+                "frame undeliverable after " +
+                std::to_string(link_.max_attempts) + " attempts");
+          }
+        }
+        nr.retransmissions += attempts - 1;
+        for (size_t a = 0; a < attempts; ++a) {
+          energy_.ChargeTransmission(values, 1, &nr.energy);
+        }
+      }
+      nr.raw_energy_nj += energy_.RawTransmissionNj(
+          feed.num_signals() * chunk_len_, place.hops_to_base);
+      SBR_RETURN_IF_ERROR(station_.Receive(place.id, tx));
+    }
+    nr.transmissions = node.transmissions();
+
+    // Score the reconstructed history against the truth.
+    if (nr.transmissions > 0) {
+      auto history = station_.History(place.id);
+      if (!history.ok()) return history.status();
+      const size_t covered = (*history)->history_len();
+      for (size_t s = 0; s < feed.num_signals(); ++s) {
+        auto approx = (*history)->QueryRange(s, 0, covered);
+        if (!approx.ok()) return approx.status();
+        std::vector<double> truth(covered);
+        for (size_t t = 0; t < covered; ++t) truth[t] = feed.values(s, t);
+        nr.sse += SumSquaredError(truth, *approx);
+      }
+    }
+
+    report.total_values_sent += nr.values_sent;
+    report.total_values_raw += nr.values_raw;
+    report.total_energy_nj += nr.energy.total_nj();
+    report.total_raw_energy_nj += nr.raw_energy_nj;
+    report.total_sse += nr.sse;
+    report.nodes.push_back(nr);
+  }
+  return report;
+}
+
+}  // namespace sbr::net

@@ -1,0 +1,34 @@
+#include "net/node.h"
+
+namespace sbr::net {
+
+SensorNode::SensorNode(uint32_t id, size_t num_signals, size_t chunk_len,
+                       core::EncoderOptions encoder_options)
+    : id_(id),
+      num_signals_(num_signals),
+      chunk_len_(chunk_len),
+      buffer_(num_signals * chunk_len, 0.0),
+      encoder_(std::move(encoder_options)) {}
+
+StatusOr<std::optional<core::Transmission>> SensorNode::AddSamples(
+    std::span<const double> sample_per_signal) {
+  if (sample_per_signal.size() != num_signals_) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(num_signals_) + " samples, got " +
+        std::to_string(sample_per_signal.size()));
+  }
+  for (size_t s = 0; s < num_signals_; ++s) {
+    buffer_[s * chunk_len_ + filled_] = sample_per_signal[s];
+  }
+  ++filled_;
+  if (filled_ < chunk_len_) {
+    return std::optional<core::Transmission>();
+  }
+  filled_ = 0;
+  auto t = encoder_.EncodeChunk(buffer_, num_signals_);
+  if (!t.ok()) return t.status();
+  ++transmissions_;
+  return std::optional<core::Transmission>(std::move(t).value());
+}
+
+}  // namespace sbr::net

@@ -1,0 +1,62 @@
+// SensorNode: the device-side batching loop of paper Section 3.2. Samples
+// accumulate in an N x M in-memory buffer; when the buffer fills, the node
+// runs the SBR encoder over it and emits one transmission, then reuses the
+// buffer for the next batch.
+#ifndef SBR_NET_NODE_H_
+#define SBR_NET_NODE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/encoder.h"
+#include "core/transmission.h"
+#include "util/status.h"
+
+namespace sbr::net {
+
+/// One sensor device.
+class SensorNode {
+ public:
+  /// `num_signals` quantities, `chunk_len` samples each per batch.
+  SensorNode(uint32_t id, size_t num_signals, size_t chunk_len,
+             core::EncoderOptions encoder_options);
+
+  uint32_t id() const { return id_; }
+  size_t num_signals() const { return num_signals_; }
+  size_t chunk_len() const { return chunk_len_; }
+
+  /// Appends one sample for every quantity (one sampling instant). When
+  /// this fills the buffer, encodes the batch and returns the transmission;
+  /// otherwise returns nullopt.
+  StatusOr<std::optional<core::Transmission>> AddSamples(
+      std::span<const double> sample_per_signal);
+
+  /// Samples buffered toward the next transmission (per signal).
+  size_t buffered() const { return filled_; }
+
+  /// Transmissions emitted so far.
+  size_t transmissions() const { return transmissions_; }
+
+  /// Encoder diagnostics for the most recent transmission.
+  const core::EncodeStats& last_stats() const {
+    return encoder_.last_stats();
+  }
+
+  const core::SbrEncoder& encoder() const { return encoder_; }
+
+ private:
+  uint32_t id_;
+  size_t num_signals_;
+  size_t chunk_len_;
+  size_t filled_ = 0;
+  size_t transmissions_ = 0;
+  /// Row-major N x M batch buffer, flat in the concatenated layout the
+  /// encoder consumes directly.
+  std::vector<double> buffer_;
+  core::SbrEncoder encoder_;
+};
+
+}  // namespace sbr::net
+
+#endif  // SBR_NET_NODE_H_

@@ -1,0 +1,100 @@
+#include "storage/chunk_log.h"
+
+#include <fstream>
+
+namespace sbr::storage {
+namespace {
+
+// Log preamble: identifies the format and its version.
+constexpr uint32_t kMagic = 0x5342524c;  // "SBRL"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+StatusOr<ChunkLog> ChunkLog::Open(const std::string& path) {
+  ChunkLog log;
+  log.path_ = path;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    // Fresh log: write the preamble.
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return Status::NotFound("cannot create log: " + path);
+    BinaryWriter header;
+    header.PutU32(kMagic);
+    header.PutU32(kVersion);
+    out.write(reinterpret_cast<const char*>(header.buffer().data()),
+              static_cast<std::streamsize>(header.size()));
+    if (!out) return Status::DataLoss("cannot write log header: " + path);
+    return log;
+  }
+
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  BinaryReader reader(bytes);
+  uint32_t magic = 0, version = 0;
+  SBR_RETURN_IF_ERROR(reader.GetU32(&magic));
+  SBR_RETURN_IF_ERROR(reader.GetU32(&version));
+  if (magic != kMagic) {
+    return Status::DataLoss("bad log magic in " + path);
+  }
+  if (version != kVersion) {
+    return Status::DataLoss("unsupported log version " +
+                            std::to_string(version));
+  }
+  while (!reader.AtEnd()) {
+    uint32_t len = 0;
+    if (!reader.GetU32(&len).ok() || reader.remaining() < len) {
+      break;  // torn final record: drop it
+    }
+    std::vector<uint8_t> record(len);
+    for (uint32_t i = 0; i < len; ++i) {
+      uint8_t b;
+      SBR_RETURN_IF_ERROR(reader.GetU8(&b));
+      record[i] = b;
+    }
+    // Validate that the record parses before accepting it.
+    BinaryReader check(record);
+    if (!core::Transmission::Deserialize(&check).ok()) break;
+    log.records_.push_back(std::move(record));
+  }
+  return log;
+}
+
+Status ChunkLog::Append(const core::Transmission& t) {
+  BinaryWriter writer;
+  t.Serialize(&writer);
+  std::vector<uint8_t> record = writer.TakeBuffer();
+
+  if (!path_.empty()) {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    if (!out) return Status::NotFound("cannot append to log: " + path_);
+    BinaryWriter framed;
+    framed.PutU32(static_cast<uint32_t>(record.size()));
+    out.write(reinterpret_cast<const char*>(framed.buffer().data()),
+              static_cast<std::streamsize>(framed.size()));
+    out.write(reinterpret_cast<const char*>(record.data()),
+              static_cast<std::streamsize>(record.size()));
+    out.flush();
+    if (!out) return Status::DataLoss("write failed: " + path_);
+  }
+  records_.push_back(std::move(record));
+  return Status::Ok();
+}
+
+StatusOr<core::Transmission> ChunkLog::Read(size_t index) const {
+  if (index >= records_.size()) {
+    return Status::OutOfRange("record " + std::to_string(index) +
+                              " of " + std::to_string(records_.size()));
+  }
+  BinaryReader reader(records_[index]);
+  return core::Transmission::Deserialize(&reader);
+}
+
+size_t ChunkLog::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& r : records_) total += r.size();
+  return total;
+}
+
+}  // namespace sbr::storage

@@ -1,0 +1,52 @@
+// The base station's per-sensor append-only log (paper Figure 1): every
+// received transmission — base-signal updates and interval records alike —
+// is appended as one length-prefixed binary record. Reopening a log and
+// replaying it through a fresh decoder reconstructs the full approximate
+// history of the sensor.
+#ifndef SBR_STORAGE_CHUNK_LOG_H_
+#define SBR_STORAGE_CHUNK_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/transmission.h"
+#include "util/status.h"
+
+namespace sbr::storage {
+
+/// Append-only transmission log. With an empty path the log is purely
+/// in-memory; with a path every Append is also written through to disk and
+/// Open() recovers all records on restart. A torn final record (partial
+/// write at crash) is detected and dropped at open.
+class ChunkLog {
+ public:
+  /// In-memory log.
+  ChunkLog() = default;
+
+  /// Opens (or creates) a durable log at `path` and loads existing records.
+  static StatusOr<ChunkLog> Open(const std::string& path);
+
+  /// Appends one transmission.
+  Status Append(const core::Transmission& t);
+
+  /// Number of records.
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Decodes record `index` (0-based, append order).
+  StatusOr<core::Transmission> Read(size_t index) const;
+
+  /// Total bytes across all serialized records (excluding length prefixes).
+  size_t TotalBytes() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<std::vector<uint8_t>> records_;
+};
+
+}  // namespace sbr::storage
+
+#endif  // SBR_STORAGE_CHUNK_LOG_H_

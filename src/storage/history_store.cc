@@ -1,0 +1,67 @@
+#include "storage/history_store.h"
+
+namespace sbr::storage {
+
+StatusOr<HistoryStore> HistoryStore::FromLog(const ChunkLog& log,
+                                             size_t m_base) {
+  HistoryStore store(m_base);
+  for (size_t i = 0; i < log.size(); ++i) {
+    auto t = log.Read(i);
+    if (!t.ok()) return t.status();
+    SBR_RETURN_IF_ERROR(store.Ingest(*t));
+  }
+  return store;
+}
+
+Status HistoryStore::Ingest(const core::Transmission& t) {
+  if (!t.signal_lengths.empty()) {
+    return Status::Unimplemented(
+        "multi-rate chunks are not indexable by the history store");
+  }
+  if (num_signals_ == 0) {
+    num_signals_ = t.num_signals;
+    chunk_len_ = t.chunk_len;
+  } else if (t.num_signals != num_signals_ || t.chunk_len != chunk_len_) {
+    return Status::FailedPrecondition("transmission geometry changed");
+  }
+  auto decoded = decoder_.DecodeChunk(t);
+  if (!decoded.ok()) return decoded.status();
+  chunks_.push_back(std::move(decoded).value());
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> HistoryStore::QueryRange(size_t signal,
+                                                       size_t t0,
+                                                       size_t t1) const {
+  if (signal >= num_signals_) {
+    return Status::OutOfRange("signal " + std::to_string(signal));
+  }
+  if (t0 > t1 || t1 > history_len()) {
+    return Status::OutOfRange("range [" + std::to_string(t0) + ", " +
+                              std::to_string(t1) + ") of " +
+                              std::to_string(history_len()));
+  }
+  std::vector<double> out;
+  out.reserve(t1 - t0);
+  for (size_t t = t0; t < t1; ++t) {
+    const size_t c = t / chunk_len_;
+    const size_t offset = t % chunk_len_;
+    out.push_back(chunks_[c][signal * chunk_len_ + offset]);
+  }
+  return out;
+}
+
+StatusOr<double> HistoryStore::QueryPoint(size_t signal, size_t t) const {
+  auto range = QueryRange(signal, t, t + 1);
+  if (!range.ok()) return range.status();
+  return (*range)[0];
+}
+
+StatusOr<linalg::Matrix> HistoryStore::Chunk(size_t c) const {
+  if (c >= chunks_.size()) {
+    return Status::OutOfRange("chunk " + std::to_string(c));
+  }
+  return linalg::Matrix(num_signals_, chunk_len_, chunks_[c]);
+}
+
+}  // namespace sbr::storage

@@ -1,0 +1,62 @@
+// HistoryStore: the base station's queryable view of one sensor's
+// approximate history. Ingested transmissions are decoded in arrival
+// order (the decoder's base-signal mirror makes order significant) and the
+// reconstructed chunks are retained, so any time range of any quantity
+// can be served — the paper's "reconstruct the series Y_i at any given
+// point in the past".
+#ifndef SBR_STORAGE_HISTORY_STORE_H_
+#define SBR_STORAGE_HISTORY_STORE_H_
+
+#include <vector>
+
+#include "core/decoder.h"
+#include "core/transmission.h"
+#include "storage/chunk_log.h"
+#include "util/status.h"
+
+namespace sbr::storage {
+
+/// Per-sensor decoded history with range queries.
+class HistoryStore {
+ public:
+  /// `m_base` must match the sensor's encoder configuration.
+  explicit HistoryStore(size_t m_base)
+      : decoder_(core::DecoderOptions{m_base}) {}
+
+  /// Rebuilds a store by replaying a chunk log from the beginning.
+  static StatusOr<HistoryStore> FromLog(const ChunkLog& log, size_t m_base);
+
+  /// Decodes and retains the next transmission.
+  Status Ingest(const core::Transmission& t);
+
+  /// Number of chunks ingested.
+  size_t num_chunks() const { return chunks_.size(); }
+  /// Signals per chunk (0 until the first ingest).
+  size_t num_signals() const { return num_signals_; }
+  /// Values per signal per chunk.
+  size_t chunk_len() const { return chunk_len_; }
+  /// Total reconstructed timeline length per signal.
+  size_t history_len() const { return chunks_.size() * chunk_len_; }
+
+  /// Reconstructed values of `signal` over the global time range
+  /// [t0, t1) (t measured in samples since the first transmission).
+  StatusOr<std::vector<double>> QueryRange(size_t signal, size_t t0,
+                                           size_t t1) const;
+
+  /// Single reconstructed value.
+  StatusOr<double> QueryPoint(size_t signal, size_t t) const;
+
+  /// Whole reconstructed chunk c as a num_signals x chunk_len matrix.
+  StatusOr<linalg::Matrix> Chunk(size_t c) const;
+
+ private:
+  core::SbrDecoder decoder_;
+  size_t num_signals_ = 0;
+  size_t chunk_len_ = 0;
+  /// chunks_[c] is the flat concatenated reconstruction of chunk c.
+  std::vector<std::vector<double>> chunks_;
+};
+
+}  // namespace sbr::storage
+
+#endif  // SBR_STORAGE_HISTORY_STORE_H_

@@ -1,0 +1,228 @@
+#include "storage/query_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/fixed_base.h"
+
+namespace sbr::storage {
+namespace {
+
+// Sum of t and t^2 for t in [lo, hi) — closed forms for the
+// linear-in-time fall-back intervals.
+double SumT(size_t lo, size_t hi) {
+  const double a = static_cast<double>(lo);
+  const double b = static_cast<double>(hi);
+  return (b * (b - 1.0) - a * (a - 1.0)) / 2.0;
+}
+double SumT2(size_t lo, size_t hi) {
+  auto cube = [](double m) { return (m - 1.0) * m * (2.0 * m - 1.0) / 6.0; };
+  return cube(static_cast<double>(hi)) - cube(static_cast<double>(lo));
+}
+
+}  // namespace
+
+Status CompressedHistory::Ingest(const core::Transmission& t) {
+  if (!t.signal_lengths.empty()) {
+    return Status::Unimplemented(
+        "multi-rate chunks are not indexable by the query engine");
+  }
+  if (num_signals_ == 0) {
+    num_signals_ = t.num_signals;
+    chunk_len_ = t.chunk_len;
+    w_ = t.w;
+    base_kind_ = t.base_kind;
+    quadratic_ = t.quadratic;
+    if (num_signals_ == 0 || chunk_len_ == 0 || w_ == 0) {
+      return Status::DataLoss("zero geometry");
+    }
+    if (base_kind_ == core::BaseKind::kStored) {
+      if (m_base_ < w_) {
+        return Status::InvalidArgument("m_base smaller than W");
+      }
+      mirror_ = core::BaseSignal(w_, m_base_);
+    } else if (base_kind_ == core::BaseKind::kDctFixed) {
+      auto version = std::make_shared<BaseVersion>();
+      version->values = core::MakeDctFixedBase(w_);
+      version->sums.Reset(version->values);
+      current_base_ = std::move(version);
+      ++num_base_versions_;
+    }
+  } else if (t.num_signals != num_signals_ || t.chunk_len != chunk_len_ ||
+             t.w != w_ || t.base_kind != base_kind_ ||
+             t.quadratic != quadratic_) {
+    return Status::FailedPrecondition("transmission geometry changed");
+  }
+
+  if (base_kind_ == core::BaseKind::kStored &&
+      (!t.base_updates.empty() || current_base_ == nullptr)) {
+    for (const core::BaseUpdate& bu : t.base_updates) {
+      SBR_RETURN_IF_ERROR(mirror_.Overwrite(bu.slot, bu.values));
+    }
+    auto version = std::make_shared<BaseVersion>();
+    version->values.assign(mirror_.values().begin(),
+                           mirror_.values().end());
+    version->sums.Reset(version->values);
+    current_base_ = std::move(version);
+    ++num_base_versions_;
+  }
+
+  // Resolve interval records into concrete intervals.
+  std::vector<core::IntervalRecord> recs = t.intervals;
+  std::sort(recs.begin(), recs.end(),
+            [](const auto& a, const auto& b) { return a.start < b.start; });
+  const size_t total_len = static_cast<size_t>(num_signals_) * chunk_len_;
+  if (recs.empty() || recs[0].start != 0) {
+    return Status::DataLoss("interval records do not start at 0");
+  }
+  ChunkRep rep;
+  rep.base = current_base_;
+  rep.intervals.reserve(recs.size());
+  const size_t base_len = rep.base ? rep.base->values.size() : 0;
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const size_t end = i + 1 < recs.size() ? recs[i + 1].start : total_len;
+    if (end <= recs[i].start) {
+      return Status::DataLoss("interval records overlap or are empty");
+    }
+    core::Interval iv;
+    iv.start = recs[i].start;
+    iv.length = end - recs[i].start;
+    iv.shift = recs[i].shift;
+    iv.a = recs[i].a;
+    iv.b = recs[i].b;
+    iv.c = recs[i].c;
+    if (iv.shift != core::kShiftLinearFallback &&
+        (iv.shift < 0 ||
+         static_cast<size_t>(iv.shift) + iv.length > base_len)) {
+      return Status::DataLoss("interval shift outside the base signal");
+    }
+    rep.intervals.push_back(iv);
+  }
+  chunks_.push_back(std::move(rep));
+  return Status::Ok();
+}
+
+void CompressedHistory::AccumulateInterval(const ChunkRep& chunk,
+                                           const core::Interval& iv,
+                                           size_t lo, size_t hi,
+                                           AggregateResult* out) const {
+  const size_t len = hi - lo;
+  if (len == 0) return;
+  out->count += len;
+
+  const bool fallback = iv.shift == core::kShiftLinearFallback;
+  const bool needs_scan = iv.c != 0.0;
+
+  if (!needs_scan && fallback) {
+    // y' = a t + b over t in [lo, hi): closed forms.
+    const double st = SumT(lo, hi);
+    const double st2 = SumT2(lo, hi);
+    const double flen = static_cast<double>(len);
+    out->sum += iv.a * st + iv.b * flen;
+    out->variance += iv.a * iv.a * st2 + 2.0 * iv.a * iv.b * st +
+                     iv.b * iv.b * flen;  // accumulating raw sum of squares
+    // Monotone in t: extremes at the ends.
+    const double v0 = iv.a * static_cast<double>(lo) + iv.b;
+    const double v1 = iv.a * static_cast<double>(hi - 1) + iv.b;
+    out->min = std::min({out->min, v0, v1});
+    out->max = std::max({out->max, v0, v1});
+    return;
+  }
+
+  if (!needs_scan) {
+    // Base-mapped linear interval: prefix sums over the base snapshot.
+    const size_t xs = static_cast<size_t>(iv.shift) + lo;
+    const PrefixSums& ps = chunk.base->sums;
+    const double sx = ps.RangeSum(xs, len);
+    const double sx2 = ps.RangeSumSquares(xs, len);
+    const double flen = static_cast<double>(len);
+    out->sum += iv.a * sx + iv.b * flen;
+    out->variance += iv.a * iv.a * sx2 + 2.0 * iv.a * iv.b * sx +
+                     iv.b * iv.b * flen;
+    // Min/max require the base extremes over the segment: short scan
+    // (segments are at most ~2W values).
+    const auto& x = chunk.base->values;
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -mn;
+    for (size_t i = 0; i < len; ++i) {
+      mn = std::min(mn, x[xs + i]);
+      mx = std::max(mx, x[xs + i]);
+    }
+    const double v0 = iv.a * mn + iv.b;
+    const double v1 = iv.a * mx + iv.b;
+    out->min = std::min({out->min, v0, v1});
+    out->max = std::max({out->max, v0, v1});
+    return;
+  }
+
+  // Quadratic encodings: direct scan (sum of x^3/x^4 moments is not
+  // worth the bookkeeping for this rare mode).
+  for (size_t i = lo; i < hi; ++i) {
+    double v;
+    if (fallback) {
+      const double tt = static_cast<double>(i);
+      v = iv.a * tt + iv.b + iv.c * tt * tt;
+    } else {
+      const double xv =
+          chunk.base->values[static_cast<size_t>(iv.shift) + i];
+      v = iv.a * xv + iv.b + iv.c * xv * xv;
+    }
+    out->sum += v;
+    out->variance += v * v;
+    out->min = std::min(out->min, v);
+    out->max = std::max(out->max, v);
+  }
+}
+
+StatusOr<AggregateResult> CompressedHistory::Aggregate(size_t signal,
+                                                       size_t t0,
+                                                       size_t t1) const {
+  if (signal >= num_signals_) {
+    return Status::OutOfRange("signal " + std::to_string(signal));
+  }
+  if (t0 >= t1 || t1 > history_len()) {
+    return Status::OutOfRange("range [" + std::to_string(t0) + ", " +
+                              std::to_string(t1) + ")");
+  }
+  AggregateResult out;
+  out.min = std::numeric_limits<double>::infinity();
+  out.max = -out.min;
+  // `variance` doubles as the running sum of squares until the end.
+
+  for (size_t c = t0 / chunk_len_; c <= (t1 - 1) / chunk_len_; ++c) {
+    const ChunkRep& chunk = chunks_[c];
+    // Sample range of this chunk (within the signal's row), in chunk-local
+    // concatenated coordinates.
+    const size_t chunk_t0 = c * chunk_len_;
+    const size_t lo_t = std::max(t0, chunk_t0) - chunk_t0;
+    const size_t hi_t = std::min(t1, chunk_t0 + chunk_len_) - chunk_t0;
+    const size_t row_lo = signal * chunk_len_ + lo_t;
+    const size_t row_hi = signal * chunk_len_ + hi_t;
+
+    // First interval containing row_lo (intervals tile the chunk).
+    auto it = std::upper_bound(
+        chunk.intervals.begin(), chunk.intervals.end(), row_lo,
+        [](size_t pos, const core::Interval& iv) { return pos < iv.start; });
+    --it;
+    for (; it != chunk.intervals.end() && it->start < row_hi; ++it) {
+      const size_t lo = std::max<size_t>(row_lo, it->start) - it->start;
+      const size_t hi =
+          std::min<size_t>(row_hi, it->start + it->length) - it->start;
+      AccumulateInterval(chunk, *it, lo, hi, &out);
+    }
+  }
+
+  const double n = static_cast<double>(out.count);
+  out.avg = out.sum / n;
+  out.variance = std::max(0.0, out.variance / n - out.avg * out.avg);
+  return out;
+}
+
+StatusOr<double> CompressedHistory::Value(size_t signal, size_t t) const {
+  auto agg = Aggregate(signal, t, t + 1);
+  if (!agg.ok()) return agg.status();
+  return agg->sum;
+}
+
+}  // namespace sbr::storage

@@ -1,0 +1,98 @@
+// Compressed-domain query engine: answers aggregate range queries over a
+// sensor's history directly from the SBR representation, without ever
+// materializing the reconstructed series.
+//
+// Because every interval is an affine image of a base segment
+// (y' = a x + b, or a line/parabola over time), range aggregates reduce to
+// prefix sums over the base-signal snapshot in force at that chunk:
+//    SUM  = a * sum(X[range]) + b * len                     O(1)/interval
+//    SUM2 = a^2 sum(X^2) + 2ab sum(X) + b^2 len             O(1)/interval
+// so SUM / AVG / VARIANCE cost O(intervals touched), independent of the
+// number of samples covered. MIN / MAX scan the base segment (at most W
+// values per interval in practice).
+//
+// Memory: one interval list per chunk plus one base-signal *snapshot
+// version* per change, far below retaining the decoded series.
+#ifndef SBR_STORAGE_QUERY_ENGINE_H_
+#define SBR_STORAGE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/base_signal.h"
+#include "core/interval.h"
+#include "core/transmission.h"
+#include "util/prefix_sums.h"
+#include "util/status.h"
+
+namespace sbr::storage {
+
+/// Aggregate kinds answered in the compressed domain.
+struct AggregateResult {
+  double sum = 0.0;
+  double avg = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Population variance of the *approximate* series over the range.
+  double variance = 0.0;
+  size_t count = 0;
+};
+
+/// Per-sensor compressed history with aggregate queries.
+class CompressedHistory {
+ public:
+  /// `m_base` must match the encoder's configuration.
+  explicit CompressedHistory(size_t m_base) : m_base_(m_base) {}
+
+  /// Ingests the next transmission (in order). Uniform-rate chunks only.
+  Status Ingest(const core::Transmission& t);
+
+  size_t num_chunks() const { return chunks_.size(); }
+  size_t num_signals() const { return num_signals_; }
+  size_t chunk_len() const { return chunk_len_; }
+  size_t history_len() const { return chunks_.size() * chunk_len_; }
+
+  /// Aggregates of `signal` over global sample range [t0, t1).
+  StatusOr<AggregateResult> Aggregate(size_t signal, size_t t0,
+                                      size_t t1) const;
+
+  /// Point lookup (reconstructs a single sample in O(log intervals)).
+  StatusOr<double> Value(size_t signal, size_t t) const;
+
+  /// Number of distinct base-signal versions retained.
+  size_t num_base_versions() const { return num_base_versions_; }
+
+ private:
+  /// An immutable base-signal snapshot with prefix sums for O(1) range
+  /// aggregates. Shared by every chunk encoded against it.
+  struct BaseVersion {
+    std::vector<double> values;
+    PrefixSums sums;
+  };
+
+  struct ChunkRep {
+    /// Intervals sorted by start, lengths resolved.
+    std::vector<core::Interval> intervals;
+    std::shared_ptr<const BaseVersion> base;
+  };
+
+  // Accumulates the aggregate of one interval restricted to
+  // [lo, hi) (positions relative to the interval's start).
+  void AccumulateInterval(const ChunkRep& chunk, const core::Interval& iv,
+                          size_t lo, size_t hi, AggregateResult* out) const;
+
+  size_t m_base_ = 0;
+  size_t w_ = 0;
+  core::BaseKind base_kind_ = core::BaseKind::kStored;
+  bool quadratic_ = false;
+  size_t num_signals_ = 0;
+  size_t chunk_len_ = 0;
+  core::BaseSignal mirror_;  // evolving decoder-side buffer
+  std::shared_ptr<const BaseVersion> current_base_;
+  size_t num_base_versions_ = 0;
+  std::vector<ChunkRep> chunks_;
+};
+
+}  // namespace sbr::storage
+
+#endif  // SBR_STORAGE_QUERY_ENGINE_H_

@@ -1,0 +1,93 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sbr {
+namespace {
+
+Status ParseLine(const std::string& line, size_t line_no,
+                 std::vector<double>* out) {
+  out->clear();
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t end = line.find(',', start);
+    if (end == std::string::npos) end = line.size();
+    const std::string cell = line.substr(start, end - start);
+    double value = 0.0;
+    const char* first = cell.data();
+    const char* last = cell.data() + cell.size();
+    // Skip leading whitespace; from_chars does not.
+    while (first < last && (*first == ' ' || *first == '\t')) ++first;
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": cannot parse cell '" + cell + "'");
+    }
+    out->push_back(value);
+    if (end == line.size()) break;
+    start = end + 1;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  if (!table.columns.empty()) {
+    for (size_t j = 0; j < table.columns.size(); ++j) {
+      if (j) out << ',';
+      out << table.columns[j];
+    }
+    out << '\n';
+  }
+  char buf[64];
+  for (const auto& row : table.rows) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (j) out << ',';
+      std::snprintf(buf, sizeof(buf), "%.17g", row[j]);
+      out << buf;
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::DataLoss("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open for read: " + path);
+  CsvTable table;
+  std::string line;
+  size_t line_no = 0;
+  if (has_header && std::getline(in, line)) {
+    ++line_no;
+    std::stringstream ss(line);
+    std::string col;
+    while (std::getline(ss, col, ',')) table.columns.push_back(col);
+  }
+  size_t width = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<double> row;
+    SBR_RETURN_IF_ERROR(ParseLine(line, line_no, &row));
+    if (width == 0) {
+      width = row.size();
+    } else if (row.size() != width) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(width) + " cells, got " + std::to_string(row.size()));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace sbr

@@ -1,0 +1,31 @@
+// Minimal CSV reading/writing for numeric matrices. Used to export bench
+// series and to import real sensor traces in place of the synthetic
+// generators (see DESIGN.md section 4).
+#ifndef SBR_UTIL_CSV_H_
+#define SBR_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sbr {
+
+/// A numeric table: `columns` holds per-column names (may be empty when the
+/// file has no header), `rows[i][j]` the value in row i, column j.
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Writes the table to `path`. A header line is emitted iff `columns` is
+/// non-empty. Values are written with enough digits to round-trip.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+/// Reads a numeric CSV. If `has_header` is true the first line populates
+/// `columns`. Fails on ragged rows or non-numeric cells.
+StatusOr<CsvTable> ReadCsv(const std::string& path, bool has_header);
+
+}  // namespace sbr
+
+#endif  // SBR_UTIL_CSV_H_

@@ -1,0 +1,52 @@
+// O(1) range-sum queries over a fixed series, used by the regression kernels
+// to avoid recomputing sum(x) and sum(x^2) for every candidate shift.
+#ifndef SBR_UTIL_PREFIX_SUMS_H_
+#define SBR_UTIL_PREFIX_SUMS_H_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sbr {
+
+/// Precomputed prefix sums of a series and of its squares.
+class PrefixSums {
+ public:
+  PrefixSums() = default;
+
+  explicit PrefixSums(std::span<const double> values) { Reset(values); }
+
+  /// Rebuilds the tables for a new series.
+  void Reset(std::span<const double> values) {
+    sum_.assign(values.size() + 1, 0.0);
+    sum_sq_.assign(values.size() + 1, 0.0);
+    for (size_t i = 0; i < values.size(); ++i) {
+      sum_[i + 1] = sum_[i] + values[i];
+      sum_sq_[i + 1] = sum_sq_[i] + values[i] * values[i];
+    }
+  }
+
+  /// Number of values covered.
+  size_t size() const { return sum_.empty() ? 0 : sum_.size() - 1; }
+
+  /// Sum of values in [start, start + length).
+  double RangeSum(size_t start, size_t length) const {
+    assert(start + length < sum_.size());
+    return sum_[start + length] - sum_[start];
+  }
+
+  /// Sum of squared values in [start, start + length).
+  double RangeSumSquares(size_t start, size_t length) const {
+    assert(start + length < sum_sq_.size());
+    return sum_sq_[start + length] - sum_sq_[start];
+  }
+
+ private:
+  std::vector<double> sum_;
+  std::vector<double> sum_sq_;
+};
+
+}  // namespace sbr
+
+#endif  // SBR_UTIL_PREFIX_SUMS_H_

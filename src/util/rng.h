@@ -1,0 +1,67 @@
+// Deterministic random number generation for reproducible datasets.
+//
+// We deliberately implement our own distributions (uniform, Gaussian,
+// Poisson-approximation) on top of xoshiro256++ instead of using
+// <random> distributions: the standard does not pin down distribution
+// algorithms, so std::normal_distribution output differs across standard
+// libraries. Every synthetic dataset in this repository must be
+// bit-reproducible from a seed on any platform.
+#ifndef SBR_UTIL_RNG_H_
+#define SBR_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sbr {
+
+/// xoshiro256++ PRNG (Blackman & Vigna), seeded via SplitMix64 so that any
+/// 64-bit seed, including 0, yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds replay identical streams.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64 random bits.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal variate via the Marsaglia polar method (deterministic
+  /// given the stream, unlike std::normal_distribution).
+  double Gaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Poisson-distributed count. Uses Knuth's method for small means and a
+  /// clamped normal approximation for large means (mean > 64).
+  int64_t Poisson(double mean);
+
+  /// Exponential variate with the given rate (lambda).
+  double Exponential(double rate);
+
+  /// Returns k distinct indices drawn uniformly from [0, n), in increasing
+  /// order (Floyd's algorithm). Requires k <= n.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace sbr
+
+#endif  // SBR_UTIL_RNG_H_

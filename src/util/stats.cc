@@ -1,0 +1,96 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sbr {
+
+double SumSquaredError(std::span<const double> truth,
+                       std::span<const double> approx) {
+  assert(truth.size() == approx.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double d = approx[i] - truth[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double SumSquaredRelativeError(std::span<const double> truth,
+                               std::span<const double> approx, double floor) {
+  assert(truth.size() == approx.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double denom = std::max(std::abs(truth[i]), floor);
+    const double d = (approx[i] - truth[i]) / denom;
+    sum += d * d;
+  }
+  return sum;
+}
+
+double MaxAbsoluteError(std::span<const double> truth,
+                        std::span<const double> approx) {
+  assert(truth.size() == approx.size());
+  double m = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    m = std::max(m, std::abs(approx[i] - truth[i]));
+  }
+  return m;
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mu = Mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - mu) * (v - mu);
+  return sum / static_cast<double>(values.size());
+}
+
+double PearsonCorrelation(std::span<const double> a,
+                          std::span<const double> b) {
+  assert(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+MinMax Extent(std::span<const double> values) {
+  assert(!values.empty());
+  MinMax mm{values[0], values[0]};
+  for (double v : values) {
+    mm.min = std::min(mm.min, v);
+    mm.max = std::max(mm.max, v);
+  }
+  return mm;
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+}  // namespace sbr

@@ -1,0 +1,69 @@
+// Error metrics and descriptive statistics shared by the core algorithms,
+// the baselines and the benchmark harness.
+#ifndef SBR_UTIL_STATS_H_
+#define SBR_UTIL_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sbr {
+
+/// Floor applied to |y| in relative-error denominators so that occasional
+/// zero readings do not blow the metric up. Matches DESIGN.md note 10.
+inline constexpr double kRelativeErrorFloor = 1.0;
+
+/// Sum of squared differences sum_i (approx[i] - truth[i])^2.
+double SumSquaredError(std::span<const double> truth,
+                       std::span<const double> approx);
+
+/// Sum of squared relative differences
+/// sum_i ((approx[i] - truth[i]) / max(|truth[i]|, floor))^2.
+double SumSquaredRelativeError(std::span<const double> truth,
+                               std::span<const double> approx,
+                               double floor = kRelativeErrorFloor);
+
+/// max_i |approx[i] - truth[i]|.
+double MaxAbsoluteError(std::span<const double> truth,
+                        std::span<const double> approx);
+
+/// Mean of the values; 0 for an empty span.
+double Mean(std::span<const double> values);
+
+/// Population variance; 0 for spans shorter than 2.
+double Variance(std::span<const double> values);
+
+/// Pearson correlation coefficient of two equal-length spans; 0 if either
+/// side has zero variance.
+double PearsonCorrelation(std::span<const double> a, std::span<const double> b);
+
+/// Minimum and maximum of a non-empty span.
+struct MinMax {
+  double min;
+  double max;
+};
+MinMax Extent(std::span<const double> values);
+
+/// Running mean/variance accumulator (Welford), used by long simulations
+/// where materializing all samples would be wasteful.
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance of the samples seen so far.
+  double variance() const { return count_ > 0 ? m2_ / count_ : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sbr
+
+#endif  // SBR_UTIL_STATS_H_

@@ -1,0 +1,160 @@
+// Unit tests for the slot-organized base-signal buffer: placement planning,
+// LFU / FIFO / random eviction, use-count bookkeeping and bounds checking.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/base_signal.h"
+
+namespace sbr::core {
+namespace {
+
+std::vector<double> Vals(size_t w, double fill) {
+  return std::vector<double>(w, fill);
+}
+
+TEST(BaseSignal, GeometryFromCapacity) {
+  BaseSignal bs(/*w=*/10, /*capacity_values=*/35);
+  EXPECT_EQ(bs.w(), 10u);
+  EXPECT_EQ(bs.num_slots(), 3u);  // floor(35 / 10)
+  EXPECT_EQ(bs.used_slots(), 0u);
+  EXPECT_TRUE(bs.empty());
+  EXPECT_TRUE(bs.values().empty());
+}
+
+TEST(BaseSignal, AppendGrowsFlatView) {
+  BaseSignal bs(4, 16);
+  ASSERT_TRUE(bs.Overwrite(0, Vals(4, 1.0)).ok());
+  ASSERT_TRUE(bs.Overwrite(1, Vals(4, 2.0)).ok());
+  EXPECT_EQ(bs.used_slots(), 2u);
+  const auto v = bs.values();
+  ASSERT_EQ(v.size(), 8u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[7], 2.0);
+}
+
+TEST(BaseSignal, OverwriteExistingSlotKeepsSize) {
+  BaseSignal bs(4, 16);
+  ASSERT_TRUE(bs.Overwrite(0, Vals(4, 1.0)).ok());
+  ASSERT_TRUE(bs.Overwrite(0, Vals(4, 9.0)).ok());
+  EXPECT_EQ(bs.used_slots(), 1u);
+  EXPECT_DOUBLE_EQ(bs.values()[0], 9.0);
+}
+
+TEST(BaseSignal, RejectsWrongWidthAndGaps) {
+  BaseSignal bs(4, 16);
+  EXPECT_FALSE(bs.Overwrite(0, Vals(3, 1.0)).ok());  // wrong width
+  EXPECT_FALSE(bs.Overwrite(2, Vals(4, 1.0)).ok());  // would leave a gap
+  ASSERT_TRUE(bs.Overwrite(0, Vals(4, 1.0)).ok());
+  EXPECT_FALSE(bs.Overwrite(5, Vals(4, 1.0)).ok());  // beyond capacity
+}
+
+TEST(BaseSignal, PlanPlacementPrefersFreeSlots) {
+  BaseSignal bs(4, 16);  // 4 slots
+  ASSERT_TRUE(bs.Overwrite(0, Vals(4, 1.0)).ok());
+  const auto plan = bs.PlanPlacement(2);
+  EXPECT_EQ(plan, (std::vector<size_t>{1, 2}));
+}
+
+TEST(BaseSignal, PlanPlacementEvictsLfu) {
+  BaseSignal bs(4, 12);  // 3 slots
+  ASSERT_TRUE(bs.Overwrite(0, Vals(4, 1.0)).ok());
+  ASSERT_TRUE(bs.Overwrite(1, Vals(4, 2.0)).ok());
+  ASSERT_TRUE(bs.Overwrite(2, Vals(4, 3.0)).ok());
+  // Slot 0 used twice, slot 2 once, slot 1 never.
+  bs.RecordUse(0, 4);
+  bs.RecordUse(0, 4);
+  bs.RecordUse(8, 4);
+  const auto plan = bs.PlanPlacement(2);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0], 1u);  // least used
+  EXPECT_EQ(plan[1], 2u);  // next least
+}
+
+TEST(BaseSignal, LfuTieBreaksOnAge) {
+  BaseSignal bs(2, 6);  // 3 slots
+  ASSERT_TRUE(bs.Overwrite(0, Vals(2, 1.0)).ok());
+  ASSERT_TRUE(bs.Overwrite(1, Vals(2, 2.0)).ok());
+  ASSERT_TRUE(bs.Overwrite(2, Vals(2, 3.0)).ok());
+  // All use counts zero: the oldest insertion (slot 0) goes first.
+  const auto plan = bs.PlanPlacement(1);
+  EXPECT_EQ(plan[0], 0u);
+}
+
+TEST(BaseSignal, OverwriteResetsUseCount) {
+  BaseSignal bs(4, 8);
+  ASSERT_TRUE(bs.Overwrite(0, Vals(4, 1.0)).ok());
+  bs.RecordUse(0, 4);
+  EXPECT_EQ(bs.use_count(0), 1u);
+  ASSERT_TRUE(bs.Overwrite(0, Vals(4, 2.0)).ok());
+  EXPECT_EQ(bs.use_count(0), 0u);
+}
+
+TEST(BaseSignal, RecordUseSpansSlots) {
+  BaseSignal bs(4, 16);
+  for (size_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(bs.Overwrite(s, Vals(4, 1.0)).ok());
+  }
+  // Range [3, 3 + 6) covers slots 0, 1, 2.
+  bs.RecordUse(3, 6);
+  EXPECT_EQ(bs.use_count(0), 1u);
+  EXPECT_EQ(bs.use_count(1), 1u);
+  EXPECT_EQ(bs.use_count(2), 1u);
+  EXPECT_EQ(bs.use_count(3), 0u);
+}
+
+TEST(BaseSignal, RecordUseZeroLengthIsNoop) {
+  BaseSignal bs(4, 8);
+  ASSERT_TRUE(bs.Overwrite(0, Vals(4, 1.0)).ok());
+  bs.RecordUse(0, 0);
+  EXPECT_EQ(bs.use_count(0), 0u);
+}
+
+TEST(BaseSignal, FifoEvictsOldestRegardlessOfUse) {
+  BaseSignal bs(2, 6, EvictionPolicy::kFifo);
+  ASSERT_TRUE(bs.Overwrite(0, Vals(2, 1.0)).ok());
+  ASSERT_TRUE(bs.Overwrite(1, Vals(2, 2.0)).ok());
+  ASSERT_TRUE(bs.Overwrite(2, Vals(2, 3.0)).ok());
+  bs.RecordUse(0, 2);  // heavy use on slot 0 does not matter under FIFO
+  bs.RecordUse(0, 2);
+  const auto plan = bs.PlanPlacement(1);
+  EXPECT_EQ(plan[0], 0u);
+}
+
+TEST(BaseSignal, RandomEvictionIsValidAndDeterministic) {
+  auto run = [] {
+    BaseSignal bs(2, 8, EvictionPolicy::kRandom);
+    for (size_t s = 0; s < 4; ++s) {
+      EXPECT_TRUE(bs.Overwrite(s, Vals(2, 1.0)).ok());
+    }
+    return bs.PlanPlacement(2);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);  // same seed stream -> same plan
+  std::set<size_t> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), 2u);
+  for (size_t s : a) EXPECT_LT(s, 4u);
+}
+
+TEST(BaseSignal, PlanThenOverwriteFullCycle) {
+  BaseSignal bs(3, 9);  // 3 slots
+  // Fill, use, then request a 2-slot placement and write through it.
+  for (size_t s = 0; s < 3; ++s) {
+    ASSERT_TRUE(bs.Overwrite(s, Vals(3, static_cast<double>(s))).ok());
+  }
+  bs.RecordUse(0, 3);   // slot 0 used
+  bs.RecordUse(6, 3);   // slot 2 used
+  const auto plan = bs.PlanPlacement(2);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0], 1u);  // LFU: slot 1 never used
+  for (size_t i = 0; i < plan.size(); ++i) {
+    ASSERT_TRUE(bs.Overwrite(plan[i], Vals(3, 100.0 + i)).ok());
+  }
+  EXPECT_EQ(bs.used_slots(), 3u);
+  EXPECT_DOUBLE_EQ(bs.values()[plan[0] * 3], 100.0);
+}
+
+}  // namespace
+}  // namespace sbr::core

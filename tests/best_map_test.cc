@@ -1,0 +1,225 @@
+// Unit tests for BestMap: shift selection over the base signal, the
+// linear-in-time fall-back, the 2W length cutoff, and optimality against
+// brute-force scans.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/best_map.h"
+#include "core/regression.h"
+#include "util/rng.h"
+
+namespace sbr::core {
+namespace {
+
+TEST(BestMap, FindsExactEmbeddedPattern) {
+  // Base signal contains a distinctive pattern at shift 7; the data
+  // interval is an affine image of it, so the scan must locate shift 7 and
+  // achieve ~zero error.
+  Rng rng(1);
+  std::vector<double> x(64);
+  for (auto& v : x) v = rng.Uniform(-1, 1);
+  std::vector<double> y(16);
+  for (size_t i = 0; i < 16; ++i) y[i] = 3.0 * x[7 + i] - 2.0;
+
+  Interval iv;
+  iv.start = 0;
+  iv.length = 16;
+  BestMapOptions opts;
+  BestMap(x, y, /*w=*/16, opts, &iv);
+  EXPECT_EQ(iv.shift, 7);
+  EXPECT_NEAR(iv.a, 3.0, 1e-9);
+  EXPECT_NEAR(iv.b, -2.0, 1e-9);
+  EXPECT_NEAR(iv.err, 0.0, 1e-9);
+}
+
+TEST(BestMap, ScansAllShiftsIncludingLast) {
+  // The matching segment sits flush at the end of the base signal.
+  Rng rng(2);
+  std::vector<double> x(40);
+  for (auto& v : x) v = rng.Uniform(-1, 1);
+  const size_t len = 8;
+  const size_t last_shift = x.size() - len;
+  std::vector<double> y(len);
+  for (size_t i = 0; i < len; ++i) y[i] = x[last_shift + i];
+
+  Interval iv;
+  iv.start = 0;
+  iv.length = len;
+  BestMapOptions opts;
+  BestMap(x, y, /*w=*/len, opts, &iv);
+  EXPECT_EQ(iv.shift, static_cast<int64_t>(last_shift));
+  EXPECT_NEAR(iv.err, 0.0, 1e-9);
+}
+
+TEST(BestMap, FallsBackToLinearWhenBaseEmpty) {
+  std::vector<double> y{1, 2, 3, 4, 5};
+  Interval iv;
+  iv.start = 0;
+  iv.length = 5;
+  BestMapOptions opts;
+  BestMap({}, y, /*w=*/4, opts, &iv);
+  EXPECT_EQ(iv.shift, kShiftLinearFallback);
+  EXPECT_NEAR(iv.a, 1.0, 1e-12);
+  EXPECT_NEAR(iv.b, 1.0, 1e-12);
+  EXPECT_NEAR(iv.err, 0.0, 1e-12);
+}
+
+TEST(BestMap, LongIntervalSkipsShiftScan) {
+  // length > 2 * w: the scan is skipped even though the base could host it.
+  Rng rng(3);
+  std::vector<double> x(100);
+  for (auto& v : x) v = rng.Uniform(-1, 1);
+  std::vector<double> y(50);
+  for (size_t i = 0; i < 50; ++i) y[i] = x[10 + i];  // perfect match exists
+
+  Interval iv;
+  iv.start = 0;
+  iv.length = 50;
+  BestMapOptions opts;  // max_shift_multiple = 2, w = 16 -> cutoff 32 < 50
+  BestMap(x, y, /*w=*/16, opts, &iv);
+  EXPECT_EQ(iv.shift, kShiftLinearFallback);
+}
+
+TEST(BestMap, CutoffBoundaryExactlyTwoW) {
+  Rng rng(4);
+  std::vector<double> x(100);
+  for (auto& v : x) v = rng.Uniform(-1, 1);
+  const size_t w = 16;
+  std::vector<double> y(2 * w);
+  for (size_t i = 0; i < y.size(); ++i) y[i] = x[5 + i];
+
+  Interval iv;
+  iv.start = 0;
+  iv.length = y.size();
+  BestMapOptions opts;
+  BestMap(x, y, w, opts, &iv);
+  EXPECT_EQ(iv.shift, 5);  // length == 2W is still scanned
+}
+
+TEST(BestMap, DisallowedFallbackStillUsedAsLastResort) {
+  // Fall-back disabled but the base is too short for this interval: the
+  // interval must still get an encoding.
+  std::vector<double> x(4, 1.0);
+  std::vector<double> y{5, 6, 7, 8, 9, 10};
+  Interval iv;
+  iv.start = 0;
+  iv.length = 6;
+  BestMapOptions opts;
+  opts.allow_linear_fallback = false;
+  BestMap(x, y, /*w=*/8, opts, &iv);
+  EXPECT_EQ(iv.shift, kShiftLinearFallback);
+  EXPECT_TRUE(std::isfinite(iv.err));
+}
+
+TEST(BestMap, DisallowedFallbackUsesBaseEvenWhenWorse) {
+  // A perfect ramp would have zero fall-back error, but with the fall-back
+  // disabled the best base mapping must be chosen instead.
+  Rng rng(5);
+  std::vector<double> x(32);
+  for (auto& v : x) v = rng.Uniform(-1, 1);
+  std::vector<double> y{1, 2, 3, 4, 5, 6, 7, 8};
+  Interval iv;
+  iv.start = 0;
+  iv.length = 8;
+  BestMapOptions opts;
+  opts.allow_linear_fallback = false;
+  BestMap(x, y, /*w=*/8, opts, &iv);
+  EXPECT_GE(iv.shift, 0);
+}
+
+TEST(BestMap, MatchesBruteForceOverShifts) {
+  Rng rng(6);
+  std::vector<double> x(48), full_y(64);
+  for (auto& v : x) v = rng.Uniform(-2, 2);
+  for (auto& v : full_y) v = rng.Uniform(-2, 2);
+
+  Interval iv;
+  iv.start = 10;
+  iv.length = 12;
+  BestMapOptions opts;
+  BestMap(x, full_y, /*w=*/12, opts, &iv);
+
+  // Brute force: every shift plus the fall-back.
+  std::span<const double> yseg(full_y.data() + 10, 12);
+  double best = FitTime(ErrorMetric::kSse, yseg, 1.0).err;
+  for (size_t s = 0; s + 12 <= x.size(); ++s) {
+    best = std::min(
+        best, FitSse(std::span<const double>(x.data() + s, 12), yseg).err);
+  }
+  EXPECT_NEAR(iv.err, best, 1e-9 * std::max(1.0, best));
+}
+
+TEST(BestMap, RelativeMetricMatchesBruteForce) {
+  Rng rng(7);
+  std::vector<double> x(32), full_y(32);
+  for (auto& v : x) v = rng.Uniform(1, 3);
+  for (auto& v : full_y) v = rng.Uniform(5, 50);
+
+  Interval iv;
+  iv.start = 4;
+  iv.length = 8;
+  BestMapOptions opts;
+  opts.metric = ErrorMetric::kSseRelative;
+  BestMap(x, full_y, /*w=*/8, opts, &iv);
+
+  std::span<const double> yseg(full_y.data() + 4, 8);
+  double best = FitTime(ErrorMetric::kSseRelative, yseg, 1.0).err;
+  for (size_t s = 0; s + 8 <= x.size(); ++s) {
+    best = std::min(best,
+                    FitSseRelative(
+                        std::span<const double>(x.data() + s, 8), yseg, 1.0)
+                        .err);
+  }
+  EXPECT_NEAR(iv.err, best, 1e-9 * std::max(1.0, best));
+}
+
+TEST(BestMap, MaxAbsMetricSelectsSaneShift) {
+  Rng rng(8);
+  std::vector<double> x(24);
+  for (auto& v : x) v = rng.Uniform(-1, 1);
+  std::vector<double> y(6);
+  for (size_t i = 0; i < 6; ++i) y[i] = -2.0 * x[9 + i] + 1.0;
+
+  Interval iv;
+  iv.start = 0;
+  iv.length = 6;
+  BestMapOptions opts;
+  opts.metric = ErrorMetric::kMaxAbs;
+  BestMap(x, y, /*w=*/6, opts, &iv);
+  EXPECT_EQ(iv.shift, 9);
+  EXPECT_NEAR(iv.err, 0.0, 1e-8);
+}
+
+TEST(BestMap, ChoosesBetterOfBaseAndFallback) {
+  // The data is a perfect ramp (fall-back error 0) and the base is random
+  // noise: the fall-back must win.
+  Rng rng(9);
+  std::vector<double> x(32);
+  for (auto& v : x) v = rng.Uniform(-1, 1);
+  std::vector<double> y(8);
+  for (size_t i = 0; i < 8; ++i) y[i] = 5.0 * static_cast<double>(i) + 1.0;
+
+  Interval iv;
+  iv.start = 0;
+  iv.length = 8;
+  BestMapOptions opts;
+  BestMap(x, y, /*w=*/8, opts, &iv);
+  EXPECT_EQ(iv.shift, kShiftLinearFallback);
+  EXPECT_NEAR(iv.err, 0.0, 1e-9);
+}
+
+TEST(BestMap, SingleValueInterval) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{42.0};
+  Interval iv;
+  iv.start = 0;
+  iv.length = 1;
+  BestMapOptions opts;
+  BestMap(x, y, /*w=*/2, opts, &iv);
+  EXPECT_NEAR(iv.err, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sbr::core

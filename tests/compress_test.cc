@@ -1,0 +1,352 @@
+// Unit tests for the baseline compressors: Haar wavelet transforms and
+// top-B selection, the DCT compressor, histograms, the piecewise linear
+// baseline and the SVD base construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "compress/dct_compressor.h"
+#include "compress/histogram.h"
+#include "compress/linear_model.h"
+#include "compress/sbr_compressor.h"
+#include "compress/svd_base.h"
+#include "compress/wavelet.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sbr::compress {
+namespace {
+
+std::vector<double> NoisySine(size_t n, uint64_t seed, double noise = 0.1) {
+  Rng rng(seed);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = 3.0 * std::sin(i * 0.1) + std::cos(i * 0.37) +
+           rng.Gaussian(0, noise);
+  }
+  return y;
+}
+
+// ------------------------------------------------------------------ Haar
+
+TEST(Haar, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  for (size_t n : {1u, 2u, 8u, 64u, 256u}) {
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.Uniform(-5, 5);
+    std::vector<double> c = x;
+    HaarForward(c);
+    HaarInverse(c);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(c[i], x[i], 1e-10) << "n=" << n;
+    }
+  }
+}
+
+TEST(Haar, OrthonormalPreservesEnergy) {
+  Rng rng(2);
+  std::vector<double> x(128);
+  for (auto& v : x) v = rng.Uniform(-5, 5);
+  std::vector<double> c = x;
+  HaarForward(c);
+  double ex = 0, ec = 0;
+  for (double v : x) ex += v * v;
+  for (double v : c) ec += v * v;
+  EXPECT_NEAR(ec, ex, 1e-8);
+}
+
+TEST(Haar, ConstantSignalSingleCoefficient) {
+  std::vector<double> c(64, 2.0);
+  HaarForward(c);
+  EXPECT_NEAR(c[0], 2.0 * 8.0, 1e-10);  // 2 * sqrt(64)
+  for (size_t i = 1; i < c.size(); ++i) EXPECT_NEAR(c[i], 0.0, 1e-12);
+}
+
+TEST(Haar, PaddedHandlesArbitraryLength) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  const auto c = HaarForwardPadded(x);
+  EXPECT_EQ(c.size(), 8u);
+}
+
+TEST(KeepTopCoefficients, KeepsLargestMagnitudes) {
+  std::vector<double> c{5, -1, 0.5, -7, 2, 0};
+  KeepTopCoefficients(c, 2);
+  EXPECT_EQ(c, (std::vector<double>{5, 0, 0, -7, 0, 0}));
+}
+
+TEST(KeepTopCoefficients, KeepAllWhenBudgetLarge) {
+  std::vector<double> c{1, 2, 3};
+  const size_t kept = KeepTopCoefficients(c, 10);
+  EXPECT_EQ(kept, 3u);
+  EXPECT_EQ(c, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(KeepTopCoefficients, TopBIsL2OptimalForOrthonormalBasis) {
+  // Reconstruction error must equal the energy of the dropped
+  // coefficients (Parseval), which is minimal for top-B selection.
+  Rng rng(3);
+  std::vector<double> x(64);
+  for (auto& v : x) v = rng.Uniform(-2, 2);
+  std::vector<double> c = x;
+  HaarForward(c);
+  std::vector<double> kept = c;
+  KeepTopCoefficients(kept, 8);
+  double dropped_energy = 0;
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (kept[i] == 0.0 && c[i] != 0.0) dropped_energy += c[i] * c[i];
+  }
+  std::vector<double> rec = kept;
+  HaarInverse(rec);
+  EXPECT_NEAR(SumSquaredError(x, rec), dropped_energy, 1e-8);
+}
+
+// ------------------------------------------------- WaveletCompressor
+
+TEST(WaveletCompressor, BudgetMonotonicity) {
+  const auto y = NoisySine(512, 4);
+  WaveletCompressor wc;
+  double prev = 1e300;
+  for (size_t budget : {32u, 64u, 128u, 256u}) {
+    auto rec = wc.CompressAndReconstruct(y, 1, budget);
+    ASSERT_TRUE(rec.ok());
+    const double err = SumSquaredError(y, *rec);
+    EXPECT_LE(err, prev + 1e-9);
+    prev = err;
+  }
+}
+
+TEST(WaveletCompressor, FullBudgetIsNearLossless) {
+  const auto y = NoisySine(256, 5);
+  WaveletCompressor wc;
+  auto rec = wc.CompressAndReconstruct(y, 1, 2 * y.size());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_NEAR(SumSquaredError(y, *rec), 0.0, 1e-8);
+}
+
+TEST(WaveletCompressor, AllLayoutsProduceValidOutput) {
+  Rng rng(6);
+  std::vector<double> y(4 * 128);
+  for (auto& v : y) v = rng.Uniform(-3, 3);
+  for (WaveletLayout layout : {WaveletLayout::kConcat,
+                               WaveletLayout::kPerSignal,
+                               WaveletLayout::kTwoD}) {
+    WaveletCompressor wc(layout);
+    auto rec = wc.CompressAndReconstruct(y, 4, 100);
+    ASSERT_TRUE(rec.ok()) << wc.Name();
+    EXPECT_EQ(rec->size(), y.size());
+    for (double v : *rec) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(WaveletCompressor, PerSignalAdaptsAllocationAcrossSignals) {
+  // Signal 0 constant, signal 1 rich: per-signal with global selection
+  // must not waste coefficients on signal 0.
+  Rng rng(7);
+  std::vector<double> y(2 * 128, 1.0);
+  for (size_t i = 128; i < 256; ++i) y[i] = rng.Uniform(-10, 10);
+  WaveletCompressor per(WaveletLayout::kPerSignal);
+  auto rec = per.CompressAndReconstruct(y, 2, 64);
+  ASSERT_TRUE(rec.ok());
+  // Constant signal reconstructed near-perfectly.
+  std::vector<double> truth0(y.begin(), y.begin() + 128);
+  std::vector<double> approx0(rec->begin(), rec->begin() + 128);
+  EXPECT_NEAR(SumSquaredError(truth0, approx0), 0.0, 1e-9);
+}
+
+TEST(WaveletCompressor, RejectsZeroBudget) {
+  std::vector<double> y(16, 1.0);
+  WaveletCompressor wc;
+  EXPECT_FALSE(wc.CompressAndReconstruct(y, 1, 1).ok());
+}
+
+// ----------------------------------------------------- DctCompressor
+
+TEST(DctCompressor, SmoothSignalCompressesWell) {
+  std::vector<double> y(512);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = std::cos((2.0 * i + 1.0) * std::numbers::pi * 3 / 1024.0);
+  }
+  DctCompressor dc;
+  auto rec = dc.CompressAndReconstruct(y, 1, 8);  // 4 coefficients
+  ASSERT_TRUE(rec.ok());
+  EXPECT_NEAR(SumSquaredError(y, *rec), 0.0, 1e-9);
+}
+
+TEST(DctCompressor, BudgetMonotonicity) {
+  const auto y = NoisySine(512, 8);
+  DctCompressor dc;
+  double prev = 1e300;
+  for (size_t budget : {16u, 64u, 256u}) {
+    auto rec = dc.CompressAndReconstruct(y, 1, budget);
+    ASSERT_TRUE(rec.ok());
+    const double err = SumSquaredError(y, *rec);
+    EXPECT_LE(err, prev + 1e-9);
+    prev = err;
+  }
+}
+
+TEST(DctCompressor, PerSignalLayoutValid) {
+  Rng rng(9);
+  std::vector<double> y(3 * 100);
+  for (auto& v : y) v = rng.Uniform(0, 1);
+  DctCompressor dc(DctLayout::kPerSignal);
+  auto rec = dc.CompressAndReconstruct(y, 3, 60);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), y.size());
+}
+
+// -------------------------------------------------------- Histograms
+
+TEST(Histogram, EquiWidthConstantDataIsExact) {
+  std::vector<double> y(100, 7.0);
+  HistogramCompressor hc(HistogramKind::kEquiWidth);
+  auto rec = hc.CompressAndReconstruct(y, 1, 10);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_NEAR(SumSquaredError(y, *rec), 0.0, 1e-12);
+}
+
+TEST(Histogram, AllKindsCoverSignalAndAreFinite) {
+  const auto y = NoisySine(300, 10);
+  for (HistogramKind kind : {HistogramKind::kEquiDepth,
+                             HistogramKind::kEquiWidth,
+                             HistogramKind::kGreedy}) {
+    HistogramCompressor hc(kind);
+    auto rec = hc.CompressAndReconstruct(y, 1, 40);
+    ASSERT_TRUE(rec.ok()) << hc.Name();
+    ASSERT_EQ(rec->size(), y.size());
+    for (double v : *rec) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Histogram, GreedyBeatsEquiWidthOnPiecewiseConstantData) {
+  // Step function with unequal step lengths: greedy splitting finds the
+  // step edges, equi-width cannot.
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) y.push_back(0.0);
+  for (int i = 0; i < 17; ++i) y.push_back(10.0);
+  for (int i = 0; i < 139; ++i) y.push_back(-5.0);
+  HistogramCompressor greedy(HistogramKind::kGreedy);
+  HistogramCompressor width(HistogramKind::kEquiWidth);
+  auto g = greedy.CompressAndReconstruct(y, 1, 16);
+  auto w = width.CompressAndReconstruct(y, 1, 16);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(w.ok());
+  EXPECT_LT(SumSquaredError(y, *g), SumSquaredError(y, *w));
+}
+
+TEST(Histogram, MoreBucketsNeverHurtGreedy) {
+  const auto y = NoisySine(256, 11);
+  HistogramCompressor hc(HistogramKind::kGreedy);
+  double prev = 1e300;
+  for (size_t budget : {8u, 16u, 64u, 128u}) {
+    auto rec = hc.CompressAndReconstruct(y, 1, budget);
+    ASSERT_TRUE(rec.ok());
+    const double err = SumSquaredError(y, *rec);
+    EXPECT_LE(err, prev + 1e-9);
+    prev = err;
+  }
+}
+
+// ------------------------------------------------------- LinearModel
+
+TEST(LinearModel, PiecewiseLinearDataIsExact) {
+  std::vector<double> y;
+  for (int i = 0; i < 64; ++i) y.push_back(2.0 * i);
+  for (int i = 0; i < 64; ++i) y.push_back(100.0 - i);
+  LinearModelCompressor lm;
+  auto rec = lm.CompressAndReconstruct(y, 1, 12);  // 4 intervals
+  ASSERT_TRUE(rec.ok());
+  EXPECT_NEAR(SumSquaredError(y, *rec), 0.0, 1e-9);
+}
+
+TEST(LinearModel, FinerBudgetHelps) {
+  const auto y = NoisySine(300, 12);
+  LinearModelCompressor lm;
+  auto fine = lm.CompressAndReconstruct(y, 1, 30);
+  auto coarse = lm.CompressAndReconstruct(y, 1, 15);
+  ASSERT_TRUE(fine.ok());
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_LT(SumSquaredError(y, *fine), SumSquaredError(y, *coarse));
+}
+
+// ---------------------------------------------------------- SVD base
+
+TEST(SvdBase, ReturnsUnitNormIntervals) {
+  Rng rng(13);
+  std::vector<double> y(4 * 64);
+  for (auto& v : y) v = rng.Uniform(-2, 2);
+  const auto base = GetBaseSvd(y, 4, 8, 3);
+  ASSERT_EQ(base.size(), 3u);
+  for (const auto& cbi : base) {
+    ASSERT_EQ(cbi.values.size(), 8u);
+    double norm = 0;
+    for (double v : cbi.values) norm += v * v;
+    EXPECT_NEAR(norm, 1.0, 1e-8);
+  }
+  // Singular values (benefits) sorted descending.
+  EXPECT_GE(base[0].benefit, base[1].benefit);
+  EXPECT_GE(base[1].benefit, base[2].benefit);
+}
+
+TEST(SvdBase, CapturesSharedStructure) {
+  // All windows proportional to one pattern: the first singular vector
+  // must align with it.
+  const size_t w = 16;
+  std::vector<double> pattern(w);
+  for (size_t i = 0; i < w; ++i) {
+    pattern[i] = std::sin(2.0 * M_PI * i / w);
+  }
+  std::vector<double> y;
+  for (int rep = 1; rep <= 8; ++rep) {
+    for (size_t i = 0; i < w; ++i) y.push_back(rep * pattern[i]);
+  }
+  const auto base = GetBaseSvd(y, 1, w, 1);
+  ASSERT_EQ(base.size(), 1u);
+  double dot = 0, norm_p = 0;
+  for (size_t i = 0; i < w; ++i) {
+    dot += base[0].values[i] * pattern[i];
+    norm_p += pattern[i] * pattern[i];
+  }
+  EXPECT_NEAR(std::abs(dot) / std::sqrt(norm_p), 1.0, 1e-6);
+}
+
+TEST(SvdBase, ProviderAdapterMatchesDirectCall) {
+  Rng rng(14);
+  std::vector<double> y(2 * 64);
+  for (auto& v : y) v = rng.Uniform(-1, 1);
+  const auto direct = GetBaseSvd(y, 2, 8, 2);
+  const auto via_provider = SvdBaseProvider()(y, 2, 8, 2);
+  ASSERT_EQ(direct.size(), via_provider.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].values, via_provider[i].values);
+  }
+}
+
+// ----------------------------------------------------- SbrCompressor
+
+TEST(SbrCompressor, BudgetMismatchRejected) {
+  core::EncoderOptions opts;
+  opts.total_band = 100;
+  opts.m_base = 64;
+  SbrCompressor sc(opts);
+  const auto y = NoisySine(256, 15);
+  EXPECT_FALSE(sc.CompressAndReconstruct(y, 1, 99).ok());
+  EXPECT_TRUE(sc.CompressAndReconstruct(y, 1, 100).ok());
+}
+
+TEST(SbrCompressor, ReconstructionErrorMatchesStats) {
+  core::EncoderOptions opts;
+  opts.total_band = 80;
+  opts.m_base = 64;
+  SbrCompressor sc(opts);
+  const auto y = NoisySine(256, 16);
+  auto rec = sc.CompressAndReconstruct(y, 1, 80);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_NEAR(SumSquaredError(y, *rec), sc.last_stats().total_error,
+              1e-6 * std::max(1.0, sc.last_stats().total_error));
+}
+
+}  // namespace
+}  // namespace sbr::compress

@@ -1,0 +1,322 @@
+// Unit tests for the dataset substrate: container operations, generator
+// reproducibility and the statistical properties each synthetic dataset
+// must exhibit to stand in for the paper's traces (DESIGN.md section 4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/dataset.h"
+#include "datagen/mixed.h"
+#include "datagen/paper_datasets.h"
+#include "datagen/phonecall.h"
+#include "datagen/stock.h"
+#include "datagen/weather.h"
+#include "util/stats.h"
+
+namespace sbr::datagen {
+namespace {
+
+// ---------------------------------------------------------------- Dataset
+
+TEST(Dataset, ChunkExtraction) {
+  Dataset ds;
+  ds.signal_names = {"a", "b"};
+  ds.values = linalg::Matrix(2, 10);
+  for (size_t j = 0; j < 10; ++j) {
+    ds.values(0, j) = static_cast<double>(j);
+    ds.values(1, j) = static_cast<double>(100 + j);
+  }
+  EXPECT_EQ(ds.NumChunks(3), 3u);
+  const auto chunk = ds.Chunk(1, 3);
+  EXPECT_DOUBLE_EQ(chunk(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(chunk(1, 2), 105.0);
+}
+
+TEST(Dataset, SelectSignalsReorders) {
+  Dataset ds;
+  ds.name = "src";
+  ds.signal_names = {"a", "b", "c"};
+  ds.values = linalg::Matrix(3, 4);
+  ds.values(2, 0) = 9.0;
+  const Dataset out = ds.SelectSignals({2, 0}, "picked");
+  EXPECT_EQ(out.num_signals(), 2u);
+  EXPECT_EQ(out.signal_names[0], "c");
+  EXPECT_DOUBLE_EQ(out.values(0, 0), 9.0);
+}
+
+TEST(Dataset, TruncateShortens) {
+  Dataset ds;
+  ds.signal_names = {"a"};
+  ds.values = linalg::Matrix(1, 8);
+  ds.values(0, 7) = 7.0;
+  const Dataset out = ds.Truncate(4);
+  EXPECT_EQ(out.length(), 4u);
+}
+
+TEST(Dataset, ConcatenateStacksRows) {
+  Dataset a, b;
+  a.name = "a";
+  a.signal_names = {"x"};
+  a.values = linalg::Matrix(1, 5);
+  b.name = "b";
+  b.signal_names = {"y", "z"};
+  b.values = linalg::Matrix(2, 5);
+  auto combined = Concatenate({a, b}, "ab");
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(combined->num_signals(), 3u);
+  EXPECT_EQ(combined->signal_names[0], "a/x");
+  EXPECT_EQ(combined->signal_names[2], "b/z");
+}
+
+TEST(Dataset, ConcatenateRejectsLengthMismatch) {
+  Dataset a, b;
+  a.signal_names = {"x"};
+  a.values = linalg::Matrix(1, 5);
+  b.signal_names = {"y"};
+  b.values = linalg::Matrix(1, 6);
+  EXPECT_FALSE(Concatenate({a, b}, "bad").ok());
+}
+
+TEST(Dataset, ConcatRowsFlattens) {
+  linalg::Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(ConcatRows(m), (std::vector<double>{1, 2, 3, 4, 5, 6}));
+}
+
+// ---------------------------------------------------------------- Weather
+
+TEST(Weather, GeometryAndReproducibility) {
+  WeatherOptions opts;
+  opts.length = 2000;
+  const Dataset a = GenerateWeather(opts);
+  const Dataset b = GenerateWeather(opts);
+  EXPECT_EQ(a.num_signals(), 6u);
+  EXPECT_EQ(a.length(), 2000u);
+  for (size_t s = 0; s < 6; ++s) {
+    for (size_t i = 0; i < 2000; ++i) {
+      ASSERT_DOUBLE_EQ(a.values(s, i), b.values(s, i));
+    }
+  }
+  WeatherOptions other = opts;
+  other.seed = 999;
+  const Dataset c = GenerateWeather(other);
+  EXPECT_NE(a.values(0, 100), c.values(0, 100));
+}
+
+TEST(Weather, PhysicalInvariants) {
+  WeatherOptions opts;
+  opts.length = 144 * 30;  // 30 days
+  const Dataset ds = GenerateWeather(opts);
+  for (size_t i = 0; i < ds.length(); ++i) {
+    EXPECT_GE(ds.values(0, i), ds.values(1, i)) << "dewpoint above temp";
+    EXPECT_GE(ds.values(2, i), 0.0) << "negative wind speed";
+    EXPECT_GE(ds.values(3, i), ds.values(2, i)) << "peak below mean wind";
+    EXPECT_GE(ds.values(4, i), 0.0) << "negative irradiance";
+    EXPECT_GE(ds.values(5, i), 0.0);
+    EXPECT_LE(ds.values(5, i), 100.0);
+  }
+}
+
+TEST(Weather, TempDewpointStronglyCorrelated) {
+  WeatherOptions opts;
+  opts.length = 144 * 60;
+  const Dataset ds = GenerateWeather(opts);
+  const double corr = PearsonCorrelation(ds.Signal(0), ds.Signal(1));
+  EXPECT_GT(corr, 0.9);
+}
+
+TEST(Weather, SolarHasDiurnalStructure) {
+  WeatherOptions opts;
+  opts.length = 144 * 30;
+  const Dataset ds = GenerateWeather(opts);
+  // Solar must be zero at night (1/4 of samples at least) and positive in
+  // the day.
+  size_t zeros = 0, positives = 0;
+  for (size_t i = 0; i < ds.length(); ++i) {
+    if (ds.values(4, i) == 0.0) ++zeros;
+    if (ds.values(4, i) > 50.0) ++positives;
+  }
+  EXPECT_GT(zeros, ds.length() / 4);
+  EXPECT_GT(positives, ds.length() / 5);
+}
+
+// ------------------------------------------------------------------ Stock
+
+TEST(Stock, GeometryAndReproducibility) {
+  StockOptions opts;
+  opts.length = 3000;
+  const Dataset a = GenerateStock(opts);
+  EXPECT_EQ(a.num_signals(), kNumStockTickers);
+  EXPECT_EQ(a.signal_names[0], "MSFT");
+  const Dataset b = GenerateStock(opts);
+  ASSERT_DOUBLE_EQ(a.values(3, 1234), b.values(3, 1234));
+}
+
+TEST(Stock, PricesStayPositiveAndNearBase) {
+  StockOptions opts;
+  opts.length = 20480;
+  const Dataset ds = GenerateStock(opts);
+  for (size_t s = 0; s < ds.num_signals(); ++s) {
+    const MinMax mm = Extent(ds.Signal(s));
+    EXPECT_GT(mm.min, 0.0) << ds.signal_names[s];
+    EXPECT_LT(mm.max, 2000.0) << ds.signal_names[s];
+  }
+}
+
+TEST(Stock, MarketFactorInducesCrossCorrelation) {
+  StockOptions opts;
+  opts.length = 20480;
+  const Dataset ds = GenerateStock(opts);
+  // Average pairwise |correlation| across tickers should be clearly
+  // positive (co-movement) even if individual pairs vary.
+  double sum = 0;
+  int count = 0;
+  for (size_t a = 0; a < 4; ++a) {
+    for (size_t b = a + 1; b < 4; ++b) {
+      sum += PearsonCorrelation(ds.Signal(a), ds.Signal(b));
+      ++count;
+    }
+  }
+  EXPECT_GT(sum / count, 0.2);
+}
+
+// ------------------------------------------------------------- PhoneCalls
+
+TEST(PhoneCalls, GeometryAndReproducibility) {
+  PhoneCallOptions opts;
+  opts.length = 4000;
+  const Dataset a = GeneratePhoneCalls(opts);
+  EXPECT_EQ(a.num_signals(), kNumPhoneStates);
+  EXPECT_EQ(a.signal_names[1], "CA");
+  const Dataset b = GeneratePhoneCalls(opts);
+  ASSERT_DOUBLE_EQ(a.values(7, 999), b.values(7, 999));
+}
+
+TEST(PhoneCalls, CountsAreNonNegativeIntegers) {
+  PhoneCallOptions opts;
+  opts.length = 2000;
+  const Dataset ds = GeneratePhoneCalls(opts);
+  for (size_t s = 0; s < ds.num_signals(); ++s) {
+    for (size_t i = 0; i < ds.length(); ++i) {
+      const double v = ds.values(s, i);
+      ASSERT_GE(v, 0.0);
+      ASSERT_DOUBLE_EQ(v, std::floor(v));
+    }
+  }
+}
+
+TEST(PhoneCalls, DiurnalShapeSharedAcrossStates) {
+  PhoneCallOptions opts;
+  opts.length = 1440 * 10;  // 10 days
+  const Dataset ds = GeneratePhoneCalls(opts);
+  // Midday traffic dwarfs 4am traffic for every state.
+  for (size_t s = 0; s < ds.num_signals(); ++s) {
+    double night = 0, noon = 0;
+    for (size_t day = 0; day < 10; ++day) {
+      night += ds.values(s, day * 1440 + 4 * 60);
+      noon += ds.values(s, day * 1440 + 12 * 60);
+    }
+    EXPECT_GT(noon, 3.0 * night + 1.0) << ds.signal_names[s];
+  }
+  // Strong cross-state correlation from the shared day shape.
+  EXPECT_GT(PearsonCorrelation(ds.Signal(0), ds.Signal(1)), 0.8);
+}
+
+TEST(PhoneCalls, LargeStatesCarryLargerVolumes) {
+  PhoneCallOptions opts;
+  opts.length = 1440 * 7;
+  const Dataset ds = GeneratePhoneCalls(opts);
+  // CA (index 1) should dwarf CT (index 3) on average.
+  EXPECT_GT(Mean(ds.Signal(1)), 3.0 * Mean(ds.Signal(3)));
+}
+
+TEST(PhoneCalls, WeekendTrafficReduced) {
+  PhoneCallOptions opts;
+  opts.length = 1440 * 14;  // two weeks
+  const Dataset ds = GeneratePhoneCalls(opts);
+  double weekday = 0, weekend = 0;
+  size_t wd = 0, we = 0;
+  for (size_t i = 0; i < ds.length(); ++i) {
+    const size_t day = (i / 1440) % 7;
+    if (day == 5 || day == 6) {
+      weekend += ds.values(1, i);
+      ++we;
+    } else {
+      weekday += ds.values(1, i);
+      ++wd;
+    }
+  }
+  EXPECT_GT(weekday / wd, 1.3 * (weekend / we));
+}
+
+// ------------------------------------------------------------------ Mixed
+
+TEST(Mixed, NineSignalsFromThreeDomains) {
+  MixedOptions opts;
+  opts.length = 2048;
+  const Dataset ds = GenerateMixed(opts);
+  EXPECT_EQ(ds.num_signals(), kNumMixedSignals);
+  EXPECT_EQ(ds.length(), 2048u);
+  EXPECT_EQ(ds.signal_names[0], "phone/AZ");
+  EXPECT_EQ(ds.signal_names[3], "weather/air_temp");
+  EXPECT_EQ(ds.signal_names[6], "stock/MSFT");
+}
+
+TEST(Mixed, CrossDomainCorrelationIsWeak) {
+  MixedOptions opts;
+  opts.length = 10240;
+  const Dataset ds = GenerateMixed(opts);
+  // Phone vs stock should be essentially uncorrelated.
+  const double c = PearsonCorrelation(ds.Signal(0), ds.Signal(6));
+  EXPECT_LT(std::abs(c), 0.3);
+}
+
+// ------------------------------------------------------- Paper setups
+
+TEST(PaperSetups, GeometriesMatchThePaper) {
+  {
+    const auto s = PaperWeatherSetup();
+    EXPECT_EQ(s.dataset.num_signals(), 6u);
+    EXPECT_EQ(s.chunk_len, 4096u);
+    EXPECT_EQ(s.m_base, 3456u);
+    EXPECT_EQ(s.dataset.NumChunks(s.chunk_len), 10u);
+  }
+  {
+    const auto s = PaperStockSetup();
+    EXPECT_EQ(s.dataset.num_signals(), 10u);
+    EXPECT_EQ(s.chunk_len, 2048u);
+    EXPECT_EQ(s.m_base, 2048u);
+  }
+  {
+    const auto s = PaperPhoneSetup();
+    EXPECT_EQ(s.dataset.num_signals(), 15u);
+    EXPECT_EQ(s.chunk_len, 2560u);
+  }
+  {
+    const auto s = PaperMixedSetup();
+    EXPECT_EQ(s.dataset.num_signals(), 9u);
+    EXPECT_EQ(s.chunk_len, 2048u);
+  }
+}
+
+TEST(PaperSetups, Fig6SetupsShareChunkFootprint) {
+  const auto w = Fig6WeatherSetup();
+  const auto s = Fig6StockSetup();
+  const auto p = Fig6PhoneSetup();
+  const size_t n_w = w.dataset.num_signals() * w.chunk_len;
+  const size_t n_s = s.dataset.num_signals() * s.chunk_len;
+  const size_t n_p = p.dataset.num_signals() * p.chunk_len;
+  EXPECT_EQ(n_w, n_s);
+  EXPECT_EQ(n_s, n_p);
+  EXPECT_EQ(n_w, 30720u);
+}
+
+TEST(PaperSetups, Fig5SweepScalesWithM) {
+  const auto small = Fig5StockSetup(512);
+  const auto large = Fig5StockSetup(2048);
+  EXPECT_EQ(small.dataset.num_signals() * small.chunk_len, 5120u);
+  EXPECT_EQ(large.dataset.num_signals() * large.chunk_len, 20480u);
+  EXPECT_EQ(small.m_base, 1024u);
+}
+
+}  // namespace
+}  // namespace sbr::datagen

@@ -1,0 +1,364 @@
+// Integration tests for the SbrEncoder / SbrDecoder pair: geometry
+// validation, budget adherence, encoder/decoder base-signal sync across
+// many transmissions (including evictions), every base strategy, error
+// metrics and the Section 4.4 / 4.5 modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "compress/svd_base.h"
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "core/get_intervals.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sbr::core {
+namespace {
+
+// A correlated multi-signal chunk: shared multi-harmonic driver (with
+// enough high-frequency content that straight lines fit it poorly) +
+// per-signal affine transform + noise — exactly the structure SBR's base
+// signal exploits and plain regression cannot.
+std::vector<double> MakeChunk(size_t num_signals, size_t m, uint64_t seed,
+                              double noise = 0.05) {
+  Rng rng(seed);
+  std::vector<double> y(num_signals * m);
+  for (size_t s = 0; s < num_signals; ++s) {
+    const double scale = rng.Uniform(0.5, 3.0);
+    const double offset = rng.Uniform(-5, 5);
+    for (size_t i = 0; i < m; ++i) {
+      const double t = static_cast<double>(i);
+      const double driver = std::sin(2.0 * M_PI * t / 64.0) +
+                            0.8 * std::sin(2.0 * M_PI * t / 16.0) +
+                            0.5 * std::sin(2.0 * M_PI * t / 8.0);
+      y[s * m + i] = scale * driver + offset + rng.Gaussian(0, noise);
+    }
+  }
+  return y;
+}
+
+EncoderOptions DefaultOptions() {
+  EncoderOptions opts;
+  opts.total_band = 120;
+  opts.m_base = 128;
+  return opts;
+}
+
+TEST(Encoder, FirstChunkFixesGeometry) {
+  SbrEncoder enc(DefaultOptions());
+  const auto y = MakeChunk(2, 128, 1);
+  ASSERT_TRUE(enc.EncodeChunk(y, 2).ok());
+  EXPECT_EQ(enc.w(), 16u);  // floor(sqrt(256))
+  // Different geometry now fails.
+  const auto y2 = MakeChunk(4, 64, 2);
+  EXPECT_FALSE(enc.EncodeChunk(y2, 4).ok());
+  // Same geometry still fine.
+  EXPECT_TRUE(enc.EncodeChunk(MakeChunk(2, 128, 3), 2).ok());
+}
+
+TEST(Encoder, RejectsImpossibleBudget) {
+  EncoderOptions opts;
+  opts.total_band = 10;  // 10/4 = 2 intervals < 8 signals
+  opts.m_base = 64;
+  SbrEncoder enc(opts);
+  EXPECT_FALSE(enc.EncodeChunk(MakeChunk(8, 32, 4), 8).ok());
+}
+
+TEST(Encoder, TransmissionNeverExceedsTotalBand) {
+  EncoderOptions opts = DefaultOptions();
+  SbrEncoder enc(opts);
+  for (uint64_t c = 0; c < 6; ++c) {
+    auto t = enc.EncodeChunk(MakeChunk(2, 128, 10 + c), 2);
+    ASSERT_TRUE(t.ok());
+    EXPECT_LE(t->ValueCount(), opts.total_band) << "chunk " << c;
+  }
+}
+
+TEST(Encoder, WOverrideRespected) {
+  EncoderOptions opts = DefaultOptions();
+  opts.w = 8;
+  SbrEncoder enc(opts);
+  auto t = enc.EncodeChunk(MakeChunk(2, 128, 5), 2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(enc.w(), 8u);
+  EXPECT_EQ(t->w, 8u);
+}
+
+TEST(EncoderDecoder, DecodeReproducesEncoderApproximationExactly) {
+  // The decoder's reconstruction must match what the encoder believed it
+  // encoded: re-running the interval reconstruction on the encoder's own
+  // base signal gives the identical series.
+  EncoderOptions opts = DefaultOptions();
+  SbrEncoder enc(opts);
+  SbrDecoder dec(DecoderOptions{opts.m_base});
+  for (uint64_t c = 0; c < 8; ++c) {
+    const auto y = MakeChunk(2, 128, 20 + c);
+    auto t = enc.EncodeChunk(y, 2);
+    ASSERT_TRUE(t.ok());
+    auto decoded = dec.DecodeChunk(*t);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded->size(), y.size());
+
+    // Decoder and encoder base signals are bit-identical mirrors.
+    ASSERT_EQ(dec.base_signal().used_slots(),
+              enc.base_signal().used_slots());
+    const auto eb = enc.base_signal().values();
+    const auto db = dec.base_signal().values();
+    for (size_t i = 0; i < eb.size(); ++i) {
+      ASSERT_DOUBLE_EQ(eb[i], db[i]) << "chunk " << c << " idx " << i;
+    }
+
+    // And the error the encoder reported equals the decoder-side error.
+    EXPECT_NEAR(SumSquaredError(y, *decoded), enc.last_stats().total_error,
+                1e-6 * std::max(1.0, enc.last_stats().total_error));
+  }
+}
+
+TEST(EncoderDecoder, SerializedRoundTripIdentical) {
+  EncoderOptions opts = DefaultOptions();
+  SbrEncoder enc(opts);
+  SbrDecoder direct(DecoderOptions{opts.m_base});
+  SbrDecoder via_bytes(DecoderOptions{opts.m_base});
+  for (uint64_t c = 0; c < 4; ++c) {
+    const auto y = MakeChunk(3, 96, 40 + c);
+    auto t = enc.EncodeChunk(y, 3);
+    ASSERT_TRUE(t.ok());
+    BinaryWriter w;
+    t->Serialize(&w);
+    BinaryReader r(w.buffer());
+    auto t2 = Transmission::Deserialize(&r);
+    ASSERT_TRUE(t2.ok());
+    auto a = direct.DecodeChunk(*t);
+    auto b = via_bytes.DecodeChunk(*t2);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+}
+
+TEST(EncoderDecoder, EvictionKeepsSidesInSync) {
+  // Tiny m_base so insertions after the first transmissions force LFU
+  // eviction; feeding evolving data keeps GetBase proposing new intervals.
+  EncoderOptions opts;
+  opts.total_band = 150;
+  opts.m_base = 48;  // only 3 slots at W=16
+  SbrEncoder enc(opts);
+  SbrDecoder dec(DecoderOptions{opts.m_base});
+  Rng rng(7);
+  for (uint64_t c = 0; c < 12; ++c) {
+    // Change the waveform every chunk so the base keeps churning.
+    std::vector<double> y(2 * 128);
+    const double freq = 16.0 + 8.0 * static_cast<double>(c % 4);
+    for (size_t s = 0; s < 2; ++s) {
+      for (size_t i = 0; i < 128; ++i) {
+        const double t = static_cast<double>(i);
+        y[s * 128 + i] =
+            std::sin(2.0 * M_PI * t / freq) * (1.0 + 0.5 * s) +
+            ((c % 2 == 0) ? std::cos(4.0 * M_PI * t / freq) : 0.0) +
+            rng.Gaussian(0, 0.02);
+      }
+    }
+    auto t = enc.EncodeChunk(y, 2);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    ASSERT_TRUE(dec.DecodeChunk(*t).ok()) << "chunk " << c;
+    EXPECT_LE(enc.base_signal().used_slots(), 3u);
+    const auto eb = enc.base_signal().values();
+    const auto db = dec.base_signal().values();
+    ASSERT_EQ(eb.size(), db.size());
+    for (size_t i = 0; i < eb.size(); ++i) {
+      ASSERT_DOUBLE_EQ(eb[i], db[i]);
+    }
+  }
+}
+
+TEST(EncoderDecoder, CorrelatedDataBeatsPlainLinearRegression) {
+  EncoderOptions sbr_opts = DefaultOptions();
+  SbrEncoder sbr(sbr_opts);
+  EncoderOptions lin_opts = DefaultOptions();
+  lin_opts.base_strategy = BaseStrategy::kNone;
+  SbrEncoder lin(lin_opts);
+
+  double sbr_err = 0, lin_err = 0;
+  for (uint64_t c = 0; c < 5; ++c) {
+    const auto y = MakeChunk(4, 128, 60 + c, /*noise=*/0.02);
+    ASSERT_TRUE(sbr.EncodeChunk(y, 4).ok());
+    sbr_err += sbr.last_stats().total_error;
+    ASSERT_TRUE(lin.EncodeChunk(y, 4).ok());
+    lin_err += lin.last_stats().total_error;
+  }
+  EXPECT_LT(sbr_err, lin_err);
+}
+
+TEST(EncoderDecoder, DctFixedStrategyRoundTrips) {
+  EncoderOptions opts;
+  opts.total_band = 80;
+  opts.m_base = 0;  // unused by the fixed base
+  opts.base_strategy = BaseStrategy::kDctFixed;
+  opts.w = 16;
+  SbrEncoder enc(opts);
+  SbrDecoder dec(DecoderOptions{0});
+  const auto y = MakeChunk(2, 128, 70, 0.01);
+  auto t = enc.EncodeChunk(y, 2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->base_kind, BaseKind::kDctFixed);
+  EXPECT_TRUE(t->base_updates.empty());
+  auto decoded = dec.DecodeChunk(*t);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_NEAR(SumSquaredError(y, *decoded), enc.last_stats().total_error,
+              1e-6 * std::max(1.0, enc.last_stats().total_error));
+}
+
+TEST(EncoderDecoder, NoneStrategyUsesThreeValueIntervals) {
+  EncoderOptions opts;
+  opts.total_band = 60;
+  opts.m_base = 0;
+  opts.base_strategy = BaseStrategy::kNone;
+  SbrEncoder enc(opts);
+  SbrDecoder dec(DecoderOptions{0});
+  const auto y = MakeChunk(2, 64, 80);
+  auto t = enc.EncodeChunk(y, 2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->base_kind, BaseKind::kNone);
+  // 60 / 3 = 20 intervals.
+  EXPECT_EQ(t->intervals.size(), 20u);
+  for (const auto& iv : t->intervals) EXPECT_EQ(iv.shift, -1);
+  ASSERT_TRUE(dec.DecodeChunk(*t).ok());
+}
+
+TEST(EncoderDecoder, SvdStrategyWorksEndToEnd) {
+  EncoderOptions opts = DefaultOptions();
+  opts.base_strategy = BaseStrategy::kCustom;
+  opts.base_provider = compress::SvdBaseProvider();
+  SbrEncoder enc(opts);
+  SbrDecoder dec(DecoderOptions{opts.m_base});
+  for (uint64_t c = 0; c < 3; ++c) {
+    const auto y = MakeChunk(2, 128, 90 + c, 0.01);
+    auto t = enc.EncodeChunk(y, 2);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    auto decoded = dec.DecodeChunk(*t);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_NEAR(SumSquaredError(y, *decoded), enc.last_stats().total_error,
+                1e-6 * std::max(1.0, enc.last_stats().total_error));
+  }
+}
+
+TEST(EncoderDecoder, CustomStrategyWithoutProviderFails) {
+  EncoderOptions opts = DefaultOptions();
+  opts.base_strategy = BaseStrategy::kCustom;
+  SbrEncoder enc(opts);
+  EXPECT_FALSE(enc.EncodeChunk(MakeChunk(2, 128, 95), 2).ok());
+}
+
+TEST(EncoderDecoder, UpdateBaseFalseSkipsInsertions) {
+  EncoderOptions opts = DefaultOptions();
+  SbrEncoder warm(opts);
+  // Warm up one encoder to populate its base.
+  const auto y0 = MakeChunk(2, 128, 100, 0.01);
+  ASSERT_TRUE(warm.EncodeChunk(y0, 2).ok());
+
+  EncoderOptions frozen = opts;
+  frozen.update_base = false;
+  SbrEncoder enc(frozen);
+  auto t = enc.EncodeChunk(y0, 2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->base_updates.empty());
+  EXPECT_EQ(enc.last_stats().inserted_base_intervals, 0u);
+  EXPECT_EQ(enc.last_stats().search_probes, 0u);
+}
+
+TEST(EncoderDecoder, RelativeMetricEndToEnd) {
+  EncoderOptions opts = DefaultOptions();
+  opts.metric = ErrorMetric::kSseRelative;
+  SbrEncoder enc(opts);
+  SbrDecoder dec(DecoderOptions{opts.m_base});
+  const auto y = MakeChunk(2, 128, 110);
+  auto t = enc.EncodeChunk(y, 2);
+  ASSERT_TRUE(t.ok());
+  auto decoded = dec.DecodeChunk(*t);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_NEAR(SumSquaredRelativeError(y, *decoded),
+              enc.last_stats().total_error,
+              1e-6 * std::max(1.0, enc.last_stats().total_error));
+}
+
+TEST(EncoderDecoder, ErrorTargetSpendsLessBandwidth) {
+  EncoderOptions opts = DefaultOptions();
+  SbrEncoder full(opts);
+  const auto y = MakeChunk(2, 128, 120);
+  ASSERT_TRUE(full.EncodeChunk(y, 2).ok());
+  const double achieved = full.last_stats().total_error;
+
+  EncoderOptions bounded = opts;
+  bounded.error_target = achieved * 8.0;
+  SbrEncoder enc(bounded);
+  auto t = enc.EncodeChunk(y, 2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_LE(enc.last_stats().total_error, bounded.error_target);
+  EXPECT_LT(t->ValueCount(), full.last_stats().values_used);
+}
+
+TEST(Decoder, RejectsCorruptStreams) {
+  EncoderOptions opts = DefaultOptions();
+  SbrEncoder enc(opts);
+  const auto y = MakeChunk(2, 128, 130);
+  auto t = enc.EncodeChunk(y, 2);
+  ASSERT_TRUE(t.ok());
+
+  {
+    // Interval record pointing past the base signal.
+    Transmission bad = *t;
+    ASSERT_FALSE(bad.intervals.empty());
+    bad.intervals[0].shift = 100000;
+    SbrDecoder dec(DecoderOptions{opts.m_base});
+    EXPECT_FALSE(dec.DecodeChunk(bad).ok());
+  }
+  {
+    // First interval not at 0.
+    Transmission bad = *t;
+    for (auto& iv : bad.intervals) iv.start += 1;
+    SbrDecoder dec(DecoderOptions{opts.m_base});
+    EXPECT_FALSE(dec.DecodeChunk(bad).ok());
+  }
+  {
+    // Base update creating a slot gap.
+    Transmission bad = *t;
+    BaseUpdate bu;
+    bu.slot = 7;  // decoder has no slots yet
+    bu.values.assign(enc.w(), 0.0);
+    bad.base_updates.insert(bad.base_updates.begin(), bu);
+    SbrDecoder dec(DecoderOptions{opts.m_base});
+    EXPECT_FALSE(dec.DecodeChunk(bad).ok());
+  }
+  {
+    // W changing mid-stream.
+    SbrDecoder dec(DecoderOptions{opts.m_base});
+    ASSERT_TRUE(dec.DecodeChunk(*t).ok());
+    Transmission bad = *t;
+    bad.w += 1;
+    EXPECT_FALSE(dec.DecodeChunk(bad).ok());
+  }
+}
+
+TEST(Decoder, MatrixFormMatchesFlat) {
+  EncoderOptions opts = DefaultOptions();
+  SbrEncoder enc(opts);
+  const auto y = MakeChunk(2, 128, 140);
+  auto t = enc.EncodeChunk(y, 2);
+  ASSERT_TRUE(t.ok());
+  SbrDecoder d1(DecoderOptions{opts.m_base});
+  SbrDecoder d2(DecoderOptions{opts.m_base});
+  auto flat = d1.DecodeChunk(*t);
+  auto mat = d2.DecodeChunkToMatrix(*t);
+  ASSERT_TRUE(flat.ok());
+  ASSERT_TRUE(mat.ok());
+  for (size_t s = 0; s < 2; ++s) {
+    for (size_t i = 0; i < 128; ++i) {
+      EXPECT_DOUBLE_EQ((*mat)(s, i), (*flat)[s * 128 + i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbr::core

@@ -1,0 +1,512 @@
+// Tests for the paper's extension features: the quadratic (non-linear)
+// encoding of Section 6, the multi-rate sampling of Section 3.2 footnote 2,
+// and the Fourier baseline the paper evaluated and dismissed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "compress/dct_compressor.h"
+#include "compress/fourier.h"
+#include "core/adaptive.h"
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "core/get_base.h"
+#include "core/get_intervals.h"
+#include "core/regression.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sbr::core {
+namespace {
+
+// ------------------------------------------------------------- quadratic
+
+TEST(FitQuadratic, RecoversExactParabola) {
+  std::vector<double> x{-2, -1, 0, 1, 2, 3};
+  std::vector<double> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = 0.5 * x[i] * x[i] - 2.0 * x[i] + 1.0;
+  }
+  const QuadraticResult q = FitQuadratic(x, y);
+  EXPECT_NEAR(q.c, 0.5, 1e-9);
+  EXPECT_NEAR(q.a, -2.0, 1e-9);
+  EXPECT_NEAR(q.b, 1.0, 1e-9);
+  EXPECT_NEAR(q.err, 0.0, 1e-9);
+}
+
+TEST(FitQuadratic, NeverWorseThanLinearFit) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 3 + static_cast<size_t>(rng.UniformInt(0, 40));
+    std::vector<double> x(n), y(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = rng.Uniform(-5, 5);
+      y[i] = rng.Uniform(-5, 5);
+    }
+    const QuadraticResult q = FitQuadratic(x, y);
+    const RegressionResult lin = FitSse(x, y);
+    EXPECT_LE(q.err, lin.err + 1e-9 * std::max(1.0, lin.err));
+  }
+}
+
+TEST(FitQuadratic, DegenerateXHandled) {
+  std::vector<double> x{2, 2, 2, 2};
+  std::vector<double> y{1, 3, 5, 7};
+  const QuadraticResult q = FitQuadratic(x, y);
+  EXPECT_TRUE(std::isfinite(q.err));
+  // Falls back to the (degenerate) linear fit: mean prediction.
+  EXPECT_NEAR(q.a * 2 + q.b + q.c * 4, 4.0, 1e-9);
+}
+
+TEST(FitTimeQuadratic, FitsParabolaOverTime) {
+  std::vector<double> y(16);
+  for (size_t i = 0; i < y.size(); ++i) {
+    const double t = static_cast<double>(i);
+    y[i] = 3.0 + 0.25 * t * t;
+  }
+  const QuadraticResult q = FitTimeQuadratic(y);
+  EXPECT_NEAR(q.err, 0.0, 1e-8);
+  EXPECT_NEAR(q.c, 0.25, 1e-9);
+}
+
+TEST(QuadraticEncoding, EndToEndRoundTripMatchesStats) {
+  Rng rng(2);
+  const size_t m = 256;
+  std::vector<double> y(2 * m);
+  for (size_t s = 0; s < 2; ++s) {
+    for (size_t i = 0; i < m; ++i) {
+      const double t = static_cast<double>(i);
+      y[s * m + i] = std::sin(t * 0.1) * (t * 0.01 + 1.0) * (1.0 + s) +
+                     rng.Gaussian(0, 0.05);
+    }
+  }
+  EncoderOptions opts;
+  opts.total_band = 120;
+  opts.m_base = 128;
+  opts.quadratic = true;
+  SbrEncoder enc(opts);
+  auto t = enc.EncodeChunk(y, 2);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_TRUE(t->quadratic);
+  EXPECT_LE(t->ValueCount(), opts.total_band);
+  // 5 values per interval now.
+  EXPECT_EQ(t->ValueCount(), t->intervals.size() * 5 +
+                                 t->base_updates.size() * (enc.w() + 1));
+
+  SbrDecoder dec(DecoderOptions{opts.m_base});
+  auto rec = dec.DecodeChunk(*t);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_NEAR(SumSquaredError(y, *rec), enc.last_stats().total_error,
+              1e-6 * std::max(1.0, enc.last_stats().total_error));
+}
+
+TEST(QuadraticEncoding, SerializedFormCarriesC) {
+  Transmission t;
+  t.num_signals = 1;
+  t.chunk_len = 8;
+  t.w = 2;
+  t.quadratic = true;
+  t.intervals.push_back({0, -1, 1.0, 2.0, 0.125});
+  BinaryWriter w;
+  t.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = Transmission::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->quadratic);
+  EXPECT_DOUBLE_EQ(back->intervals[0].c, 0.125);
+}
+
+TEST(QuadraticEncoding, RequiresSseMetric) {
+  EncoderOptions opts;
+  opts.total_band = 100;
+  opts.m_base = 64;
+  opts.quadratic = true;
+  opts.metric = ErrorMetric::kMaxAbs;
+  SbrEncoder enc(opts);
+  std::vector<double> y(128, 1.0);
+  EXPECT_FALSE(enc.EncodeChunk(y, 1).ok());
+}
+
+TEST(QuadraticEncoding, BeatsLinearOnCurvedDataPerInterval) {
+  // Strongly curved segments: with the same *interval count* quadratic
+  // encodings fit better (the budget trade-off is workload-dependent and
+  // exercised in the ablation bench instead).
+  std::vector<double> y(256);
+  for (size_t i = 0; i < y.size(); ++i) {
+    const double t = static_cast<double>(i % 64);
+    y[i] = t * t * 0.05 - t;
+  }
+  GetIntervalsOptions lin;
+  GetIntervalsOptions quad;
+  quad.best_map.quadratic = true;
+  quad.values_per_interval = 5;
+  // Same interval count: 8 intervals each.
+  auto lr = GetIntervals({}, y, 1, 8 * 4, 16, lin);
+  auto qr = GetIntervals({}, y, 1, 8 * 5, 16, quad);
+  ASSERT_TRUE(lr.ok());
+  ASSERT_TRUE(qr.ok());
+  EXPECT_LT(qr->total_error, 0.1 * lr->total_error);
+}
+
+// ------------------------------------------------------------ multi-rate
+
+TEST(MultiRate, GetIntervalsHandlesUnevenRows) {
+  Rng rng(3);
+  const std::vector<size_t> lengths{100, 50, 200};
+  std::vector<double> y(350);
+  for (auto& v : y) v = rng.Uniform(-1, 1);
+  GetIntervalsOptions opts;
+  auto result = GetIntervalsMultiRate({}, y, lengths, 15 * 4, 18, opts);
+  ASSERT_TRUE(result.ok());
+  // Tiling and no row straddling.
+  size_t pos = 0;
+  std::vector<size_t> bounds{0, 100, 150, 350};
+  for (const Interval& iv : result->intervals) {
+    ASSERT_EQ(iv.start, pos);
+    // Interval fits entirely inside one row.
+    bool inside = false;
+    for (size_t b = 0; b + 1 < bounds.size(); ++b) {
+      if (iv.start >= bounds[b] && iv.start + iv.length <= bounds[b + 1]) {
+        inside = true;
+      }
+    }
+    EXPECT_TRUE(inside);
+    pos += iv.length;
+  }
+  EXPECT_EQ(pos, y.size());
+}
+
+TEST(MultiRate, RejectsBadLengths) {
+  std::vector<double> y(10);
+  GetIntervalsOptions opts;
+  const std::vector<size_t> wrong_sum{4, 4};
+  EXPECT_FALSE(GetIntervalsMultiRate({}, y, wrong_sum, 100, 2, opts).ok());
+  const std::vector<size_t> zero{10, 0};
+  EXPECT_FALSE(GetIntervalsMultiRate({}, y, zero, 100, 2, opts).ok());
+}
+
+TEST(MultiRate, GetBaseEnumeratesPerRowWindows) {
+  Rng rng(4);
+  const std::vector<size_t> lengths{40, 20};
+  std::vector<double> y(60);
+  for (auto& v : y) v = rng.Uniform(-1, 1);
+  GetBaseOptions opts;
+  opts.min_benefit = -1.0;
+  const auto selected = GetBaseMultiRate(y, lengths, 10, 100, opts);
+  // K = 4 + 2 = 6 candidates at most.
+  EXPECT_LE(selected.size(), 6u);
+}
+
+TEST(MultiRate, EncoderDecoderRoundTrip) {
+  // Two fast-sampled quantities and one slow one (half rate), the shared
+  // waveform still discoverable across rates.
+  Rng rng(5);
+  const std::vector<size_t> lengths{256, 256, 128};
+  std::vector<double> y;
+  for (size_t s = 0; s < 3; ++s) {
+    const size_t len = lengths[s];
+    const double step = s == 2 ? 0.2 : 0.1;  // slow row covers same span
+    for (size_t i = 0; i < len; ++i) {
+      y.push_back(std::sin(i * step) * (1.0 + s) + rng.Gaussian(0, 0.02));
+    }
+  }
+  EncoderOptions opts;
+  opts.total_band = 128;
+  opts.m_base = 128;
+  SbrEncoder enc(opts);
+  SbrDecoder dec(DecoderOptions{opts.m_base});
+  auto t = enc.EncodeChunkMultiRate(y, lengths);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->chunk_len, 0u);
+  ASSERT_EQ(t->signal_lengths.size(), 3u);
+  EXPECT_EQ(t->signal_lengths[2], 128u);
+  EXPECT_EQ(t->TotalSamples(), 640u);
+
+  auto rec = dec.DecodeChunk(*t);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_EQ(rec->size(), y.size());
+  EXPECT_NEAR(SumSquaredError(y, *rec), enc.last_stats().total_error,
+              1e-6 * std::max(1.0, enc.last_stats().total_error));
+
+  // Geometry is pinned: a different split of the same total fails.
+  const std::vector<size_t> other{128, 256, 256};
+  EXPECT_FALSE(enc.EncodeChunkMultiRate(y, other).ok());
+}
+
+TEST(MultiRate, SerializationRoundTrip) {
+  Transmission t;
+  t.num_signals = 2;
+  t.chunk_len = 0;
+  t.signal_lengths = {30, 10};
+  t.w = 5;
+  t.intervals.push_back({0, -1, 1.0, 0.0, 0.0});
+  BinaryWriter w;
+  t.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = Transmission::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->signal_lengths, t.signal_lengths);
+  EXPECT_EQ(back->TotalSamples(), 40u);
+}
+
+TEST(MultiRate, LengthCountMismatchRejected) {
+  Transmission t;
+  t.num_signals = 3;
+  t.signal_lengths = {10, 10};  // wrong count
+  t.w = 2;
+  BinaryWriter w;
+  t.Serialize(&w);
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(Transmission::Deserialize(&r).ok());
+}
+
+// ------------------------------------------------- adaptive schedule
+
+TEST(AdaptiveEncoder, WarmupThenShortcutThenRefreshOnDegradation) {
+  EncoderOptions opts;
+  opts.total_band = 120;
+  opts.m_base = 128;
+  AdaptiveOptions sched;
+  sched.warmup_transmissions = 2;
+  sched.degradation_factor = 1.5;
+  AdaptiveSbrEncoder enc(opts, sched);
+
+  auto make = [](double freq, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> y(2 * 128);
+    for (size_t i = 0; i < y.size(); ++i) {
+      y[i] = std::sin(2.0 * M_PI * i / freq) + rng.Gaussian(0, 0.02);
+    }
+    return y;
+  };
+
+  // Stationary phase: warm-up runs full, then the shortcut engages.
+  for (uint64_t c = 0; c < 5; ++c) {
+    auto t = enc.EncodeChunk(make(16.0, c), 2);
+    ASSERT_TRUE(t.ok());
+    if (c < 2) {
+      EXPECT_TRUE(enc.last_used_full_pipeline()) << c;
+    } else {
+      EXPECT_FALSE(enc.last_used_full_pipeline()) << c;
+    }
+  }
+
+  // Regime change: errors degrade, so a refresh must fire within the next
+  // couple of transmissions.
+  bool refreshed = false;
+  for (uint64_t c = 0; c < 3; ++c) {
+    auto t = enc.EncodeChunk(make(48.0, 100 + c), 2);
+    ASSERT_TRUE(t.ok());
+    refreshed = refreshed || enc.last_used_full_pipeline();
+  }
+  EXPECT_TRUE(refreshed);
+  EXPECT_LT(enc.full_pipeline_count(), enc.transmissions());
+}
+
+TEST(AdaptiveEncoder, PeriodicRefreshFiresOnSchedule) {
+  EncoderOptions opts;
+  opts.total_band = 100;
+  opts.m_base = 96;
+  AdaptiveOptions sched;
+  sched.warmup_transmissions = 1;
+  sched.degradation_factor = 1e9;  // never degrade-triggered
+  sched.periodic_refresh = 3;
+  AdaptiveSbrEncoder enc(opts, sched);
+  Rng rng(7);
+  std::vector<bool> full;
+  for (uint64_t c = 0; c < 7; ++c) {
+    std::vector<double> y(2 * 128);
+    for (auto& v : y) v = std::sin(v) + rng.Uniform(0, 1);
+    ASSERT_TRUE(enc.EncodeChunk(y, 2).ok());
+    full.push_back(enc.last_used_full_pipeline());
+  }
+  // Transmissions 0 (warmup), 3 and 6 (periodic) run the full pipeline.
+  EXPECT_EQ(full, (std::vector<bool>{true, false, false, true, false,
+                                     false, true}));
+}
+
+TEST(AdaptiveEncoder, ProducesDecodableStream) {
+  EncoderOptions opts;
+  opts.total_band = 120;
+  opts.m_base = 128;
+  AdaptiveSbrEncoder enc(opts);
+  SbrDecoder dec(DecoderOptions{opts.m_base});
+  Rng rng(8);
+  for (uint64_t c = 0; c < 6; ++c) {
+    std::vector<double> y(2 * 128);
+    for (size_t i = 0; i < y.size(); ++i) {
+      y[i] = std::sin(i * 0.1 + c) + rng.Gaussian(0, 0.05);
+    }
+    auto t = enc.EncodeChunk(y, 2);
+    ASSERT_TRUE(t.ok());
+    auto rec = dec.DecodeChunk(*t);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_NEAR(SumSquaredError(y, *rec), enc.last_stats().total_error,
+                1e-6 * std::max(1.0, enc.last_stats().total_error));
+  }
+}
+
+// ----------------------------------------------------- compact wire
+
+TEST(CompactWire, HalvesWireBitsAndShrinksBytes) {
+  Rng rng(30);
+  std::vector<double> y(2 * 128);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = std::sin(i * 0.11) + rng.Gaussian(0, 0.05);
+  }
+  auto encode = [&](bool compact) {
+    EncoderOptions opts;
+    opts.total_band = 120;
+    opts.m_base = 128;
+    opts.compact_wire = compact;
+    SbrEncoder enc(opts);
+    auto t = enc.EncodeChunk(y, 2);
+    EXPECT_TRUE(t.ok());
+    return std::move(t).value();
+  };
+  const Transmission wide = encode(false);
+  const Transmission narrow = encode(true);
+  EXPECT_EQ(wide.ValueCount(), narrow.ValueCount());
+  EXPECT_EQ(narrow.WireBits() * 2, wide.WireBits());
+
+  BinaryWriter ww, wn;
+  wide.Serialize(&ww);
+  narrow.Serialize(&wn);
+  EXPECT_LT(wn.size(), ww.size());
+}
+
+TEST(CompactWire, MirrorsStayBitIdenticalAcrossTransmissions) {
+  EncoderOptions opts;
+  opts.total_band = 130;
+  opts.m_base = 96;
+  opts.compact_wire = true;
+  SbrEncoder enc(opts);
+  SbrDecoder dec(DecoderOptions{opts.m_base});
+  Rng rng(31);
+  for (size_t c = 0; c < 6; ++c) {
+    std::vector<double> y(2 * 128);
+    for (size_t i = 0; i < y.size(); ++i) {
+      y[i] = std::sin(i * (0.07 + 0.01 * c)) * 3 + rng.Gaussian(0, 0.02);
+    }
+    auto t = enc.EncodeChunk(y, 2);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->precision, WirePrecision::kFloat32);
+    // Serialize through the wire: float32 values must survive exactly.
+    BinaryWriter w;
+    t->Serialize(&w);
+    BinaryReader r(w.buffer());
+    auto parsed = Transmission::Deserialize(&r);
+    ASSERT_TRUE(parsed.ok());
+    auto decoded = dec.DecodeChunk(*parsed);
+    ASSERT_TRUE(decoded.ok());
+    const auto eb = enc.base_signal().values();
+    const auto db = dec.base_signal().values();
+    ASSERT_EQ(eb.size(), db.size());
+    for (size_t i = 0; i < eb.size(); ++i) {
+      ASSERT_DOUBLE_EQ(eb[i], db[i]) << "chunk " << c;
+    }
+  }
+}
+
+TEST(CompactWire, QualityLossIsSmall) {
+  Rng rng(32);
+  std::vector<double> y(2 * 256);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = 20.0 * std::sin(i * 0.13) + rng.Gaussian(0, 0.1);
+  }
+  auto run = [&](bool compact) {
+    EncoderOptions opts;
+    opts.total_band = 200;
+    opts.m_base = 128;
+    opts.compact_wire = compact;
+    SbrEncoder enc(opts);
+    SbrDecoder dec(DecoderOptions{opts.m_base});
+    auto t = enc.EncodeChunk(y, 2);
+    EXPECT_TRUE(t.ok());
+    BinaryWriter w;
+    t->Serialize(&w);
+    BinaryReader r(w.buffer());
+    auto parsed = Transmission::Deserialize(&r);
+    EXPECT_TRUE(parsed.ok());
+    auto decoded = dec.DecodeChunk(*parsed);
+    EXPECT_TRUE(decoded.ok());
+    return SumSquaredError(y, *decoded);
+  };
+  const double wide = run(false);
+  const double narrow = run(true);
+  // binary32 has ~7 decimal digits: the extra error is a rounding-level
+  // perturbation, not a regression in approximation quality.
+  EXPECT_LT(narrow, wide * 1.05 + 1e-3);
+}
+
+}  // namespace
+}  // namespace sbr::core
+
+namespace sbr::compress {
+namespace {
+
+// --------------------------------------------------------------- Fourier
+
+TEST(Fourier, PureToneIsExactWithOneCoefficient) {
+  const size_t n = 256;
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = std::cos(2.0 * M_PI * 8.0 * i / n);
+  }
+  FourierCompressor fc;
+  auto rec = fc.CompressAndReconstruct(y, 1, 3);  // one coefficient
+  ASSERT_TRUE(rec.ok());
+  EXPECT_NEAR(SumSquaredError(y, *rec), 0.0, 1e-9);
+}
+
+TEST(Fourier, BudgetMonotonicity) {
+  Rng rng(6);
+  std::vector<double> y(300);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = std::sin(i * 0.05) + 0.4 * std::sin(i * 0.31) +
+           rng.Gaussian(0, 0.1);
+  }
+  FourierCompressor fc;
+  double prev = 1e300;
+  for (size_t budget : {6u, 30u, 90u, 300u}) {
+    auto rec = fc.CompressAndReconstruct(y, 1, budget);
+    ASSERT_TRUE(rec.ok());
+    const double err = SumSquaredError(y, *rec);
+    EXPECT_LE(err, prev + 1e-9);
+    prev = err;
+  }
+}
+
+TEST(Fourier, OutputIsRealAndRightSized) {
+  Rng rng(7);
+  std::vector<double> y(2 * 100);
+  for (auto& v : y) v = rng.Uniform(-3, 3);
+  FourierCompressor fc;
+  auto rec = fc.CompressAndReconstruct(y, 2, 60);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), y.size());
+  for (double v : *rec) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Fourier, LosesToDctOnSmoothAperiodicData) {
+  // The paper's stated reason for dropping Fourier: on signals that are
+  // not circularly periodic the DFT's wrap-around discontinuity wastes
+  // coefficients where the DCT's even extension does not.
+  std::vector<double> y(512);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = static_cast<double>(i) * 0.01 +
+           std::sin(2.0 * M_PI * i / 512.0 * 2.5);  // non-integer cycles
+  }
+  FourierCompressor fourier;
+  DctCompressor dct;
+  auto rf = fourier.CompressAndReconstruct(y, 1, 60);
+  auto rd = dct.CompressAndReconstruct(y, 1, 60);
+  ASSERT_TRUE(rf.ok());
+  ASSERT_TRUE(rd.ok());
+  EXPECT_GT(SumSquaredError(y, *rf), SumSquaredError(y, *rd));
+}
+
+}  // namespace
+}  // namespace sbr::compress

@@ -1,0 +1,192 @@
+// Unit tests for GetBase and its low-memory variant: candidate
+// enumeration, benefit-driven selection, the benefit-adjustment rule (the
+// Figure 4 example) and equivalence of the two implementations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/get_base.h"
+#include "core/regression.h"
+#include "util/rng.h"
+
+namespace sbr::core {
+namespace {
+
+TEST(GetBase, EmptyWhenNoCandidatesFit) {
+  std::vector<double> y(10, 1.0);
+  GetBaseOptions opts;
+  // W larger than the per-signal length: zero candidates.
+  EXPECT_TRUE(GetBase(y, /*num_signals=*/1, /*w=*/20, 4, opts).empty());
+  EXPECT_TRUE(GetBase(y, 1, 5, /*max_ins=*/0, opts).empty());
+}
+
+TEST(GetBase, SelectsAtMostMaxIns) {
+  Rng rng(1);
+  std::vector<double> y(160);
+  for (auto& v : y) v = rng.Uniform(-5, 5);
+  GetBaseOptions opts;
+  const auto selected = GetBase(y, /*num_signals=*/2, /*w=*/10, 3, opts);
+  EXPECT_LE(selected.size(), 3u);
+  for (const auto& cbi : selected) {
+    EXPECT_EQ(cbi.values.size(), 10u);
+  }
+}
+
+TEST(GetBase, CandidateValuesComeFromData) {
+  Rng rng(2);
+  const size_t m = 40, w = 10;
+  std::vector<double> y(2 * m);
+  for (auto& v : y) v = rng.Uniform(-5, 5);
+  GetBaseOptions opts;
+  const auto selected = GetBase(y, 2, w, 8, opts);
+  for (const auto& cbi : selected) {
+    // source_index identifies the window: row r, window k.
+    const size_t per_row = m / w;
+    const size_t row = cbi.source_index / per_row;
+    const size_t win = cbi.source_index % per_row;
+    for (size_t i = 0; i < w; ++i) {
+      EXPECT_DOUBLE_EQ(cbi.values[i], y[row * m + win * w + i]);
+    }
+  }
+}
+
+TEST(GetBase, PeriodicSignalNeedsOnePeriod) {
+  // Every window of a perfectly periodic signal is identical; one CBI
+  // approximates all others with zero error, so the adjusted benefit of a
+  // second CBI collapses and selection stops at 1.
+  const size_t w = 16, periods = 8;
+  std::vector<double> y(w * periods);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = std::sin(2.0 * M_PI * static_cast<double>(i % w) / w);
+  }
+  GetBaseOptions opts;
+  const auto selected = GetBase(y, 1, w, 5, opts);
+  EXPECT_EQ(selected.size(), 1u);
+}
+
+TEST(GetBase, TwoDistinctFamiliesNeedTwoIntervals) {
+  // Windows alternate between a sine family and a sawtooth family (both
+  // affinely closed within the family but not across), so two CBIs are
+  // needed and the second pick must come from the other family.
+  const size_t w = 16;
+  std::vector<double> y;
+  for (int block = 0; block < 8; ++block) {
+    for (size_t i = 0; i < w; ++i) {
+      if (block % 2 == 0) {
+        y.push_back(std::sin(2.0 * M_PI * i / w) * (1.0 + 0.1 * block));
+      } else {
+        const double saw = (i < w / 2) ? static_cast<double>(i)
+                                       : static_cast<double>(w - i);
+        y.push_back(saw * (1.0 + 0.1 * block) + 3.0);
+      }
+    }
+  }
+  GetBaseOptions opts;
+  const auto selected = GetBase(y, 1, w, 5, opts);
+  ASSERT_GE(selected.size(), 2u);
+  // One pick from each parity class.
+  EXPECT_NE(selected[0].source_index % 2, selected[1].source_index % 2);
+}
+
+TEST(GetBase, BenefitsDecreaseMonotonically) {
+  Rng rng(3);
+  std::vector<double> y(300);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = std::sin(i * 0.21) + rng.Gaussian(0, 0.3);
+  }
+  GetBaseOptions opts;
+  const auto selected = GetBase(y, 1, 15, 10, opts);
+  for (size_t i = 1; i < selected.size(); ++i) {
+    EXPECT_LE(selected[i].benefit, selected[i - 1].benefit + 1e-9);
+  }
+}
+
+TEST(GetBase, FirstPickMaximizesRawBenefit) {
+  // Recompute every candidate's initial benefit by brute force and verify
+  // the algorithm's first selection attains the maximum.
+  Rng rng(4);
+  const size_t w = 8, m = 64;
+  std::vector<double> y(m);
+  for (auto& v : y) v = rng.Uniform(-3, 3);
+  GetBaseOptions opts;
+  const auto selected = GetBase(y, 1, w, 1, opts);
+  ASSERT_EQ(selected.size(), 1u);
+
+  const size_t k = m / w;
+  double best = -1;
+  for (size_t i = 0; i < k; ++i) {
+    std::span<const double> ci(y.data() + i * w, w);
+    double benefit = 0;
+    for (size_t j = 0; j < k; ++j) {
+      std::span<const double> cj(y.data() + j * w, w);
+      const double lin = FitTime(ErrorMetric::kSse, cj, 1.0).err;
+      const double err = FitSse(ci, cj).err;
+      if (err < lin) benefit += lin - err;
+    }
+    best = std::max(best, benefit);
+  }
+  EXPECT_NEAR(selected[0].benefit, best, 1e-6 * std::max(1.0, best));
+}
+
+TEST(GetBase, LowMemProducesIdenticalSelection) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> y(240);
+    for (size_t i = 0; i < y.size(); ++i) {
+      y[i] = std::sin(i * (0.1 + 0.02 * trial)) + rng.Gaussian(0, 0.5);
+    }
+    GetBaseOptions opts;
+    const auto full = GetBase(y, /*num_signals=*/3, /*w=*/8, 6, opts);
+    const auto low = GetBaseLowMem(y, 3, 8, 6, opts);
+    ASSERT_EQ(full.size(), low.size()) << "trial " << trial;
+    for (size_t i = 0; i < full.size(); ++i) {
+      EXPECT_EQ(full[i].source_index, low[i].source_index);
+      EXPECT_NEAR(full[i].benefit, low[i].benefit,
+                  1e-9 * std::max(1.0, full[i].benefit));
+    }
+  }
+}
+
+TEST(GetBase, StopsWhenNoCandidateHelps) {
+  // Pure ramps: linear regression is already perfect on every window, so
+  // no CBI has positive benefit and nothing should be selected.
+  std::vector<double> y(128);
+  for (size_t i = 0; i < y.size(); ++i) y[i] = 3.0 * i + 1.0;
+  GetBaseOptions opts;
+  EXPECT_TRUE(GetBase(y, 1, 16, 5, opts).empty());
+}
+
+TEST(GetBase, RelativeMetricSelectsDifferentlyOnScaledData) {
+  // Mixed magnitudes: under the relative metric, approximating the small
+  // rows well matters more. The selections need not match the SSE ones.
+  Rng rng(6);
+  const size_t w = 8, m = 32;
+  std::vector<double> y(2 * m);
+  for (size_t i = 0; i < m; ++i) y[i] = 1000.0 * std::sin(i * 0.7);
+  for (size_t i = m; i < 2 * m; ++i) y[i] = 0.5 * std::cos(i * 1.3);
+  GetBaseOptions sse_opts;
+  GetBaseOptions rel_opts;
+  rel_opts.metric = ErrorMetric::kSseRelative;
+  rel_opts.relative_floor = 0.01;
+  const auto sse_sel = GetBase(y, 2, w, 2, sse_opts);
+  const auto rel_sel = GetBase(y, 2, w, 2, rel_opts);
+  ASSERT_FALSE(sse_sel.empty());
+  ASSERT_FALSE(rel_sel.empty());
+  // The SSE pick chases the large-magnitude rows (first row windows have
+  // source_index < m/w).
+  EXPECT_LT(sse_sel[0].source_index, m / w);
+}
+
+TEST(GetBase, HandlesTailRemainderRows) {
+  // m = 37, w = 8: 4 whole windows per row, 5 values of tail ignored.
+  Rng rng(7);
+  std::vector<double> y(2 * 37);
+  for (auto& v : y) v = rng.Uniform(0, 1);
+  GetBaseOptions opts;
+  const auto selected = GetBase(y, 2, 8, 100, opts);
+  EXPECT_LE(selected.size(), 8u);  // at most K = 2 * 4 candidates
+}
+
+}  // namespace
+}  // namespace sbr::core

@@ -1,0 +1,228 @@
+// Unit tests for GetIntervals: budget accounting, coverage invariants,
+// worst-first splitting behaviour, early stopping and reconstruction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/get_intervals.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sbr::core {
+namespace {
+
+// Intervals must tile [0, len) exactly with one or more intervals per
+// signal and no signal-boundary crossings.
+void CheckTiling(const ApproximationResult& result, size_t num_signals,
+                 size_t m) {
+  ASSERT_FALSE(result.intervals.empty());
+  size_t expect_start = 0;
+  for (const Interval& iv : result.intervals) {
+    EXPECT_EQ(iv.start, expect_start);
+    EXPECT_GT(iv.length, 0u);
+    // No interval crosses a signal boundary: since the initial intervals
+    // are per-signal and splits stay inside, start/end share a row.
+    EXPECT_EQ(iv.start / m, (iv.start + iv.length - 1) / m);
+    expect_start += iv.length;
+  }
+  EXPECT_EQ(expect_start, num_signals * m);
+}
+
+TEST(GetIntervals, BudgetTooSmallFails) {
+  std::vector<double> y(20, 1.0);
+  GetIntervalsOptions opts;
+  auto result = GetIntervals({}, y, /*num_signals=*/4, /*budget=*/12,
+                             /*w=*/4, opts);
+  // 12 / 4 = 3 intervals < 4 signals.
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GetIntervals, MinimalBudgetOneIntervalPerSignal) {
+  Rng rng(1);
+  std::vector<double> y(40);
+  for (auto& v : y) v = rng.Uniform(0, 1);
+  GetIntervalsOptions opts;
+  auto result = GetIntervals({}, y, /*num_signals=*/4, /*budget=*/16,
+                             /*w=*/4, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->intervals.size(), 4u);
+  CheckTiling(*result, 4, 10);
+}
+
+TEST(GetIntervals, RespectsBudgetExactly) {
+  Rng rng(2);
+  std::vector<double> y(256);
+  for (auto& v : y) v = rng.Uniform(0, 1);
+  GetIntervalsOptions opts;
+  auto result =
+      GetIntervals({}, y, /*num_signals=*/2, /*budget=*/41, /*w=*/16, opts);
+  ASSERT_TRUE(result.ok());
+  // 41 / 4 = 10 intervals.
+  EXPECT_EQ(result->intervals.size(), 10u);
+  EXPECT_EQ(result->values_used, 40u);
+  CheckTiling(*result, 2, 128);
+}
+
+TEST(GetIntervals, PerfectDataStopsEarly) {
+  // A ramp is perfectly captured by one linear interval per signal; no
+  // budget should be spent splitting further.
+  std::vector<double> y(100);
+  for (size_t i = 0; i < 100; ++i) y[i] = 2.0 * static_cast<double>(i % 50);
+  GetIntervalsOptions opts;
+  auto result =
+      GetIntervals({}, y, /*num_signals=*/2, /*budget=*/100, /*w=*/8, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->intervals.size(), 2u);
+  EXPECT_NEAR(result->total_error, 0.0, 1e-9);
+}
+
+TEST(GetIntervals, MoreBudgetNeverHurts) {
+  Rng rng(3);
+  std::vector<double> y(512);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = std::sin(i * 0.1) + rng.Gaussian(0, 0.2);
+  }
+  GetIntervalsOptions opts;
+  double prev = 1e300;
+  for (size_t budget : {16u, 32u, 64u, 128u, 256u}) {
+    auto result = GetIntervals({}, y, /*num_signals=*/1, budget, /*w=*/22,
+                               opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->total_error, prev + 1e-9) << "budget=" << budget;
+    prev = result->total_error;
+  }
+}
+
+TEST(GetIntervals, AllocatesMoreIntervalsToHarderSignal) {
+  // Signal 0: constant (trivially approximated). Signal 1: noise. The
+  // splitter must pour nearly all its budget into signal 1 (dynamic
+  // allocation claim of Section 4.2).
+  Rng rng(4);
+  const size_t m = 128;
+  std::vector<double> y(2 * m, 5.0);
+  for (size_t i = m; i < 2 * m; ++i) y[i] = rng.Uniform(-10, 10);
+  GetIntervalsOptions opts;
+  auto result =
+      GetIntervals({}, y, /*num_signals=*/2, /*budget=*/80, /*w=*/16, opts);
+  ASSERT_TRUE(result.ok());
+  size_t hard = 0, easy = 0;
+  for (const Interval& iv : result->intervals) {
+    (iv.start >= m ? hard : easy) += 1;
+  }
+  EXPECT_EQ(easy, 1u);
+  EXPECT_EQ(hard, result->intervals.size() - 1);
+  EXPECT_GT(hard, 10u);
+}
+
+TEST(GetIntervals, ErrorTargetStopsSplitting) {
+  Rng rng(5);
+  std::vector<double> y(256);
+  for (auto& v : y) v = rng.Uniform(0, 1);
+  GetIntervalsOptions unlimited;
+  auto full = GetIntervals({}, y, 1, /*budget=*/200, /*w=*/16, unlimited);
+  ASSERT_TRUE(full.ok());
+
+  GetIntervalsOptions bounded = unlimited;
+  bounded.error_target = full->total_error * 4.0;  // a loose target
+  auto early = GetIntervals({}, y, 1, /*budget=*/200, /*w=*/16, bounded);
+  ASSERT_TRUE(early.ok());
+  EXPECT_LE(early->total_error, bounded.error_target);
+  EXPECT_LT(early->intervals.size(), full->intervals.size());
+}
+
+TEST(GetIntervals, UsesBaseSignalWhenItHelps) {
+  // Data = noisy periodic signal whose period is present in the base: the
+  // base mapping should beat pure linear regression.
+  Rng rng(6);
+  const size_t m = 256;
+  std::vector<double> base(64);
+  for (size_t i = 0; i < 64; ++i) base[i] = std::sin(i * 2.0 * M_PI / 64.0);
+  std::vector<double> y(m);
+  for (size_t i = 0; i < m; ++i) {
+    y[i] = 10.0 * std::sin(i * 2.0 * M_PI / 64.0) + 3.0;
+  }
+  GetIntervalsOptions opts;
+  auto with_base = GetIntervals(base, y, 1, /*budget=*/16, /*w=*/64, opts);
+  auto without = GetIntervals({}, y, 1, /*budget=*/16, /*w=*/64, opts);
+  ASSERT_TRUE(with_base.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_LT(with_base->total_error, without->total_error * 0.1);
+}
+
+TEST(GetIntervals, TotalErrorMatchesReconstruction) {
+  Rng rng(7);
+  std::vector<double> base(32), y(200);
+  for (auto& v : base) v = rng.Uniform(-1, 1);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = std::cos(i * 0.05) * 4 + rng.Gaussian(0, 0.3);
+  }
+  GetIntervalsOptions opts;
+  auto result = GetIntervals(base, y, /*num_signals=*/2, /*budget=*/60,
+                             /*w=*/10, opts);
+  ASSERT_TRUE(result.ok());
+  const auto approx =
+      ReconstructFromIntervals(base, y.size(), result->intervals);
+  EXPECT_NEAR(result->total_error, SumSquaredError(y, approx),
+              1e-6 * std::max(1.0, result->total_error));
+}
+
+TEST(GetIntervals, MaxMetricTotalIsWorstInterval) {
+  Rng rng(8);
+  std::vector<double> y(128);
+  for (auto& v : y) v = rng.Uniform(-5, 5);
+  GetIntervalsOptions opts;
+  opts.best_map.metric = ErrorMetric::kMaxAbs;
+  auto result = GetIntervals({}, y, 1, /*budget=*/40, /*w=*/11, opts);
+  ASSERT_TRUE(result.ok());
+  double worst = 0.0;
+  for (const Interval& iv : result->intervals) {
+    worst = std::max(worst, iv.err);
+  }
+  EXPECT_DOUBLE_EQ(result->total_error, worst);
+  const auto approx = ReconstructFromIntervals({}, y.size(),
+                                               result->intervals);
+  EXPECT_NEAR(result->total_error, MaxAbsoluteError(y, approx), 1e-9);
+}
+
+TEST(GetIntervals, ThreeValuePerIntervalAccounting) {
+  Rng rng(9);
+  std::vector<double> y(100);
+  for (auto& v : y) v = rng.Uniform(0, 1);
+  GetIntervalsOptions opts;
+  opts.values_per_interval = 3;
+  auto result = GetIntervals({}, y, 1, /*budget=*/30, /*w=*/10, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->intervals.size(), 10u);
+  EXPECT_EQ(result->values_used, 30u);
+}
+
+TEST(GetIntervals, LengthOneSignalsHandled) {
+  std::vector<double> y{1.0, 2.0, 3.0};
+  GetIntervalsOptions opts;
+  auto result = GetIntervals({}, y, /*num_signals=*/3, /*budget=*/100,
+                             /*w=*/1, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->intervals.size(), 3u);
+  EXPECT_NEAR(result->total_error, 0.0, 1e-12);
+}
+
+TEST(GetIntervals, RejectsEmptyOrRaggedInput) {
+  GetIntervalsOptions opts;
+  EXPECT_FALSE(GetIntervals({}, {}, 1, 100, 4, opts).ok());
+  std::vector<double> y(10);
+  EXPECT_FALSE(GetIntervals({}, y, 3, 100, 4, opts).ok());  // 10 % 3 != 0
+}
+
+TEST(ReconstructFromIntervals, LinearAndShiftMixed) {
+  std::vector<double> x{10, 20, 30, 40};
+  std::vector<Interval> intervals(2);
+  intervals[0] = {0, 3, kShiftLinearFallback, 2.0, 1.0, 0.0};
+  intervals[1] = {3, 3, 1, 0.5, 0.0, 0.0};
+  const auto out = ReconstructFromIntervals(x, 6, intervals);
+  EXPECT_EQ(out, (std::vector<double>{1, 3, 5, 10, 15, 20}));
+}
+
+}  // namespace
+}  // namespace sbr::core

@@ -1,0 +1,350 @@
+// Unit tests for the numerics substrate: FFT (pow-2 + Bluestein), fast DCT
+// vs the naive oracle, Matrix algebra, the Jacobi eigensolver and the
+// SVD-based right-singular-vector extraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "linalg/dct.h"
+#include "linalg/fft.h"
+#include "linalg/jacobi.h"
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+#include "util/rng.h"
+
+namespace sbr::linalg {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex> NaiveDft(std::span<const Complex> x) {
+  const size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    Complex sum(0, 0);
+    for (size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>(j * k) / static_cast<double>(n);
+      sum += x[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+std::vector<Complex> RandomComplex(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& c : v) c = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+  return v;
+}
+
+// ------------------------------------------------------------------- FFT
+
+TEST(Fft, PowerOfTwoMatchesNaiveDft) {
+  for (size_t n : {1u, 2u, 4u, 8u, 64u}) {
+    const auto x = RandomComplex(n, 100 + n);
+    const auto fast = Fft(x);
+    const auto slow = NaiveDft(x);
+    ASSERT_EQ(fast.size(), n);
+    for (size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(Fft, BluesteinArbitraryLengthMatchesNaiveDft) {
+  for (size_t n : {3u, 5u, 6u, 7u, 12u, 97u, 100u}) {
+    const auto x = RandomComplex(n, 200 + n);
+    const auto fast = Fft(x);
+    const auto slow = NaiveDft(x);
+    ASSERT_EQ(fast.size(), n);
+    for (size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-8) << "n=" << n;
+    }
+  }
+}
+
+TEST(Fft, InverseRoundTrip) {
+  for (size_t n : {1u, 2u, 8u, 5u, 97u, 128u}) {
+    const auto x = RandomComplex(n, 300 + n);
+    const auto back = Ifft(Fft(x));
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(back[i] - x[i]), 0.0, 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(Fft, RealWrapperMatchesComplex) {
+  std::vector<double> real{1, -2, 3.5, 0.25, 7};
+  std::vector<Complex> as_complex(real.size());
+  for (size_t i = 0; i < real.size(); ++i) as_complex[i] = Complex(real[i], 0);
+  const auto a = FftReal(real);
+  const auto b = Fft(as_complex);
+  for (size_t i = 0; i < real.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, EmptyInput) {
+  EXPECT_TRUE(Fft(std::vector<Complex>{}).empty());
+  EXPECT_TRUE(Ifft(std::vector<Complex>{}).empty());
+}
+
+TEST(Fft, ParsevalHolds) {
+  const auto x = RandomComplex(64, 42);
+  const auto fx = Fft(x);
+  double time_energy = 0, freq_energy = 0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  for (const auto& v : fx) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * 64.0, 1e-6);
+}
+
+TEST(Fft, PowerOfTwoHelpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+// ------------------------------------------------------------------- DCT
+
+TEST(Dct, FastMatchesNaive) {
+  Rng rng(7);
+  for (size_t n : {1u, 2u, 3u, 8u, 17u, 64u, 100u}) {
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.Uniform(-10, 10);
+    const auto fast = Dct2(x);
+    const auto slow = Dct2Naive(x);
+    ASSERT_EQ(fast.size(), n);
+    for (size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(fast[k], slow[k], 1e-8 * std::max(1.0, std::abs(slow[k])))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Dct, InverseRoundTrip) {
+  Rng rng(8);
+  for (size_t n : {1u, 2u, 5u, 16u, 33u, 128u}) {
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.Uniform(-10, 10);
+    const auto back = Idct2(Dct2(x));
+    ASSERT_EQ(back.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(back[i], x[i], 1e-8) << "n=" << n;
+    }
+  }
+}
+
+TEST(Dct, OrthonormalPreservesEnergy) {
+  Rng rng(9);
+  std::vector<double> x(64);
+  for (auto& v : x) v = rng.Uniform(-5, 5);
+  const auto c = DctOrthonormal(x);
+  double ex = 0, ec = 0;
+  for (double v : x) ex += v * v;
+  for (double v : c) ec += v * v;
+  EXPECT_NEAR(ec, ex, 1e-8);
+  const auto back = IdctOrthonormal(c);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+}
+
+TEST(Dct, ConstantSignalConcentratesInDc) {
+  std::vector<double> x(32, 4.0);
+  const auto c = DctOrthonormal(x);
+  for (size_t k = 1; k < c.size(); ++k) {
+    EXPECT_NEAR(c[k], 0.0, 1e-10);
+  }
+  EXPECT_NEAR(c[0], 4.0 * std::sqrt(32.0), 1e-9);
+}
+
+TEST(Dct, PureCosineConcentratesInOneBin) {
+  const size_t n = 64;
+  std::vector<double> x(n);
+  const size_t f = 5;
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::cos((2.0 * i + 1.0) * std::numbers::pi * f / (2.0 * n));
+  }
+  const auto c = DctOrthonormal(x);
+  for (size_t k = 0; k < n; ++k) {
+    if (k == f) {
+      EXPECT_GT(std::abs(c[k]), 1.0);
+    } else {
+      EXPECT_NEAR(c[k], 0.0, 1e-9);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(Matrix, BasicAccessAndRowViews) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(1, 2) = 5;
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.Row(1)[2], 5.0);
+  EXPECT_DOUBLE_EQ(m.Row(0)[1], 0.0);
+  m.MutableRow(0)[1] = 9;
+  EXPECT_DOUBLE_EQ(m(0, 1), 9.0);
+}
+
+TEST(Matrix, FromFlatData) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m.Col(1), (std::vector<double>{2, 4}));
+}
+
+TEST(Matrix, TransposeAndMultiply) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix at = a.Transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+  Matrix prod = a.Multiply(at);  // 2x2
+  EXPECT_DOUBLE_EQ(prod(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(prod(0, 1), 32.0);
+  EXPECT_DOUBLE_EQ(prod(1, 1), 77.0);
+}
+
+TEST(Matrix, GramMatchesExplicitProduct) {
+  Rng rng(22);
+  Matrix a(5, 4);
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 4; ++c) a(r, c) = rng.Uniform(-2, 2);
+  }
+  Matrix g1 = a.Gram();
+  Matrix g2 = a.Transposed().Multiply(a);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(g1(i, j), g2(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Matrix, IdentityAndFrobenius) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  EXPECT_NEAR(id.FrobeniusNorm(), std::sqrt(3.0), 1e-12);
+}
+
+// ---------------------------------------------------------------- Jacobi
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix a(3, 3);
+  a(0, 0) = 3;
+  a(1, 1) = 1;
+  a(2, 2) = 2;
+  const auto eig = JacobiEigen(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-12);
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2, {2, 1, 1, 2});
+  const auto eig = JacobiEigen(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), std::numbers::sqrt2 / 2, 1e-8);
+}
+
+TEST(Jacobi, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(33);
+  const size_t n = 12;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = rng.Uniform(-1, 1);
+    }
+  }
+  const auto eig = JacobiEigen(a);
+  // A == V diag(w) V^T.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double sum = 0;
+      for (size_t k = 0; k < n; ++k) {
+        sum += eig.vectors(i, k) * eig.values[k] * eig.vectors(j, k);
+      }
+      EXPECT_NEAR(sum, a(i, j), 1e-8);
+    }
+  }
+  // Eigenvalues sorted descending.
+  for (size_t k = 1; k < n; ++k) {
+    EXPECT_GE(eig.values[k - 1], eig.values[k] - 1e-12);
+  }
+  // Eigenvectors orthonormal.
+  for (size_t p = 0; p < n; ++p) {
+    for (size_t q = p; q < n; ++q) {
+      double dot = 0;
+      for (size_t k = 0; k < n; ++k) {
+        dot += eig.vectors(k, p) * eig.vectors(k, q);
+      }
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- SVD
+
+TEST(Svd, RankOneMatrixHasOneSingularValue) {
+  // R = u v^T with |u| = 2, |v| = 1: sigma_1 = 2, everything else ~ 0.
+  std::vector<double> v{0.6, 0.8};
+  Matrix r(3, 2);
+  const double u[3] = {2.0 / std::sqrt(3.0), 2.0 / std::sqrt(3.0),
+                       2.0 / std::sqrt(3.0)};
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) r(i, j) = u[i] * v[j];
+  }
+  const auto svd = TopRightSingularVectors(r, 2);
+  ASSERT_EQ(svd.vectors.size(), 2u);
+  EXPECT_NEAR(svd.singular_values[0], 2.0, 1e-9);
+  EXPECT_NEAR(svd.singular_values[1], 0.0, 1e-8);
+  EXPECT_NEAR(std::abs(svd.vectors[0][0]), 0.6, 1e-8);
+  EXPECT_NEAR(std::abs(svd.vectors[0][1]), 0.8, 1e-8);
+}
+
+TEST(Svd, TopVectorMaximizesRowEnergyCapture) {
+  Rng rng(44);
+  Matrix r(40, 6);
+  // Rows strongly aligned with one direction plus noise.
+  std::vector<double> dir{1, 2, 0, -1, 0.5, 3};
+  double norm = 0;
+  for (double d : dir) norm += d * d;
+  norm = std::sqrt(norm);
+  for (auto& d : dir) d /= norm;
+  for (size_t i = 0; i < 40; ++i) {
+    const double scale = rng.Uniform(-4, 4);
+    for (size_t j = 0; j < 6; ++j) {
+      r(i, j) = scale * dir[j] + rng.Gaussian(0, 0.01);
+    }
+  }
+  const auto svd = TopRightSingularVectors(r, 1);
+  ASSERT_EQ(svd.vectors.size(), 1u);
+  double dot = 0;
+  for (size_t j = 0; j < 6; ++j) dot += svd.vectors[0][j] * dir[j];
+  EXPECT_NEAR(std::abs(dot), 1.0, 1e-3);
+}
+
+TEST(Svd, ClampsKToColumns) {
+  Matrix r(3, 2, {1, 0, 0, 1, 1, 1});
+  const auto svd = TopRightSingularVectors(r, 10);
+  EXPECT_EQ(svd.vectors.size(), 2u);
+}
+
+TEST(Svd, EmptyMatrix) {
+  const auto svd = TopRightSingularVectors(Matrix(), 3);
+  EXPECT_TRUE(svd.vectors.empty());
+}
+
+}  // namespace
+}  // namespace sbr::linalg

@@ -1,0 +1,283 @@
+// Unit tests for the sensor-network substrate: the energy model, the
+// batching sensor node, the base station and the end-to-end simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/weather.h"
+#include "net/base_station.h"
+#include "net/energy.h"
+#include "net/network.h"
+#include "net/node.h"
+#include "util/rng.h"
+
+namespace sbr::net {
+namespace {
+
+// ---------------------------------------------------------------- Energy
+
+TEST(Energy, TransmissionCostScalesWithValuesAndHops) {
+  EnergyModel model;
+  EnergyAccount one, two;
+  model.ChargeTransmission(100, 1, &one);
+  model.ChargeTransmission(100, 2, &two);
+  EXPECT_NEAR(two.total_nj(), 2.0 * one.total_nj(), 1e-6);
+
+  EnergyAccount big;
+  model.ChargeTransmission(200, 1, &big);
+  EXPECT_NEAR(big.total_nj(), 2.0 * one.total_nj(), 1e-6);
+}
+
+TEST(Energy, ComponentsBrokenOut) {
+  EnergyParams params;
+  params.bits_per_value = 10;
+  params.tx_nj_per_bit = 7;
+  params.rx_nj_per_bit = 3;
+  params.overhear_neighbors = 2;
+  EnergyModel model(params);
+  EnergyAccount acc;
+  model.ChargeTransmission(5, 1, &acc);  // 50 bits
+  EXPECT_DOUBLE_EQ(acc.tx_nj, 350.0);
+  EXPECT_DOUBLE_EQ(acc.rx_nj, 150.0);
+  EXPECT_DOUBLE_EQ(acc.overhear_nj, 300.0);
+  EXPECT_DOUBLE_EQ(acc.total_nj(), 800.0);
+  EXPECT_DOUBLE_EQ(model.RawTransmissionNj(5, 1), 800.0);
+}
+
+TEST(Energy, CpuChargeUsesInstructionCost) {
+  EnergyModel model;
+  EnergyAccount acc;
+  model.ChargeCpu(1000.0, &acc);
+  EXPECT_NEAR(acc.cpu_nj, 1000.0 * model.params().cpu_nj_per_instruction,
+              1e-9);
+}
+
+TEST(Energy, TransmitBitCostsRoughlyThousandInstructions) {
+  // The MICA figure the paper cites; keep the default parameters honest.
+  EnergyParams params;
+  EXPECT_NEAR(params.tx_nj_per_bit / params.cpu_nj_per_instruction, 1000.0,
+              1.0);
+}
+
+// ------------------------------------------------------------ SensorNode
+
+core::EncoderOptions NodeOptions() {
+  core::EncoderOptions opts;
+  opts.total_band = 100;
+  opts.m_base = 64;
+  return opts;
+}
+
+TEST(SensorNode, EmitsOnExactlyFullBuffer) {
+  SensorNode node(7, 2, 64, NodeOptions());
+  Rng rng(1);
+  std::vector<double> sample(2);
+  for (size_t i = 0; i < 63; ++i) {
+    sample[0] = rng.Uniform(0, 1);
+    sample[1] = rng.Uniform(0, 1);
+    auto r = node.AddSamples(sample);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->has_value()) << "premature flush at " << i;
+  }
+  EXPECT_EQ(node.buffered(), 63u);
+  auto r = node.AddSamples(sample);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->has_value());
+  EXPECT_EQ(node.buffered(), 0u);
+  EXPECT_EQ(node.transmissions(), 1u);
+  EXPECT_EQ((*r)->num_signals, 2u);
+  EXPECT_EQ((*r)->chunk_len, 64u);
+}
+
+TEST(SensorNode, RejectsWrongSampleWidth) {
+  SensorNode node(1, 3, 16, NodeOptions());
+  std::vector<double> sample(2);
+  EXPECT_FALSE(node.AddSamples(sample).ok());
+}
+
+TEST(SensorNode, MultipleBatchesReuseBuffer) {
+  SensorNode node(1, 1, 32, NodeOptions());
+  Rng rng(2);
+  size_t emitted = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    std::vector<double> sample{rng.Uniform(0, 1)};
+    auto r = node.AddSamples(sample);
+    ASSERT_TRUE(r.ok());
+    if (r->has_value()) ++emitted;
+  }
+  EXPECT_EQ(emitted, 3u);  // 100 / 32
+  EXPECT_EQ(node.buffered(), 4u);
+}
+
+// ----------------------------------------------------------- BaseStation
+
+TEST(BaseStation, TracksSensorsSeparately) {
+  BaseStation station(64);
+  SensorNode a(1, 1, 32, NodeOptions());
+  SensorNode b(2, 1, 32, NodeOptions());
+  Rng rng(3);
+  for (size_t i = 0; i < 64; ++i) {
+    std::vector<double> sa{std::sin(i * 0.3)};
+    std::vector<double> sb{rng.Uniform(0, 10)};
+    auto ra = a.AddSamples(sa);
+    auto rb = b.AddSamples(sb);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    if (ra->has_value()) {
+      ASSERT_TRUE(station.Receive(1, **ra).ok());
+    }
+    if (rb->has_value()) {
+      ASSERT_TRUE(station.Receive(2, **rb).ok());
+    }
+  }
+  EXPECT_EQ(station.num_sensors(), 2u);
+  EXPECT_TRUE(station.HasSensor(1));
+  EXPECT_FALSE(station.HasSensor(3));
+  auto h1 = station.History(1);
+  ASSERT_TRUE(h1.ok());
+  EXPECT_EQ((*h1)->num_chunks(), 2u);
+  EXPECT_FALSE(station.History(99).ok());
+  auto log = station.Log(2);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->size(), 2u);
+}
+
+TEST(BaseStation, ReceiveBytesDecodesWire) {
+  BaseStation station(64);
+  SensorNode node(5, 1, 32, NodeOptions());
+  Rng rng(4);
+  for (size_t i = 0; i < 32; ++i) {
+    std::vector<double> s{rng.Uniform(0, 1)};
+    auto r = node.AddSamples(s);
+    ASSERT_TRUE(r.ok());
+    if (r->has_value()) {
+      BinaryWriter w;
+      (*r)->Serialize(&w);
+      ASSERT_TRUE(station.ReceiveBytes(5, w.buffer()).ok());
+    }
+  }
+  EXPECT_TRUE(station.HasSensor(5));
+  std::vector<uint8_t> junk{1, 2, 3};
+  EXPECT_FALSE(station.ReceiveBytes(6, junk).ok());
+  EXPECT_FALSE(station.HasSensor(6));
+}
+
+// ------------------------------------------------------------ NetworkSim
+
+TEST(NetworkSim, EndToEndRunProducesConsistentReport) {
+  datagen::WeatherOptions wopts;
+  wopts.length = 512;
+  std::vector<datagen::Dataset> feeds;
+  std::vector<NodePlacement> placements;
+  for (uint32_t id = 0; id < 3; ++id) {
+    wopts.seed = 100 + id;
+    feeds.push_back(datagen::GenerateWeather(wopts));
+    placements.push_back({id, id + 1});  // 1, 2, 3 hops
+  }
+  core::EncoderOptions opts;
+  opts.total_band = 300;
+  opts.m_base = 256;
+  NetworkSim sim(placements, opts, /*chunk_len=*/256);
+  auto report = sim.Run(feeds);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->nodes.size(), 3u);
+  size_t sum_sent = 0;
+  double sum_energy = 0;
+  for (const auto& nr : report->nodes) {
+    EXPECT_EQ(nr.transmissions, 2u);  // 512 / 256
+    EXPECT_LE(nr.values_sent, 2 * opts.total_band);
+    EXPECT_GT(nr.values_sent, 0u);
+    EXPECT_EQ(nr.values_raw, 2u * 6 * 256);
+    EXPECT_GT(nr.energy.total_nj(), 0.0);
+    EXPECT_GT(nr.raw_energy_nj, nr.energy.total_nj());
+    sum_sent += nr.values_sent;
+    sum_energy += nr.energy.total_nj();
+  }
+  EXPECT_EQ(report->total_values_sent, sum_sent);
+  EXPECT_NEAR(report->total_energy_nj, sum_energy, 1e-6);
+  EXPECT_GT(report->CompressionFactor(), 1.0);
+  EXPECT_GT(report->EnergySavingFactor(), 1.0);
+
+  // Deeper nodes spend proportionally more energy for the same data.
+  EXPECT_GT(report->nodes[2].energy.total_nj(),
+            1.5 * report->nodes[0].energy.total_nj());
+
+  // The station holds a queryable history for each node.
+  for (uint32_t id = 0; id < 3; ++id) {
+    auto h = sim.base_station().History(id);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ((*h)->history_len(), 512u);
+  }
+}
+
+TEST(NetworkSim, FeedCountMustMatchPlacements) {
+  core::EncoderOptions opts;
+  opts.total_band = 100;
+  opts.m_base = 64;
+  NetworkSim sim({{0, 1}}, opts, 64);
+  EXPECT_FALSE(sim.Run({}).ok());
+}
+
+TEST(NetworkSim, ReconstructionErrorIsBounded) {
+  datagen::WeatherOptions wopts;
+  wopts.length = 1024;
+  wopts.seed = 42;
+  std::vector<datagen::Dataset> feeds{datagen::GenerateWeather(wopts)};
+  core::EncoderOptions opts;
+  opts.total_band = 1228;  // ~20% of 6 * 1024
+  opts.m_base = 512;
+  NetworkSim sim({{0, 1}}, opts, 1024);
+  auto report = sim.Run(feeds);
+  ASSERT_TRUE(report.ok());
+  // Error must be small relative to raw signal energy.
+  double energy = 0;
+  for (size_t s = 0; s < 6; ++s) {
+    for (double v : feeds[0].Signal(s)) energy += v * v;
+  }
+  EXPECT_LT(report->total_sse, 0.05 * energy);
+}
+
+TEST(NetworkSim, LossyLinksCostRetransmissionEnergy) {
+  datagen::WeatherOptions wopts;
+  wopts.length = 512;
+  wopts.seed = 3;
+  std::vector<datagen::Dataset> feeds{datagen::GenerateWeather(wopts)};
+  core::EncoderOptions opts;
+  opts.total_band = 300;
+  opts.m_base = 256;
+
+  NetworkSim clean({{0, 2}}, opts, 256);
+  auto clean_report = clean.Run(feeds);
+  ASSERT_TRUE(clean_report.ok());
+  EXPECT_EQ(clean_report->nodes[0].retransmissions, 0u);
+
+  LinkOptions lossy;
+  lossy.loss_probability = 0.4;
+  NetworkSim noisy({{0, 2}}, opts, 256, EnergyParams(), lossy);
+  auto noisy_report = noisy.Run(feeds);
+  ASSERT_TRUE(noisy_report.ok());
+  EXPECT_GT(noisy_report->nodes[0].retransmissions, 0u);
+  EXPECT_GT(noisy_report->nodes[0].energy.total_nj(),
+            clean_report->nodes[0].energy.total_nj());
+  // Data still arrives intact: identical reconstruction error.
+  EXPECT_DOUBLE_EQ(noisy_report->nodes[0].sse, clean_report->nodes[0].sse);
+}
+
+TEST(NetworkSim, UndeliverableLinkFailsLoudly) {
+  datagen::WeatherOptions wopts;
+  wopts.length = 256;
+  std::vector<datagen::Dataset> feeds{datagen::GenerateWeather(wopts)};
+  core::EncoderOptions opts;
+  opts.total_band = 300;
+  opts.m_base = 256;
+  LinkOptions dead;
+  dead.loss_probability = 1.0;
+  dead.max_attempts = 4;
+  NetworkSim sim({{0, 1}}, opts, 256, EnergyParams(), dead);
+  auto report = sim.Run(feeds);
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace sbr::net

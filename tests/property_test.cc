@@ -1,0 +1,234 @@
+// Property-based parameterized sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P)
+// over the core invariants: encoder/decoder agreement, budget adherence,
+// metric-specific optimality and reconstruction identities across a grid
+// of geometries, metrics and budgets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/decoder.h"
+#include "core/encoder.h"
+#include "core/get_intervals.h"
+#include "core/regression.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sbr::core {
+namespace {
+
+// ------------------------------------------------ regression properties
+
+// Sweep (length, scale) and assert kernel invariants on random data.
+class RegressionProperty
+    : public testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(RegressionProperty, KernelsAreOptimalAndConsistent) {
+  const auto [len, scale] = GetParam();
+  Rng rng(len * 31 + static_cast<uint64_t>(scale));
+  std::vector<double> x(len), y(len);
+  for (size_t i = 0; i < len; ++i) {
+    x[i] = rng.Uniform(-1, 1);
+    y[i] = scale * (0.7 * x[i] + rng.Gaussian(0, 0.3));
+  }
+
+  // SSE: reported err matches direct evaluation, gradient ~ 0.
+  const RegressionResult sse = FitSse(x, y);
+  EXPECT_NEAR(sse.err,
+              EvaluateLine(ErrorMetric::kSse, x, y, sse.a, sse.b, 1.0),
+              1e-6 * std::max(1.0, sse.err));
+  const double eps = 1e-4 * std::max(1.0, std::abs(sse.a));
+  EXPECT_GE(EvaluateLine(ErrorMetric::kSse, x, y, sse.a + eps, sse.b, 1.0),
+            sse.err - 1e-9);
+  EXPECT_GE(EvaluateLine(ErrorMetric::kSse, x, y, sse.a - eps, sse.b, 1.0),
+            sse.err - 1e-9);
+
+  // Relative: never worse than the SSE line under the relative metric.
+  const RegressionResult rel = FitSseRelative(x, y, 1.0);
+  EXPECT_LE(rel.err,
+            EvaluateLine(ErrorMetric::kSseRelative, x, y, sse.a, sse.b, 1.0) +
+                1e-9);
+
+  // MaxAbs: never worse than either line under the max metric.
+  const RegressionResult mm = FitMaxAbs(x, y);
+  EXPECT_LE(mm.err,
+            EvaluateLine(ErrorMetric::kMaxAbs, x, y, sse.a, sse.b, 1.0) +
+                1e-9);
+  EXPECT_LE(mm.err,
+            EvaluateLine(ErrorMetric::kMaxAbs, x, y, rel.a, rel.b, 1.0) +
+                1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RegressionProperty,
+    testing::Combine(testing::Values<size_t>(2, 3, 8, 33, 200),
+                     testing::Values(0.01, 1.0, 1000.0)));
+
+// --------------------------------------------- GetIntervals properties
+
+// Sweep (num_signals, budget_fraction_percent, metric).
+class GetIntervalsProperty
+    : public testing::TestWithParam<std::tuple<size_t, size_t, ErrorMetric>> {
+};
+
+TEST_P(GetIntervalsProperty, TilingBudgetAndReconstruction) {
+  const auto [num_signals, pct, metric] = GetParam();
+  const size_t m = 192;
+  Rng rng(num_signals * 1000 + pct + static_cast<size_t>(metric));
+
+  std::vector<double> base(48);
+  for (auto& v : base) v = rng.Uniform(-1, 1);
+  std::vector<double> y(num_signals * m);
+  for (size_t s = 0; s < num_signals; ++s) {
+    for (size_t i = 0; i < m; ++i) {
+      y[s * m + i] = std::sin(i * 0.15 + s) * 5 + rng.Gaussian(0, 0.4);
+    }
+  }
+
+  GetIntervalsOptions opts;
+  opts.best_map.metric = metric;
+  const size_t budget =
+      std::max<size_t>(4 * num_signals, y.size() * pct / 100);
+  auto result = GetIntervals(base, y, num_signals, budget, /*w=*/16, opts);
+  ASSERT_TRUE(result.ok());
+
+  // Tiling invariant.
+  size_t pos = 0;
+  for (const Interval& iv : result->intervals) {
+    ASSERT_EQ(iv.start, pos);
+    ASSERT_GT(iv.length, 0u);
+    pos += iv.length;
+  }
+  EXPECT_EQ(pos, y.size());
+
+  // Budget invariant.
+  EXPECT_LE(result->values_used, budget);
+  EXPECT_GE(result->intervals.size(), num_signals);
+
+  // Reported error equals the reconstruction error under the metric.
+  const auto approx =
+      ReconstructFromIntervals(base, y.size(), result->intervals);
+  double direct = 0;
+  switch (metric) {
+    case ErrorMetric::kSse:
+      direct = SumSquaredError(y, approx);
+      break;
+    case ErrorMetric::kSseRelative:
+      direct = SumSquaredRelativeError(y, approx);
+      break;
+    case ErrorMetric::kMaxAbs:
+      direct = MaxAbsoluteError(y, approx);
+      break;
+  }
+  EXPECT_NEAR(result->total_error, direct,
+              1e-6 * std::max(1.0, direct));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GetIntervalsProperty,
+    testing::Combine(testing::Values<size_t>(1, 2, 5),
+                     testing::Values<size_t>(5, 15, 40),
+                     testing::Values(ErrorMetric::kSse,
+                                     ErrorMetric::kSseRelative,
+                                     ErrorMetric::kMaxAbs)));
+
+// ------------------------------------------- encoder/decoder properties
+
+// Sweep (num_signals, total_band_fraction, m_base_slots).
+class PipelineProperty
+    : public testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(PipelineProperty, EncoderDecoderAgreeForManyTransmissions) {
+  const auto [num_signals, pct, slots] = GetParam();
+  const size_t m = 160;
+  const size_t n = num_signals * m;
+  const size_t w = static_cast<size_t>(std::floor(std::sqrt(n)));
+
+  EncoderOptions opts;
+  opts.total_band = std::max<size_t>(4 * num_signals + w + 2, n * pct / 100);
+  opts.m_base = slots * w;
+  SbrEncoder enc(opts);
+  SbrDecoder dec(DecoderOptions{opts.m_base});
+
+  Rng rng(num_signals * 7919 + pct * 131 + slots);
+  for (size_t c = 0; c < 5; ++c) {
+    std::vector<double> y(n);
+    for (size_t s = 0; s < num_signals; ++s) {
+      for (size_t i = 0; i < m; ++i) {
+        y[s * m + i] = std::sin(i * 0.2 + c * 0.5) * (1.0 + s) +
+                       rng.Gaussian(0, 0.1);
+      }
+    }
+    auto t = enc.EncodeChunk(y, num_signals);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    // Budget invariant.
+    ASSERT_LE(t->ValueCount(), opts.total_band);
+    // Base buffer bound invariant.
+    ASSERT_LE(enc.base_signal().used_slots(), slots);
+
+    auto decoded = dec.DecodeChunk(*t);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    // Decoder output realizes exactly the encoder's claimed error.
+    ASSERT_NEAR(SumSquaredError(y, *decoded), enc.last_stats().total_error,
+                1e-6 * std::max(1.0, enc.last_stats().total_error));
+    // Base mirrors stay bit-identical.
+    const auto eb = enc.base_signal().values();
+    const auto db = dec.base_signal().values();
+    ASSERT_EQ(eb.size(), db.size());
+    for (size_t i = 0; i < eb.size(); ++i) {
+      ASSERT_DOUBLE_EQ(eb[i], db[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineProperty,
+    testing::Combine(testing::Values<size_t>(1, 3, 6),
+                     testing::Values<size_t>(12, 25),
+                     testing::Values<size_t>(2, 6)));
+
+// ------------------------------------------------- eviction properties
+
+class EvictionProperty : public testing::TestWithParam<EvictionPolicy> {};
+
+TEST_P(EvictionProperty, TinyBufferNeverDesyncsNorOverflows) {
+  const EvictionPolicy policy = GetParam();
+  const size_t num_signals = 2, m = 128;
+  const size_t n = num_signals * m;
+  const size_t w = static_cast<size_t>(std::floor(std::sqrt(n)));  // 16
+
+  EncoderOptions opts;
+  opts.total_band = 100;
+  opts.m_base = 2 * w;  // only two slots: constant eviction pressure
+  opts.eviction = policy;
+  SbrEncoder enc(opts);
+  SbrDecoder dec(DecoderOptions{opts.m_base});
+
+  Rng rng(static_cast<uint64_t>(policy) + 99);
+  for (size_t c = 0; c < 10; ++c) {
+    std::vector<double> y(n);
+    const double freq = 8.0 + 4.0 * (c % 3);
+    for (size_t i = 0; i < n; ++i) {
+      y[i] = std::sin(2.0 * M_PI * i / freq) + rng.Gaussian(0, 0.05);
+    }
+    auto t = enc.EncodeChunk(y, num_signals);
+    ASSERT_TRUE(t.ok());
+    ASSERT_LE(enc.base_signal().used_slots(), 2u);
+    auto decoded = dec.DecodeChunk(*t);
+    ASSERT_TRUE(decoded.ok());
+    const auto eb = enc.base_signal().values();
+    const auto db = dec.base_signal().values();
+    ASSERT_EQ(eb.size(), db.size());
+    for (size_t i = 0; i < eb.size(); ++i) {
+      ASSERT_DOUBLE_EQ(eb[i], db[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EvictionProperty,
+                         testing::Values(EvictionPolicy::kLfu,
+                                         EvictionPolicy::kFifo,
+                                         EvictionPolicy::kRandom));
+
+}  // namespace
+}  // namespace sbr::core

@@ -1,0 +1,300 @@
+// Unit tests for the regression kernels under all three error metrics,
+// including optimality cross-checks against brute-force alternatives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/regression.h"
+#include "util/rng.h"
+
+namespace sbr::core {
+namespace {
+
+std::vector<double> Line(std::span<const double> x, double a, double b) {
+  std::vector<double> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = a * x[i] + b;
+  return y;
+}
+
+// ---------------------------------------------------------------- FitSse
+
+TEST(FitSse, RecoversExactLine) {
+  std::vector<double> x{0, 1, 2, 3, 4, 5};
+  const auto y = Line(x, 2.5, -1.0);
+  const RegressionResult r = FitSse(x, y);
+  EXPECT_NEAR(r.a, 2.5, 1e-12);
+  EXPECT_NEAR(r.b, -1.0, 1e-12);
+  EXPECT_NEAR(r.err, 0.0, 1e-12);
+}
+
+TEST(FitSse, MatchesDirectResidualComputation) {
+  Rng rng(1);
+  std::vector<double> x(100), y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x[i] = rng.Uniform(-10, 10);
+    y[i] = 3.0 * x[i] + 2.0 + rng.Gaussian(0, 1);
+  }
+  const RegressionResult r = FitSse(x, y);
+  EXPECT_NEAR(r.err, EvaluateLine(ErrorMetric::kSse, x, y, r.a, r.b, 1.0),
+              1e-6);
+}
+
+TEST(FitSse, IsOptimalAgainstPerturbations) {
+  Rng rng(2);
+  std::vector<double> x(50), y(50);
+  for (size_t i = 0; i < 50; ++i) {
+    x[i] = rng.Uniform(0, 5);
+    y[i] = -1.5 * x[i] + rng.Gaussian(0, 2);
+  }
+  const RegressionResult r = FitSse(x, y);
+  for (double da : {-0.01, 0.01}) {
+    for (double db : {-0.01, 0.01}) {
+      const double perturbed =
+          EvaluateLine(ErrorMetric::kSse, x, y, r.a + da, r.b + db, 1.0);
+      EXPECT_GE(perturbed, r.err - 1e-9);
+    }
+  }
+}
+
+TEST(FitSse, DegenerateConstantXFallsBackToMean) {
+  std::vector<double> x{3, 3, 3, 3};
+  std::vector<double> y{1, 2, 3, 4};
+  const RegressionResult r = FitSse(x, y);
+  EXPECT_DOUBLE_EQ(r.a, 0.0);
+  EXPECT_DOUBLE_EQ(r.b, 2.5);
+  EXPECT_NEAR(r.err, 5.0, 1e-12);  // sum (y - 2.5)^2 = 2.25+0.25+0.25+2.25
+}
+
+TEST(FitSse, EmptyAndSingleton) {
+  const RegressionResult empty = FitSse({}, {});
+  EXPECT_DOUBLE_EQ(empty.err, 0.0);
+  std::vector<double> x{2}, y{7};
+  const RegressionResult single = FitSse(x, y);
+  EXPECT_NEAR(single.err, 0.0, 1e-12);
+  EXPECT_NEAR(single.a * 2 + single.b, 7.0, 1e-12);
+}
+
+TEST(FitSse, ErrNeverNegative) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 2 + static_cast<size_t>(rng.UniformInt(0, 20));
+    std::vector<double> x(n), y(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = rng.Uniform(-1e3, 1e3);
+      y[i] = rng.Uniform(-1e3, 1e3);
+    }
+    EXPECT_GE(FitSse(x, y).err, 0.0);
+  }
+}
+
+// -------------------------------------------------------- FitSseRelative
+
+TEST(FitSseRelative, RecoversExactLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  const auto y = Line(x, 10.0, 100.0);
+  const RegressionResult r = FitSseRelative(x, y, 1.0);
+  EXPECT_NEAR(r.a, 10.0, 1e-9);
+  EXPECT_NEAR(r.b, 100.0, 1e-9);
+  EXPECT_NEAR(r.err, 0.0, 1e-12);
+}
+
+TEST(FitSseRelative, MatchesEvaluateLine) {
+  Rng rng(4);
+  std::vector<double> x(80), y(80);
+  for (size_t i = 0; i < 80; ++i) {
+    x[i] = rng.Uniform(0, 10);
+    y[i] = 50 + 5 * x[i] + rng.Gaussian(0, 3);
+  }
+  const RegressionResult r = FitSseRelative(x, y, 1.0);
+  EXPECT_NEAR(r.err,
+              EvaluateLine(ErrorMetric::kSseRelative, x, y, r.a, r.b, 1.0),
+              1e-8);
+}
+
+TEST(FitSseRelative, OptimalAgainstPerturbations) {
+  Rng rng(5);
+  std::vector<double> x(60), y(60);
+  for (size_t i = 0; i < 60; ++i) {
+    x[i] = rng.Uniform(0, 10);
+    y[i] = 20 + 2 * x[i] + rng.Gaussian(0, 5);
+  }
+  const RegressionResult r = FitSseRelative(x, y, 1.0);
+  for (double da : {-0.02, 0.02}) {
+    const double perturbed = EvaluateLine(ErrorMetric::kSseRelative, x, y,
+                                          r.a + da, r.b, 1.0);
+    EXPECT_GE(perturbed, r.err - 1e-9);
+  }
+}
+
+TEST(FitSseRelative, WeightsFavorSmallMagnitudePoints) {
+  // Two clusters: small |y| values near 1 and huge values near 1000. The
+  // relative fit must track the small values much more closely than the
+  // SSE fit does.
+  std::vector<double> x{0, 1, 2, 3};
+  std::vector<double> y{1.0, 1.1, 1000.0, 900.0};
+  const RegressionResult rel = FitSseRelative(x, y, 0.1);
+  const RegressionResult sse = FitSse(x, y);
+  const double rel_resid_small = std::abs(y[0] - (rel.a * x[0] + rel.b));
+  const double sse_resid_small = std::abs(y[0] - (sse.a * x[0] + sse.b));
+  EXPECT_LT(rel_resid_small, sse_resid_small);
+}
+
+TEST(FitSseRelative, FloorGuardsZeroValues) {
+  std::vector<double> x{0, 1, 2};
+  std::vector<double> y{0.0, 0.0, 0.0};
+  const RegressionResult r = FitSseRelative(x, y, 1.0);
+  EXPECT_TRUE(std::isfinite(r.err));
+  EXPECT_NEAR(r.err, 0.0, 1e-12);
+}
+
+// ------------------------------------------------------------- FitMaxAbs
+
+TEST(FitMaxAbs, RecoversExactLine) {
+  std::vector<double> x{0, 1, 2, 3, 4};
+  const auto y = Line(x, -2.0, 3.0);
+  const RegressionResult r = FitMaxAbs(x, y);
+  EXPECT_NEAR(r.err, 0.0, 1e-9);
+}
+
+TEST(FitMaxAbs, KnownThreePointSolution) {
+  // Points (0,0), (1,1), (2,0): the best line is y = 0.5 with max error
+  // 0.5 (equioscillation at all three points).
+  std::vector<double> x{0, 1, 2};
+  std::vector<double> y{0, 1, 0};
+  const RegressionResult r = FitMaxAbs(x, y);
+  EXPECT_NEAR(r.err, 0.5, 1e-9);
+  EXPECT_NEAR(r.a, 0.0, 1e-6);
+  EXPECT_NEAR(r.b, 0.5, 1e-6);
+}
+
+TEST(FitMaxAbs, MatchesEvaluateLine) {
+  Rng rng(6);
+  std::vector<double> x(40), y(40);
+  for (size_t i = 0; i < 40; ++i) {
+    x[i] = rng.Uniform(-5, 5);
+    y[i] = 2 * x[i] + rng.Uniform(-1, 1);
+  }
+  const RegressionResult r = FitMaxAbs(x, y);
+  EXPECT_NEAR(r.err, EvaluateLine(ErrorMetric::kMaxAbs, x, y, r.a, r.b, 1.0),
+              1e-9);
+}
+
+TEST(FitMaxAbs, NeverWorseThanSseLineAndOftenBetter) {
+  Rng rng(7);
+  int wins = 0, total = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(30), y(30);
+    for (size_t i = 0; i < 30; ++i) {
+      x[i] = rng.Uniform(0, 10);
+      y[i] = x[i] + (rng.NextDouble() < 0.1 ? rng.Uniform(-5, 5)
+                                            : rng.Gaussian(0, 0.1));
+    }
+    const RegressionResult mm = FitMaxAbs(x, y);
+    const RegressionResult sse = FitSse(x, y);
+    const double sse_max =
+        EvaluateLine(ErrorMetric::kMaxAbs, x, y, sse.a, sse.b, 1.0);
+    EXPECT_LE(mm.err, sse_max + 1e-9);
+    if (mm.err < sse_max - 1e-9) ++wins;
+    ++total;
+  }
+  // On outlier-laden data the Chebyshev fit should usually be strictly
+  // better, not merely equal.
+  EXPECT_GT(wins, total / 2);
+}
+
+TEST(FitMaxAbs, NearOptimalAgainstSlopeGrid) {
+  Rng rng(8);
+  std::vector<double> x(25), y(25);
+  for (size_t i = 0; i < 25; ++i) {
+    x[i] = rng.Uniform(-3, 3);
+    y[i] = -1.3 * x[i] + rng.Uniform(-2, 2);
+  }
+  const RegressionResult r = FitMaxAbs(x, y);
+  // A dense slope grid around the solution must not find anything better.
+  for (int k = -200; k <= 200; ++k) {
+    const double a = r.a + k * 0.01;
+    double lo = 1e300, hi = -1e300;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double resid = y[i] - a * x[i];
+      lo = std::min(lo, resid);
+      hi = std::max(hi, resid);
+    }
+    EXPECT_GE((hi - lo) / 2, r.err - 1e-9);
+  }
+}
+
+TEST(FitMaxAbs, VerticalStackOfPoints) {
+  std::vector<double> x{1, 1, 1};
+  std::vector<double> y{0, 4, 2};
+  const RegressionResult r = FitMaxAbs(x, y);
+  EXPECT_NEAR(r.err, 2.0, 1e-12);
+  EXPECT_NEAR(r.a * 1 + r.b, 2.0, 1e-12);
+}
+
+TEST(FitMaxAbs, Singleton) {
+  std::vector<double> x{5}, y{3};
+  const RegressionResult r = FitMaxAbs(x, y);
+  EXPECT_DOUBLE_EQ(r.err, 0.0);
+  EXPECT_DOUBLE_EQ(r.b, 3.0);
+}
+
+// ----------------------------------------------------- FitTime / dispatch
+
+TEST(FitTime, FitsRampExactly) {
+  std::vector<double> y{1, 3, 5, 7, 9};  // y = 2 t + 1
+  const RegressionResult r = FitTime(ErrorMetric::kSse, y, 1.0);
+  EXPECT_NEAR(r.a, 2.0, 1e-12);
+  EXPECT_NEAR(r.b, 1.0, 1e-12);
+  EXPECT_NEAR(r.err, 0.0, 1e-12);
+}
+
+TEST(FitTime, AllMetricsFinite) {
+  Rng rng(9);
+  std::vector<double> y(64);
+  for (auto& v : y) v = rng.Uniform(-100, 100);
+  for (ErrorMetric m :
+       {ErrorMetric::kSse, ErrorMetric::kSseRelative, ErrorMetric::kMaxAbs}) {
+    const RegressionResult r = FitTime(m, y, 1.0);
+    EXPECT_TRUE(std::isfinite(r.a));
+    EXPECT_TRUE(std::isfinite(r.b));
+    EXPECT_GE(r.err, 0.0);
+  }
+}
+
+TEST(FitTime, LongThenShortRampStaysCorrect) {
+  // Exercises the thread-local ramp cache growing and then serving a
+  // shorter request.
+  std::vector<double> long_y(500, 1.0);
+  FitTime(ErrorMetric::kSse, long_y, 1.0);
+  std::vector<double> y{0, 1, 2};
+  const RegressionResult r = FitTime(ErrorMetric::kSse, y, 1.0);
+  EXPECT_NEAR(r.a, 1.0, 1e-12);
+  EXPECT_NEAR(r.b, 0.0, 1e-12);
+}
+
+TEST(Fit, DispatchMatchesDirectKernels) {
+  Rng rng(10);
+  std::vector<double> x(32), y(32);
+  for (size_t i = 0; i < 32; ++i) {
+    x[i] = rng.Uniform(0, 1);
+    y[i] = rng.Uniform(0, 1);
+  }
+  EXPECT_DOUBLE_EQ(Fit(ErrorMetric::kSse, x, y, 1.0).err, FitSse(x, y).err);
+  EXPECT_DOUBLE_EQ(Fit(ErrorMetric::kSseRelative, x, y, 0.5).err,
+                   FitSseRelative(x, y, 0.5).err);
+  EXPECT_DOUBLE_EQ(Fit(ErrorMetric::kMaxAbs, x, y, 1.0).err,
+                   FitMaxAbs(x, y).err);
+}
+
+TEST(EvaluateLine, MetricsAgreeOnPerfectFit) {
+  std::vector<double> x{1, 2, 3};
+  const auto y = Line(x, 4.0, -2.0);
+  for (ErrorMetric m :
+       {ErrorMetric::kSse, ErrorMetric::kSseRelative, ErrorMetric::kMaxAbs}) {
+    EXPECT_NEAR(EvaluateLine(m, x, y, 4.0, -2.0, 1.0), 0.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace sbr::core

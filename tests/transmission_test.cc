@@ -1,0 +1,113 @@
+// Unit tests for the transmission wire format: value accounting,
+// serialization round trips and corruption handling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/transmission.h"
+
+namespace sbr::core {
+namespace {
+
+Transmission MakeSample() {
+  Transmission t;
+  t.num_signals = 3;
+  t.chunk_len = 100;
+  t.w = 10;
+  t.base_kind = BaseKind::kStored;
+  BaseUpdate bu;
+  bu.slot = 2;
+  bu.values = {1.5, -2.5, 3.5, 0, 1, 2, 3, 4, 5, 6};
+  t.base_updates.push_back(bu);
+  t.intervals.push_back({0, 5, 1.25, -0.5});
+  t.intervals.push_back({40, -1, 0.0, 9.0});
+  t.intervals.push_back({200, 17, 2.0, 0.25});
+  return t;
+}
+
+TEST(Transmission, ValueCountStoredBase) {
+  const Transmission t = MakeSample();
+  // 1 base update of width 10 -> 11 values; 3 intervals -> 12 values.
+  EXPECT_EQ(t.ValueCount(), 11u + 12u);
+}
+
+TEST(Transmission, ValueCountNoBaseUsesThreePerInterval) {
+  Transmission t = MakeSample();
+  t.base_kind = BaseKind::kNone;
+  t.base_updates.clear();
+  EXPECT_EQ(t.ValueCount(), 9u);
+}
+
+TEST(Transmission, SerializeRoundTrip) {
+  const Transmission t = MakeSample();
+  BinaryWriter w;
+  t.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = Transmission::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_signals, t.num_signals);
+  EXPECT_EQ(back->chunk_len, t.chunk_len);
+  EXPECT_EQ(back->w, t.w);
+  EXPECT_EQ(back->base_kind, t.base_kind);
+  ASSERT_EQ(back->base_updates.size(), 1u);
+  EXPECT_EQ(back->base_updates[0].slot, 2u);
+  EXPECT_EQ(back->base_updates[0].values, t.base_updates[0].values);
+  ASSERT_EQ(back->intervals.size(), 3u);
+  EXPECT_EQ(back->intervals[1].shift, -1);
+  EXPECT_DOUBLE_EQ(back->intervals[2].a, 2.0);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Transmission, EmptyTransmissionRoundTrip) {
+  Transmission t;
+  t.num_signals = 1;
+  t.chunk_len = 8;
+  t.w = 2;
+  t.base_kind = BaseKind::kDctFixed;
+  BinaryWriter w;
+  t.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = Transmission::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->base_updates.empty());
+  EXPECT_TRUE(back->intervals.empty());
+  EXPECT_EQ(back->base_kind, BaseKind::kDctFixed);
+}
+
+TEST(Transmission, TruncatedBytesFail) {
+  const Transmission t = MakeSample();
+  BinaryWriter w;
+  t.Serialize(&w);
+  for (size_t cut : {size_t{0}, size_t{4}, size_t{13}, w.size() - 1}) {
+    std::span<const uint8_t> partial(w.buffer().data(), cut);
+    BinaryReader r(partial);
+    EXPECT_FALSE(Transmission::Deserialize(&r).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Transmission, InvalidBaseKindRejected) {
+  Transmission t = MakeSample();
+  BinaryWriter w;
+  t.Serialize(&w);
+  std::vector<uint8_t> bytes = w.buffer();
+  bytes[16] = 0x7f;  // the base_kind byte (after four u32 header fields)
+  BinaryReader r(bytes);
+  EXPECT_FALSE(Transmission::Deserialize(&r).ok());
+}
+
+TEST(Transmission, NegativeShiftSurvivesRoundTrip) {
+  Transmission t;
+  t.num_signals = 1;
+  t.chunk_len = 4;
+  t.w = 2;
+  t.intervals.push_back({0, -1, 1.0, 2.0});
+  BinaryWriter w;
+  t.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = Transmission::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->intervals[0].shift, -1);
+}
+
+}  // namespace
+}  // namespace sbr::core

@@ -1,0 +1,86 @@
+// sbr_inspect: dump the structure of an SBR chunk log.
+//
+//   sbr_inspect <log> [--verbose]
+//
+// Prints per-record geometry, value accounting, base-signal activity and
+// interval statistics — useful for debugging a deployment's bandwidth
+// spending without decoding the data itself.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/transmission.h"
+#include "storage/chunk_log.h"
+#include "tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace sbr;
+  const auto args = tools::Args::Parse(argc, argv, {"verbose"});
+  if (!args.Validate({"verbose"}) || args.positional().size() != 1) {
+    std::fprintf(stderr, "usage: sbr_inspect <log> [--verbose]\n");
+    return 2;
+  }
+  auto log = storage::ChunkLog::Open(args.positional()[0]);
+  if (!log.ok()) {
+    std::fprintf(stderr, "error: %s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu records, %zu bytes of payload\n",
+              args.positional()[0].c_str(), log->size(), log->TotalBytes());
+
+  size_t total_values = 0, total_samples = 0, total_inserts = 0;
+  for (size_t i = 0; i < log->size(); ++i) {
+    auto t = log->Read(i);
+    if (!t.ok()) {
+      std::fprintf(stderr, "record %zu: %s\n", i,
+                   t.status().ToString().c_str());
+      return 1;
+    }
+    size_t fallback = 0;
+    size_t min_len = t->TotalSamples(), max_len = 0;
+    std::vector<core::IntervalRecord> sorted = t->intervals;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.start < b.start; });
+    for (size_t k = 0; k < sorted.size(); ++k) {
+      if (sorted[k].shift < 0) ++fallback;
+      const size_t end = k + 1 < sorted.size() ? sorted[k + 1].start
+                                               : t->TotalSamples();
+      const size_t len = end - sorted[k].start;
+      min_len = std::min(min_len, len);
+      max_len = std::max(max_len, len);
+    }
+    total_values += t->ValueCount();
+    total_samples += t->TotalSamples();
+    total_inserts += t->base_updates.size();
+    std::printf(
+        "record %3zu: %ux%u W=%u %s%s| %4zu values | %zu base inserts | "
+        "%4zu intervals (len %zu..%zu, %zu linear fall-backs)\n",
+        i, t->num_signals,
+        t->signal_lengths.empty() ? t->chunk_len : 0, t->w,
+        t->base_kind == core::BaseKind::kStored
+            ? "stored "
+            : (t->base_kind == core::BaseKind::kDctFixed ? "dct-fixed "
+                                                         : "no-base "),
+        t->quadratic ? "quadratic " : "", t->ValueCount(),
+        t->base_updates.size(), t->intervals.size(), min_len, max_len,
+        fallback);
+    if (args.Has("verbose")) {
+      for (const auto& bu : t->base_updates) {
+        std::printf("    base slot %u <- %zu values\n", bu.slot,
+                    bu.values.size());
+      }
+      for (const auto& iv : sorted) {
+        std::printf("    interval @%u shift=%d a=%.4g b=%.4g\n", iv.start,
+                    iv.shift, iv.a, iv.b);
+      }
+    }
+  }
+  if (total_values > 0) {
+    std::printf("total: %zu samples -> %zu values (%.1fx), %zu base "
+                "inserts\n",
+                total_samples, total_values,
+                static_cast<double>(total_samples) /
+                    static_cast<double>(total_values),
+                total_inserts);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Tiny flag parser shared by the command-line tools. Supports
+// `--name value` and `--flag` boolean forms plus positional arguments;
+// unknown flags are an error so typos fail loudly.
+#ifndef SBR_TOOLS_TOOL_COMMON_H_
+#define SBR_TOOLS_TOOL_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sbr::tools {
+
+/// Parsed command line: positional arguments plus --key[=value] options.
+class Args {
+ public:
+  /// `bool_flags`: names that take no value.
+  static Args Parse(int argc, char** argv,
+                    const std::set<std::string>& bool_flags) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      std::string tok = argv[i];
+      if (tok.rfind("--", 0) == 0) {
+        const std::string name = tok.substr(2);
+        if (bool_flags.count(name)) {
+          args.options_[name] = "1";
+        } else if (i + 1 < argc) {
+          args.options_[name] = argv[++i];
+        } else {
+          std::fprintf(stderr, "missing value for --%s\n", name.c_str());
+          std::exit(2);
+        }
+      } else {
+        args.positional_.push_back(tok);
+      }
+    }
+    return args;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& name) const { return options_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const {
+    auto it = options_.find(name);
+    return it == options_.end() ? def : it->second;
+  }
+
+  long GetInt(const std::string& name, long def) const {
+    auto it = options_.find(name);
+    return it == options_.end() ? def : std::strtol(it->second.c_str(),
+                                                    nullptr, 10);
+  }
+
+  double GetDouble(const std::string& name, double def) const {
+    auto it = options_.find(name);
+    return it == options_.end() ? def : std::strtod(it->second.c_str(),
+                                                    nullptr);
+  }
+
+  /// Verifies every provided option is in the allowed set.
+  bool Validate(const std::set<std::string>& allowed) const {
+    bool ok = true;
+    for (const auto& [name, value] : options_) {
+      if (!allowed.count(name)) {
+        std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;
+};
+
+}  // namespace sbr::tools
+
+#endif  // SBR_TOOLS_TOOL_COMMON_H_
