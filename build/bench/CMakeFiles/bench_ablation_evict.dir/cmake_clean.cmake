@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_evict.dir/bench_ablation_evict.cc.o"
+  "CMakeFiles/bench_ablation_evict.dir/bench_ablation_evict.cc.o.d"
+  "bench_ablation_evict"
+  "bench_ablation_evict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_evict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nonlinear.dir/bench_ablation_nonlinear.cc.o"
+  "CMakeFiles/bench_ablation_nonlinear.dir/bench_ablation_nonlinear.cc.o.d"
+  "bench_ablation_nonlinear"
+  "bench_ablation_nonlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_w.dir/bench_ablation_w.cc.o"
+  "CMakeFiles/bench_ablation_w.dir/bench_ablation_w.cc.o.d"
+  "bench_ablation_w"
+  "bench_ablation_w.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_w.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_queries.dir/compressed_queries.cc.o"
+  "CMakeFiles/compressed_queries.dir/compressed_queries.cc.o.d"
+  "compressed_queries"
+  "compressed_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_bounds.dir/error_bounds.cc.o"
+  "CMakeFiles/error_bounds.dir/error_bounds.cc.o.d"
+  "error_bounds"
+  "error_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/dct_compressor.cc" "src/compress/CMakeFiles/sbr_compress.dir/dct_compressor.cc.o" "gcc" "src/compress/CMakeFiles/sbr_compress.dir/dct_compressor.cc.o.d"
+  "/root/repo/src/compress/fourier.cc" "src/compress/CMakeFiles/sbr_compress.dir/fourier.cc.o" "gcc" "src/compress/CMakeFiles/sbr_compress.dir/fourier.cc.o.d"
+  "/root/repo/src/compress/histogram.cc" "src/compress/CMakeFiles/sbr_compress.dir/histogram.cc.o" "gcc" "src/compress/CMakeFiles/sbr_compress.dir/histogram.cc.o.d"
+  "/root/repo/src/compress/linear_model.cc" "src/compress/CMakeFiles/sbr_compress.dir/linear_model.cc.o" "gcc" "src/compress/CMakeFiles/sbr_compress.dir/linear_model.cc.o.d"
+  "/root/repo/src/compress/sbr_compressor.cc" "src/compress/CMakeFiles/sbr_compress.dir/sbr_compressor.cc.o" "gcc" "src/compress/CMakeFiles/sbr_compress.dir/sbr_compressor.cc.o.d"
+  "/root/repo/src/compress/svd_base.cc" "src/compress/CMakeFiles/sbr_compress.dir/svd_base.cc.o" "gcc" "src/compress/CMakeFiles/sbr_compress.dir/svd_base.cc.o.d"
+  "/root/repo/src/compress/wavelet.cc" "src/compress/CMakeFiles/sbr_compress.dir/wavelet.cc.o" "gcc" "src/compress/CMakeFiles/sbr_compress.dir/wavelet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sbr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sbr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

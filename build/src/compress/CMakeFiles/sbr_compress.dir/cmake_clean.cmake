@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbr_compress.dir/dct_compressor.cc.o"
+  "CMakeFiles/sbr_compress.dir/dct_compressor.cc.o.d"
+  "CMakeFiles/sbr_compress.dir/fourier.cc.o"
+  "CMakeFiles/sbr_compress.dir/fourier.cc.o.d"
+  "CMakeFiles/sbr_compress.dir/histogram.cc.o"
+  "CMakeFiles/sbr_compress.dir/histogram.cc.o.d"
+  "CMakeFiles/sbr_compress.dir/linear_model.cc.o"
+  "CMakeFiles/sbr_compress.dir/linear_model.cc.o.d"
+  "CMakeFiles/sbr_compress.dir/sbr_compressor.cc.o"
+  "CMakeFiles/sbr_compress.dir/sbr_compressor.cc.o.d"
+  "CMakeFiles/sbr_compress.dir/svd_base.cc.o"
+  "CMakeFiles/sbr_compress.dir/svd_base.cc.o.d"
+  "CMakeFiles/sbr_compress.dir/wavelet.cc.o"
+  "CMakeFiles/sbr_compress.dir/wavelet.cc.o.d"
+  "libsbr_compress.a"
+  "libsbr_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbr_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

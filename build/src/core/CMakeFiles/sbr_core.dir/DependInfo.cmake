@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/core/CMakeFiles/sbr_core.dir/adaptive.cc.o" "gcc" "src/core/CMakeFiles/sbr_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/core/base_signal.cc" "src/core/CMakeFiles/sbr_core.dir/base_signal.cc.o" "gcc" "src/core/CMakeFiles/sbr_core.dir/base_signal.cc.o.d"
+  "/root/repo/src/core/best_map.cc" "src/core/CMakeFiles/sbr_core.dir/best_map.cc.o" "gcc" "src/core/CMakeFiles/sbr_core.dir/best_map.cc.o.d"
+  "/root/repo/src/core/decoder.cc" "src/core/CMakeFiles/sbr_core.dir/decoder.cc.o" "gcc" "src/core/CMakeFiles/sbr_core.dir/decoder.cc.o.d"
+  "/root/repo/src/core/encoder.cc" "src/core/CMakeFiles/sbr_core.dir/encoder.cc.o" "gcc" "src/core/CMakeFiles/sbr_core.dir/encoder.cc.o.d"
+  "/root/repo/src/core/fixed_base.cc" "src/core/CMakeFiles/sbr_core.dir/fixed_base.cc.o" "gcc" "src/core/CMakeFiles/sbr_core.dir/fixed_base.cc.o.d"
+  "/root/repo/src/core/get_base.cc" "src/core/CMakeFiles/sbr_core.dir/get_base.cc.o" "gcc" "src/core/CMakeFiles/sbr_core.dir/get_base.cc.o.d"
+  "/root/repo/src/core/get_intervals.cc" "src/core/CMakeFiles/sbr_core.dir/get_intervals.cc.o" "gcc" "src/core/CMakeFiles/sbr_core.dir/get_intervals.cc.o.d"
+  "/root/repo/src/core/regression.cc" "src/core/CMakeFiles/sbr_core.dir/regression.cc.o" "gcc" "src/core/CMakeFiles/sbr_core.dir/regression.cc.o.d"
+  "/root/repo/src/core/search.cc" "src/core/CMakeFiles/sbr_core.dir/search.cc.o" "gcc" "src/core/CMakeFiles/sbr_core.dir/search.cc.o.d"
+  "/root/repo/src/core/transmission.cc" "src/core/CMakeFiles/sbr_core.dir/transmission.cc.o" "gcc" "src/core/CMakeFiles/sbr_core.dir/transmission.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sbr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbr_core.dir/adaptive.cc.o"
+  "CMakeFiles/sbr_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/sbr_core.dir/base_signal.cc.o"
+  "CMakeFiles/sbr_core.dir/base_signal.cc.o.d"
+  "CMakeFiles/sbr_core.dir/best_map.cc.o"
+  "CMakeFiles/sbr_core.dir/best_map.cc.o.d"
+  "CMakeFiles/sbr_core.dir/decoder.cc.o"
+  "CMakeFiles/sbr_core.dir/decoder.cc.o.d"
+  "CMakeFiles/sbr_core.dir/encoder.cc.o"
+  "CMakeFiles/sbr_core.dir/encoder.cc.o.d"
+  "CMakeFiles/sbr_core.dir/fixed_base.cc.o"
+  "CMakeFiles/sbr_core.dir/fixed_base.cc.o.d"
+  "CMakeFiles/sbr_core.dir/get_base.cc.o"
+  "CMakeFiles/sbr_core.dir/get_base.cc.o.d"
+  "CMakeFiles/sbr_core.dir/get_intervals.cc.o"
+  "CMakeFiles/sbr_core.dir/get_intervals.cc.o.d"
+  "CMakeFiles/sbr_core.dir/regression.cc.o"
+  "CMakeFiles/sbr_core.dir/regression.cc.o.d"
+  "CMakeFiles/sbr_core.dir/search.cc.o"
+  "CMakeFiles/sbr_core.dir/search.cc.o.d"
+  "CMakeFiles/sbr_core.dir/transmission.cc.o"
+  "CMakeFiles/sbr_core.dir/transmission.cc.o.d"
+  "libsbr_core.a"
+  "libsbr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

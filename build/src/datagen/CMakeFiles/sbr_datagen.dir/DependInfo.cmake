@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dataset.cc" "src/datagen/CMakeFiles/sbr_datagen.dir/dataset.cc.o" "gcc" "src/datagen/CMakeFiles/sbr_datagen.dir/dataset.cc.o.d"
+  "/root/repo/src/datagen/mixed.cc" "src/datagen/CMakeFiles/sbr_datagen.dir/mixed.cc.o" "gcc" "src/datagen/CMakeFiles/sbr_datagen.dir/mixed.cc.o.d"
+  "/root/repo/src/datagen/paper_datasets.cc" "src/datagen/CMakeFiles/sbr_datagen.dir/paper_datasets.cc.o" "gcc" "src/datagen/CMakeFiles/sbr_datagen.dir/paper_datasets.cc.o.d"
+  "/root/repo/src/datagen/phonecall.cc" "src/datagen/CMakeFiles/sbr_datagen.dir/phonecall.cc.o" "gcc" "src/datagen/CMakeFiles/sbr_datagen.dir/phonecall.cc.o.d"
+  "/root/repo/src/datagen/stock.cc" "src/datagen/CMakeFiles/sbr_datagen.dir/stock.cc.o" "gcc" "src/datagen/CMakeFiles/sbr_datagen.dir/stock.cc.o.d"
+  "/root/repo/src/datagen/weather.cc" "src/datagen/CMakeFiles/sbr_datagen.dir/weather.cc.o" "gcc" "src/datagen/CMakeFiles/sbr_datagen.dir/weather.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sbr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbr_datagen.dir/dataset.cc.o"
+  "CMakeFiles/sbr_datagen.dir/dataset.cc.o.d"
+  "CMakeFiles/sbr_datagen.dir/mixed.cc.o"
+  "CMakeFiles/sbr_datagen.dir/mixed.cc.o.d"
+  "CMakeFiles/sbr_datagen.dir/paper_datasets.cc.o"
+  "CMakeFiles/sbr_datagen.dir/paper_datasets.cc.o.d"
+  "CMakeFiles/sbr_datagen.dir/phonecall.cc.o"
+  "CMakeFiles/sbr_datagen.dir/phonecall.cc.o.d"
+  "CMakeFiles/sbr_datagen.dir/stock.cc.o"
+  "CMakeFiles/sbr_datagen.dir/stock.cc.o.d"
+  "CMakeFiles/sbr_datagen.dir/weather.cc.o"
+  "CMakeFiles/sbr_datagen.dir/weather.cc.o.d"
+  "libsbr_datagen.a"
+  "libsbr_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbr_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dct.cc" "src/linalg/CMakeFiles/sbr_linalg.dir/dct.cc.o" "gcc" "src/linalg/CMakeFiles/sbr_linalg.dir/dct.cc.o.d"
+  "/root/repo/src/linalg/fft.cc" "src/linalg/CMakeFiles/sbr_linalg.dir/fft.cc.o" "gcc" "src/linalg/CMakeFiles/sbr_linalg.dir/fft.cc.o.d"
+  "/root/repo/src/linalg/jacobi.cc" "src/linalg/CMakeFiles/sbr_linalg.dir/jacobi.cc.o" "gcc" "src/linalg/CMakeFiles/sbr_linalg.dir/jacobi.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/linalg/CMakeFiles/sbr_linalg.dir/matrix.cc.o" "gcc" "src/linalg/CMakeFiles/sbr_linalg.dir/matrix.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/linalg/CMakeFiles/sbr_linalg.dir/svd.cc.o" "gcc" "src/linalg/CMakeFiles/sbr_linalg.dir/svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sbr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbr_linalg.dir/dct.cc.o"
+  "CMakeFiles/sbr_linalg.dir/dct.cc.o.d"
+  "CMakeFiles/sbr_linalg.dir/fft.cc.o"
+  "CMakeFiles/sbr_linalg.dir/fft.cc.o.d"
+  "CMakeFiles/sbr_linalg.dir/jacobi.cc.o"
+  "CMakeFiles/sbr_linalg.dir/jacobi.cc.o.d"
+  "CMakeFiles/sbr_linalg.dir/matrix.cc.o"
+  "CMakeFiles/sbr_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/sbr_linalg.dir/svd.cc.o"
+  "CMakeFiles/sbr_linalg.dir/svd.cc.o.d"
+  "libsbr_linalg.a"
+  "libsbr_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbr_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsbr_linalg.a"
+)

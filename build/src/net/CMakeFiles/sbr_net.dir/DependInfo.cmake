@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/base_station.cc" "src/net/CMakeFiles/sbr_net.dir/base_station.cc.o" "gcc" "src/net/CMakeFiles/sbr_net.dir/base_station.cc.o.d"
+  "/root/repo/src/net/energy.cc" "src/net/CMakeFiles/sbr_net.dir/energy.cc.o" "gcc" "src/net/CMakeFiles/sbr_net.dir/energy.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/sbr_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/sbr_net.dir/network.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/net/CMakeFiles/sbr_net.dir/node.cc.o" "gcc" "src/net/CMakeFiles/sbr_net.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sbr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sbr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbr_net.dir/base_station.cc.o"
+  "CMakeFiles/sbr_net.dir/base_station.cc.o.d"
+  "CMakeFiles/sbr_net.dir/energy.cc.o"
+  "CMakeFiles/sbr_net.dir/energy.cc.o.d"
+  "CMakeFiles/sbr_net.dir/network.cc.o"
+  "CMakeFiles/sbr_net.dir/network.cc.o.d"
+  "CMakeFiles/sbr_net.dir/node.cc.o"
+  "CMakeFiles/sbr_net.dir/node.cc.o.d"
+  "libsbr_net.a"
+  "libsbr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

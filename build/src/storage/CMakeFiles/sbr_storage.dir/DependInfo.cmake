@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/chunk_log.cc" "src/storage/CMakeFiles/sbr_storage.dir/chunk_log.cc.o" "gcc" "src/storage/CMakeFiles/sbr_storage.dir/chunk_log.cc.o.d"
+  "/root/repo/src/storage/history_store.cc" "src/storage/CMakeFiles/sbr_storage.dir/history_store.cc.o" "gcc" "src/storage/CMakeFiles/sbr_storage.dir/history_store.cc.o.d"
+  "/root/repo/src/storage/query_engine.cc" "src/storage/CMakeFiles/sbr_storage.dir/query_engine.cc.o" "gcc" "src/storage/CMakeFiles/sbr_storage.dir/query_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sbr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

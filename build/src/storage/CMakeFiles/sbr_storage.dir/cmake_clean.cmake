@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbr_storage.dir/chunk_log.cc.o"
+  "CMakeFiles/sbr_storage.dir/chunk_log.cc.o.d"
+  "CMakeFiles/sbr_storage.dir/history_store.cc.o"
+  "CMakeFiles/sbr_storage.dir/history_store.cc.o.d"
+  "CMakeFiles/sbr_storage.dir/query_engine.cc.o"
+  "CMakeFiles/sbr_storage.dir/query_engine.cc.o.d"
+  "libsbr_storage.a"
+  "libsbr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbr_util.dir/csv.cc.o"
+  "CMakeFiles/sbr_util.dir/csv.cc.o.d"
+  "CMakeFiles/sbr_util.dir/rng.cc.o"
+  "CMakeFiles/sbr_util.dir/rng.cc.o.d"
+  "CMakeFiles/sbr_util.dir/serialize.cc.o"
+  "CMakeFiles/sbr_util.dir/serialize.cc.o.d"
+  "CMakeFiles/sbr_util.dir/stats.cc.o"
+  "CMakeFiles/sbr_util.dir/stats.cc.o.d"
+  "CMakeFiles/sbr_util.dir/status.cc.o"
+  "CMakeFiles/sbr_util.dir/status.cc.o.d"
+  "libsbr_util.a"
+  "libsbr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

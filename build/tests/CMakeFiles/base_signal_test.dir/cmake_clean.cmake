@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_signal_test.dir/base_signal_test.cc.o"
+  "CMakeFiles/base_signal_test.dir/base_signal_test.cc.o.d"
+  "base_signal_test"
+  "base_signal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_signal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/best_map_test.dir/best_map_test.cc.o"
+  "CMakeFiles/best_map_test.dir/best_map_test.cc.o.d"
+  "best_map_test"
+  "best_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

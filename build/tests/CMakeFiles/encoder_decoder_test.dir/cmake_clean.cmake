@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoder_decoder_test.dir/encoder_decoder_test.cc.o"
+  "CMakeFiles/encoder_decoder_test.dir/encoder_decoder_test.cc.o.d"
+  "encoder_decoder_test"
+  "encoder_decoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoder_decoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/get_base_test.dir/get_base_test.cc.o"
+  "CMakeFiles/get_base_test.dir/get_base_test.cc.o.d"
+  "get_base_test"
+  "get_base_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/get_base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/get_intervals_test.dir/get_intervals_test.cc.o"
+  "CMakeFiles/get_intervals_test.dir/get_intervals_test.cc.o.d"
+  "get_intervals_test"
+  "get_intervals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/get_intervals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

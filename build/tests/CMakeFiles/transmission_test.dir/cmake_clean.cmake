@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transmission_test.dir/transmission_test.cc.o"
+  "CMakeFiles/transmission_test.dir/transmission_test.cc.o.d"
+  "transmission_test"
+  "transmission_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transmission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for transmission_test.
+# This may be replaced when dependencies are built.

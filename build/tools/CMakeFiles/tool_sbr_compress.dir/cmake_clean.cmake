@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_sbr_compress.dir/sbr_compress.cc.o"
+  "CMakeFiles/tool_sbr_compress.dir/sbr_compress.cc.o.d"
+  "sbr_compress"
+  "sbr_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_sbr_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

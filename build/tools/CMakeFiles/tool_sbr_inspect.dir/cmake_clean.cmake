@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_sbr_inspect.dir/sbr_inspect.cc.o"
+  "CMakeFiles/tool_sbr_inspect.dir/sbr_inspect.cc.o.d"
+  "sbr_inspect"
+  "sbr_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_sbr_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

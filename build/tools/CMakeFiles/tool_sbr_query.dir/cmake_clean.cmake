@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_sbr_query.dir/sbr_query.cc.o"
+  "CMakeFiles/tool_sbr_query.dir/sbr_query.cc.o.d"
+  "sbr_query"
+  "sbr_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_sbr_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
