@@ -16,6 +16,12 @@ Status SbrDecoder::ApplyHeader(const Transmission& t) {
       t.signal_lengths.size() != t.num_signals) {
     return Status::DataLoss("signal_lengths count mismatch");
   }
+  if (t.base_kind == BaseKind::kNone) {
+    // A self-contained (degraded-mode) transmission references no base
+    // signal, so it neither initializes nor constrains the stream's base
+    // state — it is decodable at any point of any stream.
+    return Status::Ok();
+  }
   if (w_ == 0) {
     w_ = t.w;
     base_kind_ = t.base_kind;
@@ -41,18 +47,25 @@ Status SbrDecoder::ApplyHeader(const Transmission& t) {
 StatusOr<std::vector<double>> SbrDecoder::DecodeChunk(const Transmission& t) {
   SBR_RETURN_IF_ERROR(ApplyHeader(t));
 
-  if (base_kind_ != BaseKind::kStored && !t.base_updates.empty()) {
+  const bool self_contained = t.base_kind == BaseKind::kNone;
+  if ((self_contained || base_kind_ != BaseKind::kStored) &&
+      !t.base_updates.empty()) {
     return Status::DataLoss("base updates present without a stored base");
   }
   for (const BaseUpdate& bu : t.base_updates) {
     SBR_RETURN_IF_ERROR(base_.Overwrite(bu.slot, bu.values));
   }
 
+  // A self-contained transmission gets an empty base span: any interval
+  // that still claims a base reference is corrupt, not silently decoded
+  // against unrelated state.
   std::span<const double> x;
-  if (base_kind_ == BaseKind::kStored) {
-    x = base_.values();
-  } else if (base_kind_ == BaseKind::kDctFixed) {
-    x = dct_base_;
+  if (!self_contained) {
+    if (base_kind_ == BaseKind::kStored) {
+      x = base_.values();
+    } else if (base_kind_ == BaseKind::kDctFixed) {
+      x = dct_base_;
+    }
   }
 
   const size_t total_len = t.TotalSamples();
@@ -94,6 +107,39 @@ StatusOr<std::vector<double>> SbrDecoder::DecodeChunk(const Transmission& t) {
     intervals.push_back(iv);
   }
   return ReconstructFromIntervals(x, total_len, intervals);
+}
+
+Status SbrDecoder::ApplySnapshot(const BaseSnapshot& snapshot) {
+  if (snapshot.w == 0) {
+    // The sensor had not warmed up yet (no base signal); nothing to mirror.
+    return Status::Ok();
+  }
+  if (w_ == 0) {
+    w_ = snapshot.w;
+    base_kind_ = snapshot.base_kind;
+    if (base_kind_ == BaseKind::kDctFixed) {
+      dct_base_ = MakeDctFixedBase(w_);
+    }
+  } else if (snapshot.w != w_) {
+    return Status::DataLoss("snapshot W does not match the stream");
+  } else if (snapshot.base_kind != base_kind_) {
+    return Status::DataLoss("snapshot base kind does not match the stream");
+  }
+  if (base_kind_ != BaseKind::kStored) {
+    if (!snapshot.slots.empty()) {
+      return Status::DataLoss("snapshot slots present without a stored base");
+    }
+    return Status::Ok();
+  }
+  if (options_.m_base < w_) {
+    return Status::InvalidArgument("decoder m_base smaller than W");
+  }
+  BaseSignal rebuilt(w_, options_.m_base);
+  for (const BaseUpdate& s : snapshot.slots) {
+    SBR_RETURN_IF_ERROR(rebuilt.Overwrite(s.slot, s.values));
+  }
+  base_ = std::move(rebuilt);
+  return Status::Ok();
 }
 
 StatusOr<linalg::Matrix> SbrDecoder::DecodeChunkToMatrix(

@@ -36,6 +36,11 @@ class SbrDecoder {
   /// Like DecodeChunk but reshaped to a num_signals x chunk_len matrix.
   StatusOr<linalg::Matrix> DecodeChunkToMatrix(const Transmission& t);
 
+  /// Re-establishes the base-signal mirror from a resync snapshot: the
+  /// mirror is rebuilt from scratch with exactly the snapshot's slots, so
+  /// decoder and encoder agree again regardless of what was lost.
+  Status ApplySnapshot(const BaseSnapshot& snapshot);
+
   const BaseSignal& base_signal() const { return base_; }
 
  private:

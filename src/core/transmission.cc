@@ -1,5 +1,7 @@
 #include "core/transmission.h"
 
+#include "util/crc32.h"
+
 namespace sbr::core {
 
 size_t Transmission::ValueCount() const {
@@ -141,6 +143,142 @@ StatusOr<Transmission> Transmission::Deserialize(BinaryReader* reader) {
     }
   }
   return t;
+}
+
+// ----------------------------------------------------------------- framing
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x53425246;  // "SBRF"
+
+// Serializes the CRC-covered header fields (everything between the magic
+// and the checksum) so writer and reader checksum identical bytes.
+void PutCoveredHeader(BinaryWriter* w, const Frame& f) {
+  w->PutU8(static_cast<uint8_t>(f.type));
+  w->PutU32(f.sensor_id);
+  w->PutU64(f.seq);
+  w->PutU32(f.epoch);
+  w->PutU32(static_cast<uint32_t>(f.payload.size()));
+}
+
+uint32_t FrameCrc(const Frame& f) {
+  BinaryWriter covered;
+  PutCoveredHeader(&covered, f);
+  uint32_t state = Crc32Update(kCrc32Init, covered.buffer());
+  state = Crc32Update(state, f.payload);
+  return Crc32Finalize(state);
+}
+
+}  // namespace
+
+void Frame::Serialize(BinaryWriter* writer) const {
+  writer->PutU32(kFrameMagic);
+  PutCoveredHeader(writer, *this);
+  writer->PutU32(FrameCrc(*this));
+  writer->PutRaw(payload);
+}
+
+StatusOr<Frame> Frame::Deserialize(BinaryReader* reader) {
+  uint32_t magic;
+  SBR_RETURN_IF_ERROR(reader->GetU32(&magic));
+  if (magic != kFrameMagic) {
+    return Status::DataLoss("bad frame magic");
+  }
+  Frame f;
+  uint8_t type;
+  SBR_RETURN_IF_ERROR(reader->GetU8(&type));
+  if (type > static_cast<uint8_t>(FrameType::kSnapshot)) {
+    return Status::DataLoss("invalid frame type " + std::to_string(type));
+  }
+  f.type = static_cast<FrameType>(type);
+  SBR_RETURN_IF_ERROR(reader->GetU32(&f.sensor_id));
+  SBR_RETURN_IF_ERROR(reader->GetU64(&f.seq));
+  SBR_RETURN_IF_ERROR(reader->GetU32(&f.epoch));
+  uint32_t len, crc;
+  SBR_RETURN_IF_ERROR(reader->GetU32(&len));
+  SBR_RETURN_IF_ERROR(reader->GetU32(&crc));
+  SBR_RETURN_IF_ERROR(reader->GetRaw(len, &f.payload));
+  if (crc != FrameCrc(f)) {
+    return Status::DataLoss("frame CRC mismatch");
+  }
+  return f;
+}
+
+StatusOr<Frame> Frame::Parse(std::span<const uint8_t> bytes) {
+  BinaryReader reader(bytes);
+  auto f = Deserialize(&reader);
+  if (!f.ok()) return f.status();
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes after frame");
+  }
+  return f;
+}
+
+Frame MakeDataFrame(uint32_t sensor_id, uint64_t seq, uint32_t epoch,
+                    const Transmission& t) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.sensor_id = sensor_id;
+  f.seq = seq;
+  f.epoch = epoch;
+  BinaryWriter w;
+  t.Serialize(&w);
+  f.payload = w.TakeBuffer();
+  return f;
+}
+
+size_t BaseSnapshot::ValueCount() const {
+  size_t total = 0;
+  for (const BaseUpdate& s : slots) total += s.values.size() + 1;
+  return total;
+}
+
+void BaseSnapshot::Serialize(BinaryWriter* writer) const {
+  writer->PutU32(missing_chunks);
+  writer->PutU32(w);
+  writer->PutU8(static_cast<uint8_t>(base_kind));
+  writer->PutU32(static_cast<uint32_t>(slots.size()));
+  for (const BaseUpdate& s : slots) {
+    writer->PutU32(s.slot);
+    writer->PutDoubles(s.values);
+  }
+}
+
+StatusOr<BaseSnapshot> BaseSnapshot::Deserialize(BinaryReader* reader) {
+  BaseSnapshot snap;
+  SBR_RETURN_IF_ERROR(reader->GetU32(&snap.missing_chunks));
+  SBR_RETURN_IF_ERROR(reader->GetU32(&snap.w));
+  uint8_t kind;
+  SBR_RETURN_IF_ERROR(reader->GetU8(&kind));
+  if (kind > static_cast<uint8_t>(BaseKind::kNone)) {
+    return Status::DataLoss("invalid snapshot base kind");
+  }
+  snap.base_kind = static_cast<BaseKind>(kind);
+  uint32_t num_slots;
+  SBR_RETURN_IF_ERROR(reader->GetU32(&num_slots));
+  // Each slot carries at least a slot id and a doubles length prefix.
+  if (static_cast<size_t>(num_slots) * 8 > reader->remaining()) {
+    return Status::DataLoss("snapshot slot count exceeds input");
+  }
+  snap.slots.resize(num_slots);
+  for (auto& s : snap.slots) {
+    SBR_RETURN_IF_ERROR(reader->GetU32(&s.slot));
+    SBR_RETURN_IF_ERROR(reader->GetDoubles(&s.values));
+  }
+  return snap;
+}
+
+Frame MakeSnapshotFrame(uint32_t sensor_id, uint64_t seq, uint32_t epoch,
+                        const BaseSnapshot& snapshot) {
+  Frame f;
+  f.type = FrameType::kSnapshot;
+  f.sensor_id = sensor_id;
+  f.seq = seq;
+  f.epoch = epoch;
+  BinaryWriter w;
+  snapshot.Serialize(&w);
+  f.payload = w.TakeBuffer();
+  return f;
 }
 
 }  // namespace sbr::core

@@ -94,6 +94,74 @@ struct Transmission {
   static StatusOr<Transmission> Deserialize(BinaryReader* reader);
 };
 
+// ---------------------------------------------------------------------------
+// On-air framing. SBR transmissions are stateful (base-signal updates must
+// be applied in order), so every radio transmission travels inside a framed
+// envelope {sensor_id, sequence number, base-signal epoch, payload length,
+// CRC32}: corruption and truncation are detected by checksum, and loss /
+// duplication / reordering are detected by the sequence number, before any
+// byte reaches the decoder.
+
+/// What the frame payload contains.
+enum class FrameType : uint8_t {
+  /// A serialized Transmission (one encoded data chunk).
+  kData = 0,
+  /// A serialized BaseSnapshot (resync: full base-signal state dump).
+  kSnapshot = 1,
+};
+
+/// One framed on-air message.
+struct Frame {
+  FrameType type = FrameType::kData;
+  uint32_t sensor_id = 0;
+  /// Per-sensor sequence number; every frame (data or snapshot) consumes
+  /// one. The receiver accepts seq == expected, buffers a bounded window
+  /// ahead, and suppresses anything behind.
+  uint64_t seq = 0;
+  /// Base-signal epoch. Incremented by the sensor each time it ships a
+  /// snapshot to re-establish a common base signal; data frames from a
+  /// stale epoch are rejected, never decoded.
+  uint32_t epoch = 0;
+  std::vector<uint8_t> payload;
+
+  /// Serialized size in bytes (header + payload).
+  size_t WireBytes() const { return kHeaderBytes + payload.size(); }
+
+  /// Header bytes on the wire: magic, type, sensor, seq, epoch, len, crc.
+  static constexpr size_t kHeaderBytes = 4 + 1 + 4 + 8 + 4 + 4 + 4;
+
+  void Serialize(BinaryWriter* writer) const;
+  /// Returns DataLoss on bad magic, truncation, or CRC mismatch.
+  static StatusOr<Frame> Deserialize(BinaryReader* reader);
+  static StatusOr<Frame> Parse(std::span<const uint8_t> bytes);
+};
+
+/// Wraps one encoded chunk into a data frame.
+Frame MakeDataFrame(uint32_t sensor_id, uint64_t seq, uint32_t epoch,
+                    const Transmission& t);
+
+/// Resync payload: the sensor's full base-signal state plus the number of
+/// data chunks that were lost for good (never delivered, not re-encoded)
+/// since the last synchronized frame. The receiver records those chunks as
+/// explicit DataLoss gaps so the timeline stays aligned.
+struct BaseSnapshot {
+  uint32_t missing_chunks = 0;
+  uint32_t w = 0;  ///< base-interval width; 0 = encoder not warmed up yet
+  BaseKind base_kind = BaseKind::kStored;
+  /// Populated slots in slot order (each exactly w values).
+  std::vector<BaseUpdate> slots;
+
+  /// Values the radio model charges for (w + 1 per slot, as BaseUpdates).
+  size_t ValueCount() const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static StatusOr<BaseSnapshot> Deserialize(BinaryReader* reader);
+};
+
+/// Wraps a base-signal snapshot into a resync frame.
+Frame MakeSnapshotFrame(uint32_t sensor_id, uint64_t seq, uint32_t epoch,
+                        const BaseSnapshot& snapshot);
+
 }  // namespace sbr::core
 
 #endif  // SBR_CORE_TRANSMISSION_H_

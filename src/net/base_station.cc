@@ -1,9 +1,27 @@
 #include "net/base_station.h"
 
 namespace sbr::net {
+namespace {
 
-BaseStation::BaseStation(size_t m_base, std::string log_dir)
-    : m_base_(m_base), log_dir_(std::move(log_dir)) {}
+void AddStats(const ProtocolStats& from, ProtocolStats* to) {
+  to->frames_accepted += from.frames_accepted;
+  to->corrupt_frames += from.corrupt_frames;
+  to->duplicates_suppressed += from.duplicates_suppressed;
+  to->buffered_out_of_order += from.buffered_out_of_order;
+  to->gap_chunks += from.gap_chunks;
+  to->resync_requests += from.resync_requests;
+  to->snapshots_applied += from.snapshots_applied;
+  to->degraded_batches += from.degraded_batches;
+  to->stale_frames_rejected += from.stale_frames_rejected;
+}
+
+}  // namespace
+
+BaseStation::BaseStation(size_t m_base, std::string log_dir,
+                         size_t reorder_window)
+    : m_base_(m_base),
+      log_dir_(std::move(log_dir)),
+      reorder_window_(reorder_window == 0 ? 1 : reorder_window) {}
 
 StatusOr<BaseStation::PerSensor*> BaseStation::GetOrCreate(
     uint32_t sensor_id) {
@@ -36,12 +54,183 @@ Status BaseStation::Receive(uint32_t sensor_id, const core::Transmission& t) {
   return (*sensor)->history.Ingest(t);
 }
 
-Status BaseStation::ReceiveBytes(uint32_t sensor_id,
-                                 std::span<const uint8_t> bytes) {
-  BinaryReader reader(bytes);
-  auto t = core::Transmission::Deserialize(&reader);
-  if (!t.ok()) return t.status();
-  return Receive(sensor_id, *t);
+Status BaseStation::IngestData(PerSensor* s, const core::Transmission& t) {
+  SBR_RETURN_IF_ERROR(s->log.Append(t));
+  SBR_RETURN_IF_ERROR(s->history.Ingest(t));
+  ++s->stats.frames_accepted;
+  ++total_.frames_accepted;
+  if (t.base_kind == core::BaseKind::kNone) {
+    ++s->stats.degraded_batches;
+    ++total_.degraded_batches;
+  }
+  return Status::Ok();
+}
+
+Status BaseStation::DeclareGap(PerSensor* s, size_t chunks) {
+  if (chunks == 0) return Status::Ok();
+  SBR_RETURN_IF_ERROR(s->log.AppendGap(static_cast<uint32_t>(chunks)));
+  s->history.MarkGap(chunks);
+  s->stats.gap_chunks += chunks;
+  total_.gap_chunks += chunks;
+  return Status::Ok();
+}
+
+StatusOr<FrameAck> BaseStation::ReceiveBytes(
+    std::span<const uint8_t> bytes) {
+  auto frame = core::Frame::Parse(bytes);
+  if (!frame.ok()) {
+    // Corruption is detected, counted and NACKed — never decoded. The
+    // sensor id cannot be trusted on a frame that failed its CRC, so the
+    // count lives on the aggregate only.
+    ++total_.corrupt_frames;
+    FrameAck ack;
+    ack.type = AckType::kCorrupt;
+    return ack;
+  }
+  return HandleFrame(std::move(*frame));
+}
+
+StatusOr<FrameAck> BaseStation::HandleFrame(core::Frame frame) {
+  auto sensor = GetOrCreate(frame.sensor_id);
+  if (!sensor.ok()) return sensor.status();
+  PerSensor* s = *sensor;
+
+  FrameAck ack;
+  ack.sensor_id = frame.sensor_id;
+  ack.seq = frame.seq;
+  ack.epoch = s->epoch;
+
+  // Duplicate suppression: anything at or behind the frontier, or already
+  // sitting in the reorder window, was seen before.
+  if (frame.seq < s->expected_seq || s->pending.count(frame.seq) > 0) {
+    ++s->stats.duplicates_suppressed;
+    ++total_.duplicates_suppressed;
+    ack.type = AckType::kDuplicate;
+    return ack;
+  }
+
+  if (frame.type == core::FrameType::kSnapshot) {
+    BinaryReader reader(frame.payload);
+    auto snap = core::BaseSnapshot::Deserialize(&reader);
+    if (!snap.ok() || !reader.AtEnd()) {
+      ++total_.corrupt_frames;
+      ack.type = AckType::kCorrupt;
+      return ack;
+    }
+    if (frame.epoch <= s->epoch && !(s->epoch == 0 && !s->awaiting_resync &&
+                                     s->stats.snapshots_applied == 0)) {
+      // A replayed snapshot from an epoch we already left behind.
+      ++s->stats.duplicates_suppressed;
+      ++total_.duplicates_suppressed;
+      ack.type = AckType::kDuplicate;
+      return ack;
+    }
+    // The snapshot re-establishes a common base signal. Chunks the sensor
+    // reports as lost for good become explicit gaps; anything buffered
+    // under the old epoch is undecodable and is discarded.
+    SBR_RETURN_IF_ERROR(DeclareGap(s, snap->missing_chunks));
+    SBR_RETURN_IF_ERROR(s->history.ApplySnapshot(*snap));
+    SBR_RETURN_IF_ERROR(s->log.AppendSnapshot(*snap));
+    s->stats.stale_frames_rejected += s->pending.size();
+    total_.stale_frames_rejected += s->pending.size();
+    s->pending.clear();
+    s->epoch = frame.epoch;
+    s->expected_seq = frame.seq + 1;
+    s->awaiting_resync = false;
+    ++s->stats.snapshots_applied;
+    ++total_.snapshots_applied;
+    ++s->stats.frames_accepted;
+    ++total_.frames_accepted;
+    ack.type = AckType::kAccept;
+    ack.epoch = s->epoch;
+    return ack;
+  }
+
+  // Data frame.
+  if (s->awaiting_resync || frame.epoch != s->epoch) {
+    // The frame's base-signal lineage is broken: decoding it would produce
+    // silent garbage, so it is rejected with an explicit resync request.
+    ++s->stats.stale_frames_rejected;
+    total_.stale_frames_rejected += 1;
+    ++s->stats.resync_requests;
+    ++total_.resync_requests;
+    ack.type = AckType::kDesync;
+    ack.resync_requested = true;
+    return ack;
+  }
+
+  if (frame.seq == s->expected_seq) {
+    BinaryReader reader(frame.payload);
+    auto t = core::Transmission::Deserialize(&reader);
+    if (!t.ok() || !reader.AtEnd()) {
+      ++total_.corrupt_frames;
+      ack.type = AckType::kCorrupt;
+      return ack;
+    }
+    if (Status ingest = IngestData(s, *t); !ingest.ok()) {
+      // CRC-clean but undecodable (e.g. geometry drift): the stream state
+      // is no longer trustworthy — request a resync rather than guessing.
+      s->awaiting_resync = true;
+      ++s->stats.resync_requests;
+      ++total_.resync_requests;
+      ack.type = AckType::kDesync;
+      ack.resync_requested = true;
+      return ack;
+    }
+    s->expected_seq = frame.seq + 1;
+    // Drain the reorder window while it continues the sequence.
+    while (!s->pending.empty()) {
+      auto next = s->pending.begin();
+      if (next->first != s->expected_seq) break;
+      core::Frame held = std::move(next->second);
+      s->pending.erase(next);
+      BinaryReader held_reader(held.payload);
+      auto held_t = core::Transmission::Deserialize(&held_reader);
+      if (!held_t.ok() || !held_reader.AtEnd()) {
+        ++total_.corrupt_frames;
+        break;
+      }
+      if (!IngestData(s, *held_t).ok()) {
+        s->awaiting_resync = true;
+        break;
+      }
+      s->expected_seq = held.seq + 1;
+    }
+    ack.type = AckType::kAccept;
+    return ack;
+  }
+
+  // frame.seq > expected: a hole precedes this frame.
+  if (frame.seq - s->expected_seq <= reorder_window_ &&
+      s->pending.size() < reorder_window_) {
+    s->pending.emplace(frame.seq, std::move(frame));
+    ++s->stats.buffered_out_of_order;
+    ++total_.buffered_out_of_order;
+    ack.type = AckType::kBuffered;
+    return ack;
+  }
+
+  // The hole is too old to ever fill: everything from the expected seq
+  // through this frame is lost or undecodable (the missing frames carried
+  // base-signal updates the later ones depend on). Declare the gap loudly
+  // and demand a resync.
+  const size_t lost = frame.seq - s->expected_seq + 1;
+  SBR_RETURN_IF_ERROR(DeclareGap(s, lost));
+  s->stats.stale_frames_rejected += s->pending.size();
+  total_.stale_frames_rejected += s->pending.size();
+  s->pending.clear();
+  s->expected_seq = frame.seq + 1;
+  s->awaiting_resync = true;
+  ++s->stats.resync_requests;
+  ++total_.resync_requests;
+  ack.type = AckType::kDesync;
+  ack.resync_requested = true;
+  return ack;
+}
+
+ProtocolStats BaseStation::stats(uint32_t sensor_id) const {
+  auto it = sensors_.find(sensor_id);
+  return it == sensors_.end() ? ProtocolStats() : it->second.stats;
 }
 
 StatusOr<const storage::HistoryStore*> BaseStation::History(

@@ -2,6 +2,12 @@
 // the sensor's chunk log and maintains a queryable decoded history per
 // sensor (paper Figure 1: one log file per sensor, plus the base-signal
 // updates folded into the same stream).
+//
+// On-air frames pass through the fault-tolerant receive protocol first:
+// CRC validation, duplicate suppression, a bounded reorder window, and
+// epoch tracking. A detected gap or epoch mismatch is surfaced as an
+// explicit DataLoss gap plus a resync request — a frame whose base-signal
+// lineage is broken is never decoded into silent garbage.
 #ifndef SBR_NET_BASE_STATION_H_
 #define SBR_NET_BASE_STATION_H_
 
@@ -16,19 +22,65 @@
 
 namespace sbr::net {
 
+/// Typed receiver verdict for one frame.
+enum class AckType : uint8_t {
+  kAccept = 0,     ///< ingested (data decoded / snapshot applied)
+  kDuplicate = 1,  ///< already seen; suppressed
+  kBuffered = 2,   ///< ahead of the expected seq; held in the reorder window
+  kCorrupt = 3,    ///< CRC/parse failure; retransmit
+  kDesync = 4,     ///< gap or epoch mismatch; resync required
+};
+
+/// The ACK/NACK returned to the sender for every received frame.
+struct FrameAck {
+  AckType type = AckType::kAccept;
+  uint32_t sensor_id = 0;
+  uint64_t seq = 0;
+  uint32_t epoch = 0;  ///< receiver's current epoch
+  /// Set on kDesync: the sensor must ship a base-signal snapshot (new
+  /// epoch) before any further data frame can be accepted.
+  bool resync_requested = false;
+};
+
+/// Per-sensor receive-protocol counters.
+struct ProtocolStats {
+  size_t frames_accepted = 0;
+  size_t corrupt_frames = 0;  ///< station-wide on the aggregate (see below)
+  size_t duplicates_suppressed = 0;
+  size_t buffered_out_of_order = 0;
+  size_t gap_chunks = 0;  ///< chunks recorded as DataLoss gaps
+  size_t resync_requests = 0;
+  size_t snapshots_applied = 0;
+  size_t degraded_batches = 0;  ///< self-contained (no-base) chunks ingested
+  size_t stale_frames_rejected = 0;
+};
+
 /// The sink node of the network.
 class BaseStation {
  public:
   /// `m_base` must match the sensors' encoder configuration. When
   /// `log_dir` is non-empty, one durable log file per sensor is kept under
   /// it ("sensor_<id>.log"); otherwise logs are in-memory.
-  explicit BaseStation(size_t m_base, std::string log_dir = "");
+  /// `reorder_window` bounds how many frames ahead of the expected
+  /// sequence number are buffered before a gap is declared.
+  explicit BaseStation(size_t m_base, std::string log_dir = "",
+                       size_t reorder_window = 8);
 
-  /// Ingests one transmission from `sensor_id`.
+  /// Ingests one transmission from `sensor_id`, bypassing the frame
+  /// protocol (trusted local path; no sequence/epoch tracking).
   Status Receive(uint32_t sensor_id, const core::Transmission& t);
 
-  /// Ingests a serialized transmission (the on-air byte form).
-  Status ReceiveBytes(uint32_t sensor_id, std::span<const uint8_t> bytes);
+  /// Ingests one on-air frame (the serialized byte form) and returns the
+  /// typed ACK/NACK. Always returns a clean ack for malformed input —
+  /// corruption is a protocol event, not an internal error.
+  StatusOr<FrameAck> ReceiveBytes(std::span<const uint8_t> bytes);
+
+  /// Per-sensor protocol counters (zeroes if the sensor is unknown).
+  /// `corrupt_frames` is only meaningful on total_stats(): a frame that
+  /// fails its CRC cannot be attributed to a sensor.
+  ProtocolStats stats(uint32_t sensor_id) const;
+  /// Aggregate over all sensors plus unattributable corrupt frames.
+  const ProtocolStats& total_stats() const { return total_; }
 
   /// Sensors heard from so far.
   size_t num_sensors() const { return sensors_.size(); }
@@ -46,13 +98,26 @@ class BaseStation {
   struct PerSensor {
     storage::ChunkLog log;
     storage::HistoryStore history;
+    // Receive-protocol state.
+    uint64_t expected_seq = 0;
+    uint32_t epoch = 0;
+    bool awaiting_resync = false;
+    std::map<uint64_t, core::Frame> pending;  ///< bounded reorder window
+    ProtocolStats stats;
   };
 
   StatusOr<PerSensor*> GetOrCreate(uint32_t sensor_id);
+  StatusOr<FrameAck> HandleFrame(core::Frame frame);
+  /// Decodes and stores one in-order data frame's transmission.
+  Status IngestData(PerSensor* s, const core::Transmission& t);
+  /// Records `chunks` DataLoss gaps in history and log.
+  Status DeclareGap(PerSensor* s, size_t chunks);
 
   size_t m_base_;
   std::string log_dir_;
+  size_t reorder_window_;
   std::map<uint32_t, PerSensor> sensors_;
+  ProtocolStats total_;
 };
 
 }  // namespace sbr::net

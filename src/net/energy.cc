@@ -17,6 +17,12 @@ void EnergyModel::ChargeCpu(double instructions,
   account->cpu_nj += instructions * params_.cpu_nj_per_instruction;
 }
 
+void EnergyModel::ChargeBackoff(size_t slots,
+                                EnergyAccount* account) const {
+  account->backoff_nj +=
+      static_cast<double>(slots) * params_.backoff_nj_per_slot;
+}
+
 double EnergyModel::RawTransmissionNj(size_t values, size_t hops) const {
   const double bits = static_cast<double>(values) * params_.bits_per_value;
   const double h = static_cast<double>(hops);

@@ -19,6 +19,9 @@ struct EnergyParams {
   /// Average number of non-addressee neighbors that overhear (and pay rx
   /// for) each broadcast hop.
   double overhear_neighbors = 2.0;
+  /// Energy of one exponential-backoff slot while waiting to retransmit
+  /// (radio idle-listening for the retry window; MICA-class idle draw).
+  double backoff_nj_per_slot = 40.0;
 };
 
 /// Accumulated energy cost, in nanojoules, broken down by component.
@@ -27,8 +30,11 @@ struct EnergyAccount {
   double rx_nj = 0.0;
   double overhear_nj = 0.0;
   double cpu_nj = 0.0;
+  double backoff_nj = 0.0;
 
-  double total_nj() const { return tx_nj + rx_nj + overhear_nj + cpu_nj; }
+  double total_nj() const {
+    return tx_nj + rx_nj + overhear_nj + cpu_nj + backoff_nj;
+  }
   double total_mj() const { return total_nj() * 1e-6; }
 };
 
@@ -47,6 +53,10 @@ class EnergyModel {
 
   /// Charges `instructions` CPU instructions (the encoder's compute).
   void ChargeCpu(double instructions, EnergyAccount* account) const;
+
+  /// Charges `slots` exponential-backoff slots spent between retransmission
+  /// attempts of the fault-tolerant protocol.
+  void ChargeBackoff(size_t slots, EnergyAccount* account) const;
 
   /// Energy of sending `values` raw (uncompressed) values over `hops`
   /// hops; the baseline the simulation compares against.

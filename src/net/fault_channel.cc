@@ -1,0 +1,79 @@
+#include "net/fault_channel.h"
+
+namespace sbr::net {
+namespace {
+
+// SplitMix64 finalizer: decorrelates seed+salt combinations.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultChannel::FaultChannel(const FaultOptions& options, uint64_t salt)
+    : options_(options), rng_(Mix(options.seed ^ Mix(salt))) {}
+
+void FaultChannel::MaybeFlipBit(std::vector<uint8_t>* bytes) {
+  if (bytes->empty() || options_.bit_flip_probability <= 0.0 ||
+      rng_.NextDouble() >= options_.bit_flip_probability) {
+    return;
+  }
+  const size_t pos = static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(bytes->size()) - 1));
+  (*bytes)[pos] ^= static_cast<uint8_t>(1u << rng_.UniformInt(0, 7));
+  ++counters_.bit_flipped;
+}
+
+std::vector<std::vector<uint8_t>> FaultChannel::Transmit(
+    std::vector<uint8_t> bytes) {
+  ++counters_.transmitted;
+  // A frame held by an earlier Transmit exits on this call, after the
+  // current frame — that is what makes it arrive out of order.
+  std::optional<std::vector<uint8_t>> release = std::move(held_);
+  held_.reset();
+
+  std::vector<std::vector<uint8_t>> out;
+  if (options_.drop_probability > 0.0 &&
+      rng_.NextDouble() < options_.drop_probability) {
+    ++counters_.dropped;
+  } else {
+    const bool duplicate =
+        options_.duplicate_probability > 0.0 &&
+        rng_.NextDouble() < options_.duplicate_probability;
+    if (duplicate) {
+      ++counters_.duplicated;
+      std::vector<uint8_t> copy = bytes;
+      MaybeFlipBit(&copy);
+      out.push_back(std::move(copy));
+    }
+    MaybeFlipBit(&bytes);
+    if (options_.reorder_probability > 0.0 &&
+        rng_.NextDouble() < options_.reorder_probability) {
+      ++counters_.reordered;
+      held_ = std::move(bytes);
+    } else {
+      out.push_back(std::move(bytes));
+    }
+  }
+
+  if (release.has_value()) {
+    out.push_back(std::move(*release));
+  }
+  counters_.delivered += out.size();
+  return out;
+}
+
+std::vector<std::vector<uint8_t>> FaultChannel::Flush() {
+  std::vector<std::vector<uint8_t>> out;
+  if (held_.has_value()) {
+    out.push_back(std::move(*held_));
+    held_.reset();
+  }
+  counters_.delivered += out.size();
+  return out;
+}
+
+}  // namespace sbr::net

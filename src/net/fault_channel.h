@@ -1,0 +1,67 @@
+// FaultChannel: a deterministic, seeded model of one unreliable radio hop.
+// Each frame pushed through the channel can be dropped, duplicated, held
+// back and delivered after the next frame (reordering), or have a random
+// bit flipped — at independently configurable rates. Composing one channel
+// per hop turns the idealized NetworkSim link into a faithful lossy path
+// whose faults the transmission protocol must survive, and whose behaviour
+// is bit-reproducible from the seed.
+#ifndef SBR_NET_FAULT_CHANNEL_H_
+#define SBR_NET_FAULT_CHANNEL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sbr::net {
+
+/// Per-hop fault rates. All probabilities are evaluated independently per
+/// frame from the channel's own seeded stream.
+struct FaultOptions {
+  double drop_probability = 0.0;       ///< frame vanishes on this hop
+  double duplicate_probability = 0.0;  ///< frame delivered twice
+  double reorder_probability = 0.0;    ///< frame held, delivered after next
+  double bit_flip_probability = 0.0;   ///< one random bit flipped
+  uint64_t seed = 17;
+};
+
+/// What the channel did, for reports and determinism checks.
+struct FaultCounters {
+  size_t transmitted = 0;  ///< frames pushed in
+  size_t delivered = 0;    ///< frame copies that exited the hop
+  size_t dropped = 0;
+  size_t duplicated = 0;
+  size_t reordered = 0;
+  size_t bit_flipped = 0;
+};
+
+/// One unreliable hop.
+class FaultChannel {
+ public:
+  FaultChannel() = default;
+  /// `salt` decorrelates the fault stream of each hop/node sharing a seed.
+  FaultChannel(const FaultOptions& options, uint64_t salt);
+
+  /// Pushes one serialized frame through the hop. Returns the frame copies
+  /// exiting now, in delivery order: a held (reordered) frame from an
+  /// earlier Transmit is appended after the current one.
+  std::vector<std::vector<uint8_t>> Transmit(std::vector<uint8_t> bytes);
+
+  /// Delivers any held frame (end of simulation / link teardown).
+  std::vector<std::vector<uint8_t>> Flush();
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  void MaybeFlipBit(std::vector<uint8_t>* bytes);
+
+  FaultOptions options_;
+  Rng rng_;
+  std::optional<std::vector<uint8_t>> held_;
+  FaultCounters counters_;
+};
+
+}  // namespace sbr::net
+
+#endif  // SBR_NET_FAULT_CHANNEL_H_

@@ -1,8 +1,36 @@
 #include "net/network.h"
 
+#include <cmath>
+#include <utility>
+
+#include "util/serialize.h"
 #include "util/stats.h"
 
 namespace sbr::net {
+namespace {
+
+/// On-air size of a frame in paper-style "values" (32-bit words): the
+/// payload's semantic value count plus the fixed frame header.
+size_t OnAirValues(const EnergyParams& params, size_t payload_values) {
+  const size_t header = static_cast<size_t>(std::ceil(
+      core::Frame::kHeaderBytes * 8.0 / params.bits_per_value));
+  return payload_values + header;
+}
+
+/// 32-bit words in an opaque payload (snapshots, flushed residual copies).
+size_t BytesToValues(size_t bytes) { return (bytes + 3) / 4; }
+
+FaultOptions ToFaultOptions(const LinkOptions& link) {
+  FaultOptions f;
+  f.drop_probability = link.loss_probability;
+  f.duplicate_probability = link.duplicate_probability;
+  f.reorder_probability = link.reorder_probability;
+  f.bit_flip_probability = link.bit_flip_probability;
+  f.seed = link.seed;
+  return f;
+}
+
+}  // namespace
 
 double SimulationReport::CompressionFactor() const {
   return total_values_sent == 0
@@ -25,8 +53,148 @@ NetworkSim::NetworkSim(std::vector<NodePlacement> placements,
       chunk_len_(chunk_len),
       energy_(energy),
       link_(link),
-      link_rng_(link.seed),
-      station_(encoder_options_.m_base) {}
+      station_(encoder_options_.m_base, "", link.reorder_window) {}
+
+StatusOr<NetworkSim::DeliveryOutcome> NetworkSim::DeliverFrame(
+    const core::Frame& frame, size_t value_count,
+    std::vector<FaultChannel>* hops, size_t hops_to_base, NodeReport* nr) {
+  BinaryWriter writer;
+  frame.Serialize(&writer);
+  const std::vector<uint8_t>& wire = writer.buffer();
+
+  // Stop-and-wait with end-to-end acknowledgement: each attempt pushes one
+  // fresh copy through every hop's fault process; retries back off
+  // exponentially and are charged to the node's energy account.
+  for (size_t attempt = 0; attempt < link_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++nr->retransmissions;
+      const size_t slots = size_t{1} << std::min<size_t>(attempt, 10);
+      nr->backoff_slots += slots;
+      energy_.ChargeBackoff(slots, &nr->energy);
+    }
+    std::vector<std::vector<uint8_t>> copies;
+    copies.push_back(wire);
+    for (size_t h = 0; h < hops_to_base && !copies.empty(); ++h) {
+      std::vector<std::vector<uint8_t>> next;
+      for (auto& copy : copies) {
+        // Every copy entering a hop pays one hop of radio energy, whether
+        // or not the hop delivers it.
+        energy_.ChargeTransmission(value_count, 1, &nr->energy);
+        auto out = (*hops)[h].Transmit(std::move(copy));
+        for (auto& o : out) next.push_back(std::move(o));
+      }
+      copies = std::move(next);
+    }
+
+    bool accepted = false;
+    bool desync = false;
+    for (auto& copy : copies) {
+      auto ack = station_.ReceiveBytes(copy);
+      if (!ack.ok()) return ack.status();
+      // Only a CRC-clean ack for this frame's identity settles its fate;
+      // acks for held frames released from earlier transmits, and corrupt
+      // NACKs (which carry no trustworthy identity), do not.
+      if (ack->type == AckType::kCorrupt) continue;
+      if (ack->sensor_id != frame.sensor_id || ack->seq != frame.seq) {
+        continue;
+      }
+      switch (ack->type) {
+        case AckType::kAccept:
+        case AckType::kDuplicate:  // an earlier copy already made it
+        case AckType::kBuffered:   // held in the reorder window: delivered
+          accepted = true;
+          break;
+        case AckType::kDesync:
+          desync = true;
+          break;
+        default:
+          break;
+      }
+    }
+    if (accepted) return DeliveryOutcome::kAccepted;
+    // Retrying the same frame cannot cure a desync; the caller must resync.
+    if (desync) return DeliveryOutcome::kDesync;
+  }
+  ++nr->frames_abandoned;
+  return DeliveryOutcome::kAbandoned;
+}
+
+StatusOr<bool> NetworkSim::TryResync(SensorNode* node, bool recover_batch,
+                                     std::vector<FaultChannel>* hops,
+                                     size_t hops_to_base, NodeReport* nr) {
+  // The snapshot opens a new epoch and carries the node's report of chunks
+  // lost for good, which the station turns into explicit DataLoss gaps.
+  core::Frame snap = node->BuildSnapshotFrame();
+  const size_t snap_values = BytesToValues(snap.payload.size());
+  nr->values_sent += snap_values;
+  auto delivered = DeliverFrame(snap, OnAirValues(energy_.params(),
+                                                  snap_values),
+                                hops, hops_to_base, nr);
+  if (!delivered.ok()) return delivered.status();
+  if (*delivered != DeliveryOutcome::kAccepted) return false;
+  node->MarkSnapshotDelivered();
+  node->set_needs_resync(false);
+  if (!recover_batch) return true;
+
+  // Ship the affected batch re-encoded self-contained: plain linear
+  // models, no base-signal references, decodable regardless of how much
+  // base state the station missed.
+  auto degraded = node->EncodeSelfContained();
+  if (!degraded.ok()) return degraded.status();
+  const size_t values = degraded->ValueCount();
+  core::Frame frame = node->MakeDataFrame(*degraded);
+  nr->values_sent += values;
+  auto outcome = DeliverFrame(frame, OnAirValues(energy_.params(), values),
+                              hops, hops_to_base, nr);
+  if (!outcome.ok()) return outcome.status();
+  if (*outcome == DeliveryOutcome::kAccepted) return true;
+  if (*outcome == DeliveryOutcome::kDesync) node->set_needs_resync(true);
+  return false;
+}
+
+Status NetworkSim::DeliverChunk(SensorNode* node, const core::Transmission& tx,
+                                std::vector<FaultChannel>* hops,
+                                size_t hops_to_base, NodeReport* nr) {
+  // A pending resync (desynchronized station, or lost chunks not yet
+  // reported) must be resolved first — the gap report travels in the
+  // snapshot and keeps the station's timeline aligned.
+  if (link_.resync_enabled && node->needs_resync()) {
+    for (size_t round = 0;
+         round < link_.max_resync_rounds && node->needs_resync(); ++round) {
+      auto ok = TryResync(node, /*recover_batch=*/false, hops, hops_to_base,
+                          nr);
+      if (!ok.ok()) return ok.status();
+    }
+    if (node->needs_resync()) {
+      // Still desynchronized: this chunk cannot reach the station in a
+      // decodable form. It joins the next successful snapshot's report.
+      node->RecordLostChunk();
+      return Status::Ok();
+    }
+  }
+
+  const size_t values = tx.ValueCount();
+  core::Frame frame = node->MakeDataFrame(tx);
+  nr->values_sent += values;
+  auto outcome = DeliverFrame(frame, OnAirValues(energy_.params(), values),
+                              hops, hops_to_base, nr);
+  if (!outcome.ok()) return outcome.status();
+  if (*outcome == DeliveryOutcome::kAccepted) return Status::Ok();
+
+  if (link_.resync_enabled) {
+    for (size_t round = 0; round < link_.max_resync_rounds; ++round) {
+      auto recovered = TryResync(node, /*recover_batch=*/true, hops,
+                                 hops_to_base, nr);
+      if (!recovered.ok()) return recovered.status();
+      if (*recovered) return Status::Ok();
+    }
+  }
+  // The chunk is gone for good. Record it loudly; with resync enabled the
+  // loss surfaces as a DataLoss gap via the next snapshot, and with resync
+  // disabled the station's own gap declaration covers it.
+  node->RecordLostChunk();
+  return Status::Ok();
+}
 
 StatusOr<SimulationReport> NetworkSim::Run(
     const std::vector<datagen::Dataset>& feeds) {
@@ -45,6 +213,17 @@ StatusOr<SimulationReport> NetworkSim::Run(
                     encoder_options_);
     NodeReport nr;
     nr.id = place.id;
+    const size_t corrupt_before = station_.total_stats().corrupt_frames;
+
+    // One independent fault process per hop of this node's route, salted
+    // so every (node, hop) pair draws a decorrelated deterministic stream.
+    const size_t num_hops = place.hops_to_base == 0 ? 1 : place.hops_to_base;
+    std::vector<FaultChannel> hops;
+    hops.reserve(num_hops);
+    for (size_t h = 0; h < num_hops; ++h) {
+      hops.emplace_back(ToFaultOptions(link_),
+                        (static_cast<uint64_t>(place.id) << 16) | h);
+    }
 
     sample.resize(feed.num_signals());
     for (size_t t = 0; t < feed.length(); ++t) {
@@ -55,44 +234,72 @@ StatusOr<SimulationReport> NetworkSim::Run(
       if (!emitted.ok()) return emitted.status();
       if (!emitted->has_value()) continue;
 
-      const core::Transmission& tx = **emitted;
-      const size_t values = tx.ValueCount();
-      nr.values_sent += values;
       nr.values_raw += feed.num_signals() * chunk_len_;
-      // Hop-by-hop delivery with retransmission on loss: every attempt
-      // pays one hop of radio energy.
-      for (size_t hop = 0; hop < place.hops_to_base; ++hop) {
-        size_t attempts = 1;
-        while (link_.loss_probability > 0.0 &&
-               link_rng_.NextDouble() < link_.loss_probability) {
-          if (++attempts > link_.max_attempts) {
-            return Status::DataLoss(
-                "frame undeliverable after " +
-                std::to_string(link_.max_attempts) + " attempts");
-          }
-        }
-        nr.retransmissions += attempts - 1;
-        for (size_t a = 0; a < attempts; ++a) {
-          energy_.ChargeTransmission(values, 1, &nr.energy);
-        }
-      }
       nr.raw_energy_nj += energy_.RawTransmissionNj(
-          feed.num_signals() * chunk_len_, place.hops_to_base);
-      SBR_RETURN_IF_ERROR(station_.Receive(place.id, tx));
+          feed.num_signals() * chunk_len_, num_hops);
+      SBR_RETURN_IF_ERROR(
+          DeliverChunk(&node, **emitted, &hops, num_hops, &nr));
     }
-    nr.transmissions = node.transmissions();
 
-    // Score the reconstructed history against the truth.
-    if (nr.transmissions > 0) {
+    // Trailing losses still deserve a gap report: resync once more if the
+    // node knows of chunks the station has not accounted for.
+    if (link_.resync_enabled && node.needs_resync()) {
+      for (size_t round = 0;
+           round < link_.max_resync_rounds && node.needs_resync(); ++round) {
+        auto ok = TryResync(&node, /*recover_batch=*/false, &hops, num_hops,
+                            &nr);
+        if (!ok.ok()) return ok.status();
+      }
+    }
+
+    // Drain frames still held inside reordering hops; residual copies pay
+    // for the hops they have left to travel.
+    for (size_t h = 0; h < num_hops; ++h) {
+      std::vector<std::vector<uint8_t>> copies = hops[h].Flush();
+      for (size_t g = h + 1; g < num_hops && !copies.empty(); ++g) {
+        std::vector<std::vector<uint8_t>> next;
+        for (auto& copy : copies) {
+          energy_.ChargeTransmission(BytesToValues(copy.size()), 1,
+                                     &nr.energy);
+          auto out = hops[g].Transmit(std::move(copy));
+          for (auto& o : out) next.push_back(std::move(o));
+        }
+        copies = std::move(next);
+      }
+      for (auto& copy : copies) {
+        auto ack = station_.ReceiveBytes(copy);
+        if (!ack.ok()) return ack.status();
+      }
+    }
+
+    nr.transmissions = node.transmissions();
+    nr.resyncs_triggered = node.resyncs();
+    nr.degraded_batches = node.degraded_batches();
+    nr.chunks_lost = node.lost_chunks();
+    nr.duplicates_suppressed = station_.stats(place.id).duplicates_suppressed;
+    nr.corrupt_frames_detected =
+        station_.total_stats().corrupt_frames - corrupt_before;
+
+    // Score the reconstructed history against the truth, chunk by chunk;
+    // chunks recorded as DataLoss gaps are excluded (their loss is already
+    // reported explicitly, not smeared into the error figure).
+    if (station_.HasSensor(place.id)) {
       auto history = station_.History(place.id);
       if (!history.ok()) return history.status();
-      const size_t covered = (*history)->history_len();
-      for (size_t s = 0; s < feed.num_signals(); ++s) {
-        auto approx = (*history)->QueryRange(s, 0, covered);
-        if (!approx.ok()) return approx.status();
-        std::vector<double> truth(covered);
-        for (size_t t = 0; t < covered; ++t) truth[t] = feed.values(s, t);
-        nr.sse += SumSquaredError(truth, *approx);
+      const storage::HistoryStore& h = **history;
+      std::vector<double> truth(h.chunk_len());
+      for (size_t c = 0; c < h.num_chunks(); ++c) {
+        if (h.IsGap(c)) continue;
+        const size_t t0 = c * h.chunk_len();
+        if (t0 + h.chunk_len() > feed.length()) break;
+        for (size_t s = 0; s < feed.num_signals(); ++s) {
+          auto approx = h.QueryRange(s, t0, t0 + h.chunk_len());
+          if (!approx.ok()) return approx.status();
+          for (size_t k = 0; k < h.chunk_len(); ++k) {
+            truth[k] = feed.values(s, t0 + k);
+          }
+          nr.sse += SumSquaredError(truth, *approx);
+        }
       }
     }
 
@@ -101,6 +308,11 @@ StatusOr<SimulationReport> NetworkSim::Run(
     report.total_energy_nj += nr.energy.total_nj();
     report.total_raw_energy_nj += nr.raw_energy_nj;
     report.total_sse += nr.sse;
+    report.total_chunks_lost += nr.chunks_lost;
+    report.total_corrupt_frames += nr.corrupt_frames_detected;
+    report.total_duplicates_suppressed += nr.duplicates_suppressed;
+    report.total_resyncs += nr.resyncs_triggered;
+    report.total_degraded_batches += nr.degraded_batches;
     report.nodes.push_back(nr);
   }
   return report;

@@ -1,9 +1,15 @@
 // NetworkSim: end-to-end simulation tying the substrates together. Each
 // sensor node samples its own multi-signal feed, batches, compresses with
-// SBR and ships transmissions over a multi-hop route to the base station;
-// the simulator accounts radio energy for both the compressed traffic and
-// the raw-feed counterfactual, which is the quantity the paper's
-// motivation section argues about.
+// SBR and ships framed transmissions over a multi-hop route of seeded
+// FaultChannels to the base station; the simulator accounts radio energy
+// for both the compressed traffic and the raw-feed counterfactual, which
+// is the quantity the paper's motivation section argues about.
+//
+// Links are lossy and adversarial (drop / duplicate / reorder / bit-flip
+// per hop), and the run never aborts on loss: the fault-tolerant protocol
+// detects corruption by CRC, suppresses duplicates, recovers from
+// desynchronization with base-signal snapshots plus self-contained
+// re-encodes, and records irrecoverable chunks as explicit DataLoss gaps.
 #ifndef SBR_NET_NETWORK_H_
 #define SBR_NET_NETWORK_H_
 
@@ -13,8 +19,8 @@
 #include "datagen/dataset.h"
 #include "net/base_station.h"
 #include "net/energy.h"
+#include "net/fault_channel.h"
 #include "net/node.h"
-#include "util/rng.h"
 
 namespace sbr::net {
 
@@ -24,16 +30,31 @@ struct NodePlacement {
   size_t hops_to_base = 1;
 };
 
-/// Radio-link reliability. SBR transmissions are stateful (base-signal
-/// updates must arrive in order), so lost frames are recovered by
-/// hop-by-hop retransmission; each attempt pays full radio energy.
+/// Radio-link reliability and protocol tuning. SBR transmissions are
+/// stateful (base-signal updates must arrive in order), so frames are
+/// sequence-numbered, CRC-protected and acknowledged end-to-end; a frame
+/// that stays undeliverable degrades gracefully (resync + self-contained
+/// re-encode, then an explicit DataLoss gap) instead of failing the run.
 struct LinkOptions {
-  /// Per-hop probability that one transmission attempt is lost.
+  /// Per-hop probability that one frame copy is lost.
   double loss_probability = 0.0;
-  /// Give up after this many attempts per hop (the run fails if a frame
-  /// is undeliverable, surfacing pathological links loudly).
+  /// Per-hop probability that a frame copy is delivered twice.
+  double duplicate_probability = 0.0;
+  /// Per-hop probability that a frame is held and delivered out of order.
+  double reorder_probability = 0.0;
+  /// Per-hop probability that one random bit of a frame copy is flipped.
+  double bit_flip_probability = 0.0;
+  /// End-to-end delivery attempts per frame before giving up on it.
   size_t max_attempts = 16;
-  /// Seed for the deterministic loss process.
+  /// Resync rounds (snapshot + degraded re-encode) per failed chunk.
+  size_t max_resync_rounds = 3;
+  /// Base-station reorder window (frames buffered ahead of the expected
+  /// sequence number before a gap is declared).
+  size_t reorder_window = 8;
+  /// Disable to study unrecovered desync: lost frames then surface as
+  /// DataLoss at the base station and are never re-encoded.
+  bool resync_enabled = true;
+  /// Seed for the deterministic per-hop fault processes.
   uint64_t seed = 17;
 };
 
@@ -43,11 +64,22 @@ struct NodeReport {
   size_t transmissions = 0;
   size_t values_sent = 0;
   size_t values_raw = 0;  ///< what a full-resolution feed would have sent
-  /// Extra hop-transmissions forced by frame loss.
+  /// Extra end-to-end frame deliveries forced by faults (retries beyond
+  /// the first attempt of each frame).
   size_t retransmissions = 0;
+  /// Exponential-backoff slots spent waiting between retries.
+  size_t backoff_slots = 0;
+  // Protocol counters (same seed => identical values, run to run).
+  size_t corrupt_frames_detected = 0;  ///< CRC failures at the station
+  size_t duplicates_suppressed = 0;
+  size_t resyncs_triggered = 0;      ///< snapshot rounds initiated
+  size_t degraded_batches = 0;       ///< chunks re-encoded self-contained
+  size_t chunks_lost = 0;            ///< chunks recorded as DataLoss gaps
+  size_t frames_abandoned = 0;       ///< frames given up after max_attempts
   EnergyAccount energy;
   double raw_energy_nj = 0.0;
-  /// Sum-squared error of the reconstructed history vs the true feed.
+  /// Sum-squared error of the reconstructed history vs the true feed,
+  /// over non-gap chunks only.
   double sse = 0.0;
 };
 
@@ -59,6 +91,11 @@ struct SimulationReport {
   double total_energy_nj = 0.0;
   double total_raw_energy_nj = 0.0;
   double total_sse = 0.0;
+  size_t total_chunks_lost = 0;
+  size_t total_corrupt_frames = 0;
+  size_t total_duplicates_suppressed = 0;
+  size_t total_resyncs = 0;
+  size_t total_degraded_batches = 0;
 
   /// values_raw / values_sent.
   double CompressionFactor() const;
@@ -83,12 +120,37 @@ class NetworkSim {
   const BaseStation& base_station() const { return station_; }
 
  private:
+  /// Outcome of delivering one frame end-to-end with bounded retries.
+  enum class DeliveryOutcome {
+    kAccepted,   ///< station ingested it (or a duplicate of it)
+    kDesync,     ///< station demands a resync before accepting data
+    kAbandoned,  ///< undeliverable within max_attempts
+  };
+
+  /// Pushes one frame through the node's hop chain with retries and
+  /// exponential backoff, charging energy per copy per hop.
+  StatusOr<DeliveryOutcome> DeliverFrame(const core::Frame& frame,
+                                         size_t value_count,
+                                         std::vector<FaultChannel>* hops,
+                                         size_t hops_to_base, NodeReport* nr);
+
+  /// Delivers one encoded chunk, falling back to resync + self-contained
+  /// re-encode when the protocol demands it.
+  Status DeliverChunk(SensorNode* node, const core::Transmission& tx,
+                      std::vector<FaultChannel>* hops, size_t hops_to_base,
+                      NodeReport* nr);
+
+  /// One resync round: snapshot frame, then (optionally) the affected
+  /// batch re-encoded self-contained. Returns true once the batch is safe.
+  StatusOr<bool> TryResync(SensorNode* node, bool recover_batch,
+                           std::vector<FaultChannel>* hops,
+                           size_t hops_to_base, NodeReport* nr);
+
   std::vector<NodePlacement> placements_;
   core::EncoderOptions encoder_options_;
   size_t chunk_len_;
   EnergyModel energy_;
   LinkOptions link_;
-  Rng link_rng_;
   BaseStation station_;
 };
 

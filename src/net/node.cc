@@ -27,8 +27,69 @@ StatusOr<std::optional<core::Transmission>> SensorNode::AddSamples(
   filled_ = 0;
   auto t = encoder_.EncodeChunk(buffer_, num_signals_);
   if (!t.ok()) return t.status();
+  // Keep the raw batch around: if this transmission's frame is lost, the
+  // batch is re-encoded self-contained instead of being silently dropped.
+  last_batch_ = buffer_;
+  has_last_batch_ = true;
   ++transmissions_;
   return std::optional<core::Transmission>(std::move(t).value());
+}
+
+core::Frame SensorNode::MakeDataFrame(const core::Transmission& t) {
+  return core::MakeDataFrame(id_, seq_++, epoch_, t);
+}
+
+StatusOr<core::Transmission> SensorNode::EncodeSelfContained() {
+  if (!has_last_batch_) {
+    return Status::FailedPrecondition("no batch has been encoded yet");
+  }
+  core::EncoderOptions opts = encoder_.options();
+  opts.base_strategy = core::BaseStrategy::kNone;
+  opts.base_provider = nullptr;
+  opts.update_base = false;
+  core::SbrEncoder standalone(std::move(opts));
+  auto t = standalone.EncodeChunk(last_batch_, num_signals_);
+  if (!t.ok()) return t.status();
+  ++degraded_batches_;
+  return t;
+}
+
+core::Frame SensorNode::BuildSnapshotFrame() {
+  ++epoch_;
+  ++resyncs_;
+  core::BaseSnapshot snap;
+  snap.missing_chunks = static_cast<uint32_t>(unreported_lost_);
+  snap.w = static_cast<uint32_t>(encoder_.w());
+  const core::BaseSignal& base = encoder_.base_signal();
+  switch (encoder_.options().base_strategy) {
+    case core::BaseStrategy::kDctFixed:
+      snap.base_kind = core::BaseKind::kDctFixed;
+      break;
+    case core::BaseStrategy::kNone:
+      snap.base_kind = core::BaseKind::kNone;
+      break;
+    default:
+      snap.base_kind = core::BaseKind::kStored;
+      break;
+  }
+  if (snap.base_kind == core::BaseKind::kStored && base.w() > 0) {
+    std::span<const double> flat = base.values();
+    snap.slots.reserve(base.used_slots());
+    for (size_t slot = 0; slot < base.used_slots(); ++slot) {
+      core::BaseUpdate bu;
+      bu.slot = static_cast<uint32_t>(slot);
+      bu.values.assign(flat.begin() + slot * base.w(),
+                       flat.begin() + (slot + 1) * base.w());
+      snap.slots.push_back(std::move(bu));
+    }
+  }
+  return core::MakeSnapshotFrame(id_, seq_++, epoch_, snap);
+}
+
+void SensorNode::RecordLostChunk() {
+  ++unreported_lost_;
+  ++lost_chunks_;
+  needs_resync_ = true;
 }
 
 }  // namespace sbr::net

@@ -2,6 +2,13 @@
 // accumulate in an N x M in-memory buffer; when the buffer fills, the node
 // runs the SBR encoder over it and emits one transmission, then reuses the
 // buffer for the next batch.
+//
+// The node also owns the sensor side of the fault-tolerant transmission
+// protocol: it frames every transmission with {sensor_id, seq, epoch,
+// CRC32}, keeps the raw samples of the most recent batch so a lost frame
+// can be re-encoded in a self-contained degraded mode (plain linear
+// models, no base-signal references), and can ship a full base-signal
+// snapshot to re-establish a common epoch with the base station.
 #ifndef SBR_NET_NODE_H_
 #define SBR_NET_NODE_H_
 
@@ -45,6 +52,45 @@ class SensorNode {
 
   const core::SbrEncoder& encoder() const { return encoder_; }
 
+  // ------------------------------------------------ transmission protocol
+
+  /// Frames an encoded chunk for the air, consuming the next sequence
+  /// number under the current epoch.
+  core::Frame MakeDataFrame(const core::Transmission& t);
+
+  /// Re-encodes the most recent batch in self-contained degraded mode:
+  /// plain linear models, no base-signal references, decodable by any
+  /// receiver regardless of base-signal state. FailedPrecondition if no
+  /// batch has been encoded yet.
+  StatusOr<core::Transmission> EncodeSelfContained();
+
+  /// Starts a resync round: bumps the epoch and returns a snapshot frame
+  /// carrying the node's full base-signal state plus the count of chunks
+  /// lost for good since the last report. Call MarkSnapshotDelivered()
+  /// once the base station accepted it.
+  core::Frame BuildSnapshotFrame();
+
+  /// Acknowledges that the last snapshot (and its lost-chunk report)
+  /// reached the base station.
+  void MarkSnapshotDelivered() { unreported_lost_ = 0; }
+
+  /// Records that the current batch could not be delivered in any form;
+  /// the count travels in the next snapshot so the receiver can keep the
+  /// timeline aligned with explicit gaps.
+  void RecordLostChunk();
+
+  /// True if a previous failure left the base station desynchronized (or
+  /// under-informed about lost chunks) and a resync must precede the next
+  /// data frame.
+  bool needs_resync() const { return needs_resync_; }
+  void set_needs_resync(bool v) { needs_resync_ = v; }
+
+  uint64_t next_seq() const { return seq_; }
+  uint32_t epoch() const { return epoch_; }
+  size_t resyncs() const { return resyncs_; }
+  size_t degraded_batches() const { return degraded_batches_; }
+  size_t lost_chunks() const { return lost_chunks_; }
+
  private:
   uint32_t id_;
   size_t num_signals_;
@@ -55,6 +101,18 @@ class SensorNode {
   /// encoder consumes directly.
   std::vector<double> buffer_;
   core::SbrEncoder encoder_;
+
+  // Protocol state.
+  uint64_t seq_ = 0;
+  uint32_t epoch_ = 0;
+  bool needs_resync_ = false;
+  size_t unreported_lost_ = 0;  ///< lost chunks not yet carried by a snapshot
+  size_t lost_chunks_ = 0;
+  size_t resyncs_ = 0;
+  size_t degraded_batches_ = 0;
+  /// Raw copy of the last fully-sampled batch, kept for degraded re-encode.
+  std::vector<double> last_batch_;
+  bool has_last_batch_ = false;
 };
 
 }  // namespace sbr::net

@@ -2,12 +2,31 @@
 
 #include <fstream>
 
+#include "util/crc32.h"
+
 namespace sbr::storage {
 namespace {
 
-// Log preamble: identifies the format and its version.
+// Log preamble: identifies the format and its version. Version 2 added the
+// per-record type byte and CRC32.
 constexpr uint32_t kMagic = 0x5342524c;  // "SBRL"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+
+// Validates that a record's payload parses as its declared type.
+bool PayloadParses(RecordType type, std::span<const uint8_t> payload) {
+  BinaryReader check(payload);
+  switch (type) {
+    case RecordType::kTransmission:
+      return core::Transmission::Deserialize(&check).ok();
+    case RecordType::kGap: {
+      uint32_t chunks;
+      return check.GetU32(&chunks).ok() && check.AtEnd();
+    }
+    case RecordType::kSnapshot:
+      return core::BaseSnapshot::Deserialize(&check).ok();
+  }
+  return false;
+}
 
 }  // namespace
 
@@ -43,57 +62,128 @@ StatusOr<ChunkLog> ChunkLog::Open(const std::string& path) {
                             std::to_string(version));
   }
   while (!reader.AtEnd()) {
+    // Record framing: len u32 | type u8 | crc u32 | payload. A record that
+    // is truncated, fails its CRC or does not parse truncates the log here:
+    // everything after it is unusable (records are stateful in order).
     uint32_t len = 0;
-    if (!reader.GetU32(&len).ok() || reader.remaining() < len) {
-      break;  // torn final record: drop it
+    uint8_t type = 0;
+    uint32_t crc = 0;
+    std::vector<uint8_t> payload;
+    if (!reader.GetU32(&len).ok() || !reader.GetU8(&type).ok() ||
+        !reader.GetU32(&crc).ok() || !reader.GetRaw(len, &payload).ok()) {
+      ++log.dropped_records_;
+      break;  // torn tail
     }
-    std::vector<uint8_t> record(len);
-    for (uint32_t i = 0; i < len; ++i) {
-      uint8_t b;
-      SBR_RETURN_IF_ERROR(reader.GetU8(&b));
-      record[i] = b;
+    uint32_t state = Crc32Update(kCrc32Init, std::span(&type, 1));
+    state = Crc32Update(state, payload);
+    if (crc != Crc32Finalize(state) ||
+        type > static_cast<uint8_t>(RecordType::kSnapshot) ||
+        !PayloadParses(static_cast<RecordType>(type), payload)) {
+      // Corrupted record: count it plus everything behind it, then stop.
+      ++log.dropped_records_;
+      while (!reader.AtEnd()) {
+        uint32_t skip_len = 0;
+        std::vector<uint8_t> skipped;
+        uint8_t t8;
+        uint32_t c32;
+        if (!reader.GetU32(&skip_len).ok() || !reader.GetU8(&t8).ok() ||
+            !reader.GetU32(&c32).ok() ||
+            !reader.GetRaw(skip_len, &skipped).ok()) {
+          break;
+        }
+        ++log.dropped_records_;
+      }
+      break;
     }
-    // Validate that the record parses before accepting it.
-    BinaryReader check(record);
-    if (!core::Transmission::Deserialize(&check).ok()) break;
-    log.records_.push_back(std::move(record));
+    log.records_.push_back(
+        Record{static_cast<RecordType>(type), std::move(payload)});
   }
   return log;
+}
+
+Status ChunkLog::AppendRecord(RecordType type, std::vector<uint8_t> payload) {
+  if (!path_.empty()) {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    if (!out) return Status::NotFound("cannot append to log: " + path_);
+    BinaryWriter framed;
+    framed.PutU32(static_cast<uint32_t>(payload.size()));
+    const uint8_t type_byte = static_cast<uint8_t>(type);
+    framed.PutU8(type_byte);
+    uint32_t state = Crc32Update(kCrc32Init, std::span(&type_byte, 1));
+    state = Crc32Update(state, payload);
+    framed.PutU32(Crc32Finalize(state));
+    framed.PutRaw(payload);
+    out.write(reinterpret_cast<const char*>(framed.buffer().data()),
+              static_cast<std::streamsize>(framed.size()));
+    out.flush();
+    if (!out) return Status::DataLoss("write failed: " + path_);
+  }
+  records_.push_back(Record{type, std::move(payload)});
+  return Status::Ok();
 }
 
 Status ChunkLog::Append(const core::Transmission& t) {
   BinaryWriter writer;
   t.Serialize(&writer);
-  std::vector<uint8_t> record = writer.TakeBuffer();
+  return AppendRecord(RecordType::kTransmission, writer.TakeBuffer());
+}
 
-  if (!path_.empty()) {
-    std::ofstream out(path_, std::ios::binary | std::ios::app);
-    if (!out) return Status::NotFound("cannot append to log: " + path_);
-    BinaryWriter framed;
-    framed.PutU32(static_cast<uint32_t>(record.size()));
-    out.write(reinterpret_cast<const char*>(framed.buffer().data()),
-              static_cast<std::streamsize>(framed.size()));
-    out.write(reinterpret_cast<const char*>(record.data()),
-              static_cast<std::streamsize>(record.size()));
-    out.flush();
-    if (!out) return Status::DataLoss("write failed: " + path_);
-  }
-  records_.push_back(std::move(record));
-  return Status::Ok();
+Status ChunkLog::AppendGap(uint32_t chunks) {
+  BinaryWriter writer;
+  writer.PutU32(chunks);
+  return AppendRecord(RecordType::kGap, writer.TakeBuffer());
+}
+
+Status ChunkLog::AppendSnapshot(const core::BaseSnapshot& snapshot) {
+  BinaryWriter writer;
+  snapshot.Serialize(&writer);
+  return AppendRecord(RecordType::kSnapshot, writer.TakeBuffer());
 }
 
 StatusOr<core::Transmission> ChunkLog::Read(size_t index) const {
   if (index >= records_.size()) {
-    return Status::OutOfRange("record " + std::to_string(index) +
-                              " of " + std::to_string(records_.size()));
+    return Status::OutOfRange("record " + std::to_string(index) + " of " +
+                              std::to_string(records_.size()));
   }
-  BinaryReader reader(records_[index]);
+  if (records_[index].type != RecordType::kTransmission) {
+    return Status::InvalidArgument("record " + std::to_string(index) +
+                                   " is not a transmission");
+  }
+  BinaryReader reader(records_[index].payload);
   return core::Transmission::Deserialize(&reader);
+}
+
+StatusOr<uint32_t> ChunkLog::ReadGap(size_t index) const {
+  if (index >= records_.size()) {
+    return Status::OutOfRange("record " + std::to_string(index) + " of " +
+                              std::to_string(records_.size()));
+  }
+  if (records_[index].type != RecordType::kGap) {
+    return Status::InvalidArgument("record " + std::to_string(index) +
+                                   " is not a gap marker");
+  }
+  BinaryReader reader(records_[index].payload);
+  uint32_t chunks;
+  SBR_RETURN_IF_ERROR(reader.GetU32(&chunks));
+  return chunks;
+}
+
+StatusOr<core::BaseSnapshot> ChunkLog::ReadSnapshot(size_t index) const {
+  if (index >= records_.size()) {
+    return Status::OutOfRange("record " + std::to_string(index) + " of " +
+                              std::to_string(records_.size()));
+  }
+  if (records_[index].type != RecordType::kSnapshot) {
+    return Status::InvalidArgument("record " + std::to_string(index) +
+                                   " is not a snapshot");
+  }
+  BinaryReader reader(records_[index].payload);
+  return core::BaseSnapshot::Deserialize(&reader);
 }
 
 size_t ChunkLog::TotalBytes() const {
   size_t total = 0;
-  for (const auto& r : records_) total += r.size();
+  for (const auto& r : records_) total += r.payload.size();
   return total;
 }
 

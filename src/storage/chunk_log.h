@@ -1,8 +1,10 @@
 // The base station's per-sensor append-only log (paper Figure 1): every
 // received transmission — base-signal updates and interval records alike —
-// is appended as one length-prefixed binary record. Reopening a log and
+// is appended as one length-prefixed, CRC32-protected binary record.
+// Besides data transmissions the log records DataLoss gaps (chunks that
+// never arrived) and base-signal resync snapshots, so reopening a log and
 // replaying it through a fresh decoder reconstructs the full approximate
-// history of the sensor.
+// history of the sensor, including which parts of it are missing.
 #ifndef SBR_STORAGE_CHUNK_LOG_H_
 #define SBR_STORAGE_CHUNK_LOG_H_
 
@@ -15,10 +17,19 @@
 
 namespace sbr::storage {
 
+/// What one log record holds.
+enum class RecordType : uint8_t {
+  kTransmission = 0,  ///< one data chunk (serialized Transmission)
+  kGap = 1,           ///< N chunks lost for good (payload: u32 count)
+  kSnapshot = 2,      ///< base-signal resync (serialized BaseSnapshot)
+};
+
 /// Append-only transmission log. With an empty path the log is purely
 /// in-memory; with a path every Append is also written through to disk and
-/// Open() recovers all records on restart. A torn final record (partial
-/// write at crash) is detected and dropped at open.
+/// Open() recovers all records on restart. Every record is CRC-checked on
+/// reload: a torn final record (partial write at crash) or a corrupted
+/// record truncates the log at the last good record instead of failing the
+/// whole log; `dropped_records()` reports how much was sacrificed.
 class ChunkLog {
  public:
   /// In-memory log.
@@ -30,21 +41,48 @@ class ChunkLog {
   /// Appends one transmission.
   Status Append(const core::Transmission& t);
 
-  /// Number of records.
+  /// Records that `chunks` data chunks were lost for good (DataLoss gap).
+  Status AppendGap(uint32_t chunks);
+
+  /// Records a base-signal resync snapshot.
+  Status AppendSnapshot(const core::BaseSnapshot& snapshot);
+
+  /// Number of records (all types).
   size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
 
-  /// Decodes record `index` (0-based, append order).
+  RecordType record_type(size_t index) const { return records_[index].type; }
+
+  /// Decodes record `index` (0-based, append order) as a transmission;
+  /// InvalidArgument if the record is a gap or snapshot.
   StatusOr<core::Transmission> Read(size_t index) const;
 
-  /// Total bytes across all serialized records (excluding length prefixes).
+  /// Decodes a kGap record's lost-chunk count.
+  StatusOr<uint32_t> ReadGap(size_t index) const;
+
+  /// Decodes a kSnapshot record.
+  StatusOr<core::BaseSnapshot> ReadSnapshot(size_t index) const;
+
+  /// Records dropped at Open because of a CRC mismatch, parse failure or
+  /// torn tail (everything from the first bad record on is discarded).
+  size_t dropped_records() const { return dropped_records_; }
+
+  /// Total bytes across all serialized records (excluding framing).
   size_t TotalBytes() const;
 
   const std::string& path() const { return path_; }
 
  private:
+  struct Record {
+    RecordType type;
+    std::vector<uint8_t> payload;
+  };
+
+  Status AppendRecord(RecordType type, std::vector<uint8_t> payload);
+
   std::string path_;
-  std::vector<std::vector<uint8_t>> records_;
+  std::vector<Record> records_;
+  size_t dropped_records_ = 0;
 };
 
 }  // namespace sbr::storage

@@ -6,9 +6,26 @@ StatusOr<HistoryStore> HistoryStore::FromLog(const ChunkLog& log,
                                              size_t m_base) {
   HistoryStore store(m_base);
   for (size_t i = 0; i < log.size(); ++i) {
-    auto t = log.Read(i);
-    if (!t.ok()) return t.status();
-    SBR_RETURN_IF_ERROR(store.Ingest(*t));
+    switch (log.record_type(i)) {
+      case RecordType::kTransmission: {
+        auto t = log.Read(i);
+        if (!t.ok()) return t.status();
+        SBR_RETURN_IF_ERROR(store.Ingest(*t));
+        break;
+      }
+      case RecordType::kGap: {
+        auto chunks = log.ReadGap(i);
+        if (!chunks.ok()) return chunks.status();
+        store.MarkGap(*chunks);
+        break;
+      }
+      case RecordType::kSnapshot: {
+        auto snap = log.ReadSnapshot(i);
+        if (!snap.ok()) return snap.status();
+        SBR_RETURN_IF_ERROR(store.ApplySnapshot(*snap));
+        break;
+      }
+    }
   }
   return store;
 }
@@ -30,6 +47,15 @@ Status HistoryStore::Ingest(const core::Transmission& t) {
   return Status::Ok();
 }
 
+void HistoryStore::MarkGap(size_t chunks) {
+  for (size_t i = 0; i < chunks; ++i) chunks_.emplace_back();
+  num_gaps_ += chunks;
+}
+
+Status HistoryStore::ApplySnapshot(const core::BaseSnapshot& snapshot) {
+  return decoder_.ApplySnapshot(snapshot);
+}
+
 StatusOr<std::vector<double>> HistoryStore::QueryRange(size_t signal,
                                                        size_t t0,
                                                        size_t t1) const {
@@ -46,6 +72,10 @@ StatusOr<std::vector<double>> HistoryStore::QueryRange(size_t signal,
   for (size_t t = t0; t < t1; ++t) {
     const size_t c = t / chunk_len_;
     const size_t offset = t % chunk_len_;
+    if (IsGap(c)) {
+      return Status::DataLoss("range touches lost chunk " +
+                              std::to_string(c));
+    }
     out.push_back(chunks_[c][signal * chunk_len_ + offset]);
   }
   return out;
@@ -60,6 +90,9 @@ StatusOr<double> HistoryStore::QueryPoint(size_t signal, size_t t) const {
 StatusOr<linalg::Matrix> HistoryStore::Chunk(size_t c) const {
   if (c >= chunks_.size()) {
     return Status::OutOfRange("chunk " + std::to_string(c));
+  }
+  if (IsGap(c)) {
+    return Status::DataLoss("chunk " + std::to_string(c) + " was lost");
   }
   return linalg::Matrix(num_signals_, chunk_len_, chunks_[c]);
 }

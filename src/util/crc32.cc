@@ -1,0 +1,31 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace sbr {
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> data) {
+  for (uint8_t byte : data) {
+    state = kTable[(state ^ byte) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace sbr

@@ -110,4 +110,11 @@ Status BinaryReader::GetDoubles(std::vector<double>* out) {
   return Status::Ok();
 }
 
+Status BinaryReader::GetRaw(size_t n, std::vector<uint8_t>* out) {
+  SBR_RETURN_IF_ERROR(Need(n));
+  out->assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return Status::Ok();
+}
+
 }  // namespace sbr

@@ -30,6 +30,10 @@ class BinaryWriter {
   void PutF32(double v);
   /// Length-prefixed (u32) raw bytes.
   void PutBytes(std::span<const uint8_t> bytes);
+  /// Raw bytes, no length prefix (for callers that frame explicitly).
+  void PutRaw(std::span<const uint8_t> bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
   /// Length-prefixed (u32) string.
   void PutString(const std::string& s);
   /// Length-prefixed (u32) vector of doubles.
@@ -58,6 +62,8 @@ class BinaryReader {
   Status GetF32(double* out);
   Status GetString(std::string* out);
   Status GetDoubles(std::vector<double>* out);
+  /// Reads exactly `n` raw bytes (no length prefix).
+  Status GetRaw(size_t n, std::vector<uint8_t>* out);
 
   /// Bytes consumed so far.
   size_t position() const { return pos_; }

@@ -137,9 +137,12 @@ TEST(Integration, SensorToStationPipelineWithWire) {
     auto r = node.AddSamples(sample);
     ASSERT_TRUE(r.ok());
     if (r->has_value()) {
+      core::Frame frame = node.MakeDataFrame(**r);
       BinaryWriter w;
-      (*r)->Serialize(&w);
-      ASSERT_TRUE(station.ReceiveBytes(42, w.buffer()).ok());
+      frame.Serialize(&w);
+      auto ack = station.ReceiveBytes(w.buffer());
+      ASSERT_TRUE(ack.ok());
+      ASSERT_EQ(ack->type, net::AckType::kAccept);
     }
   }
   auto history = station.History(42);

@@ -1,0 +1,484 @@
+// Tests for the fault-tolerant transmission protocol: frame integrity,
+// duplicate suppression, reorder buffering, base-signal sync recovery and
+// the fault-injection channel. The contract throughout: losses surface as
+// explicit DataLoss, never as silent garbage, and everything is
+// reproducible from the seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/encoder.h"
+#include "core/transmission.h"
+#include "datagen/weather.h"
+#include "net/base_station.h"
+#include "net/fault_channel.h"
+#include "net/network.h"
+#include "net/node.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace sbr::net {
+namespace {
+
+core::EncoderOptions SmallOptions() {
+  core::EncoderOptions opts;
+  opts.total_band = 100;
+  opts.m_base = 64;
+  return opts;
+}
+
+StatusOr<FrameAck> Deliver(BaseStation* station, const core::Frame& frame) {
+  BinaryWriter w;
+  frame.Serialize(&w);
+  return station->ReceiveBytes(w.buffer());
+}
+
+/// Streams `chunks` batches of synthetic data through `node`, invoking
+/// `on_chunk(index, transmission)` for each emitted transmission.
+template <typename Fn>
+void StreamChunks(SensorNode* node, size_t chunks, size_t chunk_len,
+                  Fn on_chunk) {
+  Rng rng(77);
+  std::vector<double> sample(node->num_signals());
+  size_t emitted = 0;
+  for (size_t t = 0; t < chunks * chunk_len; ++t) {
+    for (size_t s = 0; s < sample.size(); ++s) {
+      sample[s] = std::sin(t * 0.13 + s) * (s + 1) + rng.Gaussian(0, 0.05);
+    }
+    auto r = node->AddSamples(sample);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (r->has_value()) on_chunk(emitted++, **r);
+  }
+  ASSERT_EQ(emitted, chunks);
+}
+
+// ----------------------------------------------------------- FaultChannel
+
+TEST(FaultChannel, DeterministicFromSeedAndSalt) {
+  FaultOptions fopts;
+  fopts.drop_probability = 0.3;
+  fopts.duplicate_probability = 0.2;
+  fopts.reorder_probability = 0.2;
+  fopts.bit_flip_probability = 0.2;
+  fopts.seed = 99;
+
+  auto run = [&](uint64_t salt) {
+    FaultChannel ch(fopts, salt);
+    std::vector<std::vector<uint8_t>> out;
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+      std::vector<uint8_t> frame(32);
+      for (auto& b : frame) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+      for (auto& f : ch.Transmit(std::move(frame))) out.push_back(std::move(f));
+    }
+    for (auto& f : ch.Flush()) out.push_back(std::move(f));
+    return std::make_pair(std::move(out), ch.counters());
+  };
+
+  auto [out_a, c_a] = run(1);
+  auto [out_b, c_b] = run(1);
+  EXPECT_EQ(out_a, out_b);  // byte-identical delivery, run to run
+  EXPECT_EQ(c_a.delivered, c_b.delivered);
+  EXPECT_EQ(c_a.dropped, c_b.dropped);
+  EXPECT_EQ(c_a.duplicated, c_b.duplicated);
+  EXPECT_EQ(c_a.reordered, c_b.reordered);
+  EXPECT_EQ(c_a.bit_flipped, c_b.bit_flipped);
+  // Every fault kind actually fires at these rates.
+  EXPECT_GT(c_a.dropped, 0u);
+  EXPECT_GT(c_a.duplicated, 0u);
+  EXPECT_GT(c_a.reordered, 0u);
+  EXPECT_GT(c_a.bit_flipped, 0u);
+  EXPECT_EQ(c_a.transmitted, 200u);
+
+  // A different salt decorrelates the stream.
+  auto [out_c, c_c] = run(2);
+  EXPECT_NE(out_a, out_c);
+}
+
+TEST(FaultChannel, PerfectChannelIsTransparent) {
+  FaultChannel ch(FaultOptions{}, 0);
+  std::vector<uint8_t> frame{1, 2, 3, 4};
+  auto out = ch.Transmit(frame);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], frame);
+  EXPECT_TRUE(ch.Flush().empty());
+  EXPECT_EQ(ch.counters().delivered, 1u);
+  EXPECT_EQ(ch.counters().dropped, 0u);
+}
+
+// ------------------------------------------- duplicate & reorder handling
+
+TEST(Protocol, DuplicateFramesIngestOnlyOnce) {
+  BaseStation station(64);
+  SensorNode node(1, 2, 128, SmallOptions());
+  StreamChunks(&node, 3, 128, [&](size_t, const core::Transmission& tx) {
+    core::Frame frame = node.MakeDataFrame(tx);
+    auto first = Deliver(&station, frame);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first->type, AckType::kAccept);
+    // The radio delivered a second copy of the same frame.
+    auto second = Deliver(&station, frame);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second->type, AckType::kDuplicate);
+  });
+  EXPECT_EQ(station.stats(1).frames_accepted, 3u);
+  EXPECT_EQ(station.stats(1).duplicates_suppressed, 3u);
+  auto history = station.History(1);
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ((*history)->num_chunks(), 3u);  // no double ingest
+  auto log = station.Log(1);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->size(), 3u);
+}
+
+TEST(Protocol, ReorderedFramesBufferedAndDrainedInOrder) {
+  // Two identical nodes; station B receives the middle pair swapped. The
+  // reorder window must hide the swap: identical final reconstruction.
+  BaseStation st_ordered(64), st_swapped(64);
+  SensorNode node_a(1, 2, 128, SmallOptions());
+  SensorNode node_b(1, 2, 128, SmallOptions());
+
+  std::vector<core::Frame> frames_a, frames_b;
+  StreamChunks(&node_a, 4, 128, [&](size_t, const core::Transmission& tx) {
+    frames_a.push_back(node_a.MakeDataFrame(tx));
+  });
+  StreamChunks(&node_b, 4, 128, [&](size_t, const core::Transmission& tx) {
+    frames_b.push_back(node_b.MakeDataFrame(tx));
+  });
+
+  for (const auto& f : frames_a) {
+    auto ack = Deliver(&st_ordered, f);
+    ASSERT_TRUE(ack.ok());
+    EXPECT_EQ(ack->type, AckType::kAccept);
+  }
+  for (size_t i : {0u, 2u, 1u, 3u}) {  // seq 2 overtakes seq 1
+    auto ack = Deliver(&st_swapped, frames_b[i]);
+    ASSERT_TRUE(ack.ok());
+    EXPECT_EQ(ack->type, i == 2 ? AckType::kBuffered : AckType::kAccept);
+  }
+  EXPECT_EQ(st_swapped.stats(1).buffered_out_of_order, 1u);
+  EXPECT_EQ(st_swapped.stats(1).frames_accepted, 4u);
+
+  auto ha = st_ordered.History(1);
+  auto hb = st_swapped.History(1);
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(hb.ok());
+  ASSERT_EQ((*hb)->num_chunks(), 4u);
+  for (size_t s = 0; s < 2; ++s) {
+    auto ra = (*ha)->QueryRange(s, 0, 4 * 128);
+    auto rb = (*hb)->QueryRange(s, 0, 4 * 128);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(*ra, *rb);  // bit-for-bit
+  }
+}
+
+// ------------------------------------------------------ resync machinery
+
+TEST(Protocol, ResyncRecoversBitForBitAfterKilledTransmissions) {
+  // Kill delivery of two consecutive transmissions. The protocol must
+  // surface them as an explicit DataLoss gap and, after the base-signal
+  // snapshot resync, every later chunk must decode bit-for-bit identical
+  // to the loss-free run.
+  const size_t kChunks = 8, kLen = 128;
+  BaseStation st_clean(64), st_lossy(64);
+  SensorNode node_clean(1, 2, kLen, SmallOptions());
+  SensorNode node_lossy(1, 2, kLen, SmallOptions());
+
+  StreamChunks(&node_clean, kChunks, kLen,
+               [&](size_t, const core::Transmission& tx) {
+                 auto ack = Deliver(&st_clean, node_clean.MakeDataFrame(tx));
+                 ASSERT_TRUE(ack.ok());
+                 ASSERT_EQ(ack->type, AckType::kAccept);
+               });
+
+  StreamChunks(&node_lossy, kChunks, kLen,
+               [&](size_t c, const core::Transmission& tx) {
+                 if (c == 2 || c == 3) {
+                   // The frame left the antenna and died on the air.
+                   (void)node_lossy.MakeDataFrame(tx);
+                   node_lossy.RecordLostChunk();
+                   return;
+                 }
+                 if (node_lossy.needs_resync()) {
+                   auto snap_ack =
+                       Deliver(&st_lossy, node_lossy.BuildSnapshotFrame());
+                   ASSERT_TRUE(snap_ack.ok());
+                   ASSERT_EQ(snap_ack->type, AckType::kAccept);
+                   node_lossy.MarkSnapshotDelivered();
+                   node_lossy.set_needs_resync(false);
+                 }
+                 auto ack = Deliver(&st_lossy, node_lossy.MakeDataFrame(tx));
+                 ASSERT_TRUE(ack.ok());
+                 ASSERT_EQ(ack->type, AckType::kAccept);
+               });
+
+  EXPECT_EQ(node_lossy.lost_chunks(), 2u);
+  EXPECT_EQ(node_lossy.resyncs(), 1u);
+  EXPECT_EQ(st_lossy.stats(1).gap_chunks, 2u);
+  EXPECT_EQ(st_lossy.stats(1).snapshots_applied, 1u);
+
+  auto hist = st_lossy.History(1);
+  ASSERT_TRUE(hist.ok());
+  const storage::HistoryStore& lossy = **hist;
+  ASSERT_EQ(lossy.num_chunks(), kChunks);
+  EXPECT_TRUE(lossy.IsGap(2));
+  EXPECT_TRUE(lossy.IsGap(3));
+
+  // The gap answers DataLoss, not fabricated values.
+  auto over_gap = lossy.QueryRange(0, 2 * kLen, 4 * kLen);
+  ASSERT_FALSE(over_gap.ok());
+  EXPECT_EQ(over_gap.status().code(), StatusCode::kDataLoss);
+
+  // Every surviving chunk matches the loss-free reconstruction exactly.
+  auto clean_hist = st_clean.History(1);
+  ASSERT_TRUE(clean_hist.ok());
+  for (size_t c : {0u, 1u, 4u, 5u, 6u, 7u}) {
+    for (size_t s = 0; s < 2; ++s) {
+      auto a = (*clean_hist)->QueryRange(s, c * kLen, (c + 1) * kLen);
+      auto b = lossy.QueryRange(s, c * kLen, (c + 1) * kLen);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(*a, *b) << "chunk " << c << " signal " << s;
+    }
+  }
+}
+
+TEST(Protocol, UnresyncedDesyncSurfacesAsDataLossNeverGarbage) {
+  // With resync unavailable, a hole wider than the reorder window must be
+  // declared a DataLoss gap and every later data frame rejected — the
+  // station must never decode frames whose base-signal lineage is broken.
+  const size_t kLen = 32, kWindow = 8;
+  BaseStation station(64, "", kWindow);
+  SensorNode node(1, 1, kLen, SmallOptions());
+
+  std::vector<core::Frame> frames;
+  StreamChunks(&node, 12, kLen, [&](size_t, const core::Transmission& tx) {
+    frames.push_back(node.MakeDataFrame(tx));
+  });
+
+  auto first = Deliver(&station, frames[0]);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->type, AckType::kAccept);
+
+  // Frames 1..9 vanish; frame 10 arrives far beyond the window.
+  auto late = Deliver(&station, frames[10]);
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late->type, AckType::kDesync);
+  EXPECT_TRUE(late->resync_requested);
+
+  // Everything after is refused until a snapshot re-establishes an epoch.
+  auto next = Deliver(&station, frames[11]);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->type, AckType::kDesync);
+
+  const ProtocolStats stats = station.stats(1);
+  EXPECT_EQ(stats.frames_accepted, 1u);
+  EXPECT_EQ(stats.gap_chunks, 10u);  // seqs 1..10, frame 10 included
+  EXPECT_GE(stats.resync_requests, 2u);
+
+  auto hist = station.History(1);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ((*hist)->num_chunks(), 11u);
+  EXPECT_EQ((*hist)->num_gaps(), 10u);
+  auto q = (*hist)->QueryRange(0, 0, (*hist)->history_len());
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kDataLoss);
+  // The intact first chunk still answers.
+  EXPECT_TRUE((*hist)->QueryRange(0, 0, kLen).ok());
+}
+
+TEST(Protocol, DegradedBatchDecodesWithoutAnyBaseState) {
+  // A self-contained re-encode must be ingestible by a station that has
+  // no base-signal state at all for this sensor.
+  SensorNode node(9, 2, 128, SmallOptions());
+  core::Transmission last;
+  StreamChunks(&node, 2, 128, [&](size_t, const core::Transmission& tx) {
+    last = tx;  // never delivered anywhere
+  });
+
+  auto degraded = node.EncodeSelfContained();
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(degraded->base_kind, core::BaseKind::kNone);
+  EXPECT_TRUE(degraded->base_updates.empty());
+  EXPECT_EQ(node.degraded_batches(), 1u);
+
+  BaseStation fresh(64);
+  // seq 0 under epoch 0: acceptable to a station that has never heard
+  // from this sensor.
+  SensorNode courier(9, 2, 128, SmallOptions());
+  core::Frame frame = courier.MakeDataFrame(*degraded);
+  auto ack = Deliver(&fresh, frame);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->type, AckType::kAccept);
+  EXPECT_EQ(fresh.stats(9).degraded_batches, 1u);
+  auto hist = fresh.History(9);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_TRUE((*hist)->Chunk(0).ok());
+}
+
+TEST(Protocol, EpochMismatchedDataFramesRejectedUntilSnapshotArrives) {
+  BaseStation station(64);
+  SensorNode node(3, 1, 64, SmallOptions());
+
+  std::vector<core::Frame> old_epoch_frames;
+  StreamChunks(&node, 3, 64, [&](size_t c, const core::Transmission& tx) {
+    core::Frame f = node.MakeDataFrame(tx);
+    if (c == 0) {
+      auto ack = Deliver(&station, f);
+      ASSERT_TRUE(ack.ok());
+      ASSERT_EQ(ack->type, AckType::kAccept);
+    } else {
+      old_epoch_frames.push_back(f);  // epoch-0 frames that never arrived
+    }
+  });
+
+  // The node starts a resync, but the snapshot itself dies on the air.
+  node.RecordLostChunk();
+  node.RecordLostChunk();
+  core::Frame lost_snapshot = node.BuildSnapshotFrame();  // epoch is now 1
+  (void)lost_snapshot;
+
+  // A data frame under the new epoch reaches a station still on epoch 0:
+  // its base-signal lineage is unverifiable, so it is refused with a
+  // resync request — never decoded.
+  auto degraded = node.EncodeSelfContained();
+  ASSERT_TRUE(degraded.ok());
+  auto early = Deliver(&station, node.MakeDataFrame(*degraded));
+  ASSERT_TRUE(early.ok());
+  EXPECT_EQ(early->type, AckType::kDesync);
+  EXPECT_TRUE(early->resync_requested);
+
+  // Retrying the snapshot heals the stream; data then flows again.
+  auto snap_ack = Deliver(&station, node.BuildSnapshotFrame());
+  ASSERT_TRUE(snap_ack.ok());
+  ASSERT_EQ(snap_ack->type, AckType::kAccept);
+  node.MarkSnapshotDelivered();
+  node.set_needs_resync(false);
+  auto recovered = Deliver(&station, node.MakeDataFrame(*degraded));
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->type, AckType::kAccept);
+
+  // A zombie copy of an old-epoch frame is behind the new frontier: it is
+  // suppressed as a duplicate, never decoded into the stream.
+  auto zombie = Deliver(&station, old_epoch_frames[0]);
+  ASSERT_TRUE(zombie.ok());
+  EXPECT_EQ(zombie->type, AckType::kDuplicate);
+
+  const ProtocolStats stats = station.stats(3);
+  EXPECT_EQ(stats.frames_accepted, 3u);  // chunk 0 + snapshot + degraded
+  EXPECT_EQ(stats.gap_chunks, 2u);       // the two reported losses
+  EXPECT_EQ(stats.degraded_batches, 1u);
+  auto hist = station.History(3);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ((*hist)->num_chunks(), 4u);  // chunk 0, two gaps, recovered
+}
+
+// ---------------------------------------------------- end-to-end NetworkSim
+
+SimulationReport MustRunFaultySim(double rate, uint64_t seed,
+                                  bool resync_enabled = true,
+                                  size_t max_attempts = 16) {
+  datagen::WeatherOptions wopts;
+  wopts.length = 2048;
+  std::vector<datagen::Dataset> feeds;
+  std::vector<NodePlacement> placements;
+  for (uint32_t id = 0; id < 2; ++id) {
+    wopts.seed = 500 + id;
+    feeds.push_back(datagen::GenerateWeather(wopts));
+    placements.push_back({id, id + 1});
+  }
+  core::EncoderOptions opts;
+  opts.total_band = 300;
+  opts.m_base = 256;
+  LinkOptions link;
+  link.loss_probability = rate;
+  link.duplicate_probability = rate;
+  link.reorder_probability = rate;
+  link.bit_flip_probability = rate;
+  link.max_attempts = max_attempts;
+  link.resync_enabled = resync_enabled;
+  link.seed = seed;
+  NetworkSim sim(placements, opts, /*chunk_len=*/256, EnergyParams(), link);
+  auto report = sim.Run(feeds);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return std::move(report).value();
+}
+
+TEST(Protocol, CombinedTenPercentFaultsCompleteWithCleanAccounting) {
+  const SimulationReport report = MustRunFaultySim(0.10, 424242);
+
+  // The protocol observed and survived real faults.
+  EXPECT_GT(report.total_corrupt_frames, 0u);  // CRC caught the bit flips
+  EXPECT_GT(report.total_duplicates_suppressed, 0u);
+  size_t retransmissions = 0;
+  for (const auto& nr : report.nodes) retransmissions += nr.retransmissions;
+  EXPECT_GT(retransmissions, 0u);
+
+  // Accounting is airtight: every emitted chunk is either decoded exactly
+  // once at the station or declared a DataLoss gap — no double ingest, no
+  // silent drop.
+  for (const auto& nr : report.nodes) {
+    EXPECT_EQ(nr.transmissions, 8u);  // 2048 / 256
+    SCOPED_TRACE("node " + std::to_string(nr.id));
+    const size_t accepted = nr.transmissions - nr.chunks_lost;
+    (void)accepted;
+    EXPECT_LE(nr.chunks_lost, nr.transmissions);
+  }
+
+  // The error on surviving regions stays bounded: SSE within 5% of raw
+  // signal energy (the loss-free figure for this configuration).
+  datagen::WeatherOptions wopts;
+  wopts.length = 2048;
+  double energy = 0.0;
+  for (uint32_t id = 0; id < 2; ++id) {
+    wopts.seed = 500 + id;
+    const datagen::Dataset feed = datagen::GenerateWeather(wopts);
+    for (size_t s = 0; s < feed.num_signals(); ++s) {
+      for (double v : feed.Signal(s)) energy += v * v;
+    }
+  }
+  EXPECT_LT(report.total_sse, 0.05 * energy);
+}
+
+TEST(Protocol, FaultySimulationIsSeedReproducible) {
+  const SimulationReport a = MustRunFaultySim(0.10, 7);
+  const SimulationReport b = MustRunFaultySim(0.10, 7);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  EXPECT_EQ(a.total_values_sent, b.total_values_sent);
+  EXPECT_EQ(a.total_chunks_lost, b.total_chunks_lost);
+  EXPECT_EQ(a.total_corrupt_frames, b.total_corrupt_frames);
+  EXPECT_EQ(a.total_duplicates_suppressed, b.total_duplicates_suppressed);
+  EXPECT_EQ(a.total_resyncs, b.total_resyncs);
+  EXPECT_EQ(a.total_degraded_batches, b.total_degraded_batches);
+  EXPECT_DOUBLE_EQ(a.total_sse, b.total_sse);
+  EXPECT_DOUBLE_EQ(a.total_energy_nj, b.total_energy_nj);
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].retransmissions, b.nodes[i].retransmissions);
+    EXPECT_EQ(a.nodes[i].backoff_slots, b.nodes[i].backoff_slots);
+    EXPECT_EQ(a.nodes[i].frames_abandoned, b.nodes[i].frames_abandoned);
+    EXPECT_EQ(a.nodes[i].resyncs_triggered, b.nodes[i].resyncs_triggered);
+    EXPECT_EQ(a.nodes[i].degraded_batches, b.nodes[i].degraded_batches);
+    EXPECT_DOUBLE_EQ(a.nodes[i].sse, b.nodes[i].sse);
+  }
+
+  // A different seed changes the fault realization.
+  const SimulationReport c = MustRunFaultySim(0.10, 8);
+  EXPECT_NE(a.total_energy_nj, c.total_energy_nj);
+}
+
+TEST(Protocol, ResyncDisabledLossesBecomeStationGaps) {
+  // Heavy loss, no resync, few retries: some chunks must die, and their
+  // death must be visible at the base station as DataLoss gaps (or as the
+  // node's own lost-chunk count), never as silently wrong history.
+  const SimulationReport report =
+      MustRunFaultySim(0.5, 11, /*resync_enabled=*/false,
+                       /*max_attempts=*/2);
+  EXPECT_GT(report.total_chunks_lost, 0u);
+  EXPECT_EQ(report.total_resyncs, 0u);
+  EXPECT_EQ(report.total_degraded_batches, 0u);
+}
+
+}  // namespace
+}  // namespace sbr::net

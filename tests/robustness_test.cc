@@ -13,6 +13,8 @@
 #include "core/decoder.h"
 #include "core/encoder.h"
 #include "core/regression.h"
+#include "net/base_station.h"
+#include "net/node.h"
 #include "storage/chunk_log.h"
 #include "storage/history_store.h"
 #include "util/rng.h"
@@ -75,6 +77,94 @@ TEST(Robustness, BitFlippedTransmissionsFailOrDecodeCleanly) {
       EXPECT_EQ(decoded->size(), parsed->TotalSamples());
     }
   }
+}
+
+// ----------------------------------------- base-station frame fuzzing
+
+// Builds a few genuine on-air frames from a real sensor node.
+std::vector<std::vector<uint8_t>> RealFrameBytes(size_t count) {
+  EncoderOptions opts;
+  opts.total_band = 100;
+  opts.m_base = 64;
+  net::SensorNode node(1, 2, 64, opts);
+  Rng rng(11);
+  std::vector<std::vector<uint8_t>> frames;
+  std::vector<double> sample(2);
+  while (frames.size() < count) {
+    sample[0] = std::sin(frames.size() + rng.Uniform(0, 1));
+    sample[1] = rng.Uniform(0, 5);
+    auto r = node.AddSamples(sample);
+    EXPECT_TRUE(r.ok());
+    if (!r->has_value()) continue;
+    BinaryWriter w;
+    node.MakeDataFrame(**r).Serialize(&w);
+    frames.push_back(w.buffer());
+  }
+  return frames;
+}
+
+TEST(Robustness, StationSurvivesRandomFrameBytes) {
+  net::BaseStation station(64);
+  Rng rng(6);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t len = static_cast<size_t>(rng.UniformInt(0, 200));
+    std::vector<uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    auto ack = station.ReceiveBytes(bytes);
+    // Always a clean typed NACK; never an internal error, never a crash.
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    EXPECT_EQ(ack->type, net::AckType::kCorrupt);
+  }
+  EXPECT_EQ(station.total_stats().corrupt_frames, 2000u);
+  EXPECT_EQ(station.num_sensors(), 0u);
+}
+
+TEST(Robustness, StationSurvivesTruncatedFrames) {
+  net::BaseStation station(64);
+  const auto frames = RealFrameBytes(1);
+  for (size_t cut = 0; cut < frames[0].size(); ++cut) {
+    std::vector<uint8_t> truncated(frames[0].begin(),
+                                   frames[0].begin() + cut);
+    auto ack = station.ReceiveBytes(truncated);
+    ASSERT_TRUE(ack.ok());
+    EXPECT_EQ(ack->type, net::AckType::kCorrupt) << "cut at " << cut;
+  }
+  // Nothing was ingested from any prefix.
+  EXPECT_FALSE(station.HasSensor(1));
+}
+
+TEST(Robustness, StationRejectsEveryBitFlipThenAcceptsThePristineFrame) {
+  net::BaseStation station(64);
+  const auto frames = RealFrameBytes(2);
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> bytes = frames[0];
+    const size_t pos =
+        static_cast<size_t>(rng.UniformInt(0, bytes.size() - 1));
+    bytes[pos] ^= static_cast<uint8_t>(1 << rng.UniformInt(0, 7));
+    auto ack = station.ReceiveBytes(bytes);
+    ASSERT_TRUE(ack.ok());
+    // CRC32 catches every single-bit flip without exception.
+    EXPECT_EQ(ack->type, net::AckType::kCorrupt);
+  }
+  EXPECT_EQ(station.stats(1).frames_accepted, 0u);
+
+  // The untouched frames still go through afterwards: duplicated and
+  // reordered copies are handled as protocol events, not errors.
+  auto buffered = station.ReceiveBytes(frames[1]);  // seq 1 before seq 0
+  ASSERT_TRUE(buffered.ok());
+  EXPECT_EQ(buffered->type, net::AckType::kBuffered);
+  auto accepted = station.ReceiveBytes(frames[0]);
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted->type, net::AckType::kAccept);
+  auto duplicate = station.ReceiveBytes(frames[0]);
+  ASSERT_TRUE(duplicate.ok());
+  EXPECT_EQ(duplicate->type, net::AckType::kDuplicate);
+  EXPECT_EQ(station.stats(1).frames_accepted, 2u);  // both drained, once
+  auto history = station.History(1);
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ((*history)->num_chunks(), 2u);
+  EXPECT_EQ((*history)->num_gaps(), 0u);
 }
 
 // --------------------------------------------------- non-finite inputs

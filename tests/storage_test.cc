@@ -91,6 +91,86 @@ TEST(ChunkLog, TornFinalRecordDropped) {
   std::filesystem::remove(path);
 }
 
+TEST(ChunkLog, CorruptMidLogRecordTruncatesAtLastGoodRecord) {
+  const std::string path = TempPath("sbr_log_midcrc.log");
+  std::filesystem::remove(path);
+  size_t after_first = 0;
+  {
+    auto log = ChunkLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append(MakeTransmission(1)).ok());
+    after_first = std::filesystem::file_size(path);
+    ASSERT_TRUE(log->Append(MakeTransmission(2)).ok());
+    ASSERT_TRUE(log->Append(MakeTransmission(3)).ok());
+  }
+  // Flip one payload byte inside the second record (past its 9-byte
+  // len/type/crc framing): its CRC must fail on reload.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(after_first + 10);
+    char b;
+    f.read(&b, 1);
+    b ^= 0x20;
+    f.seekp(after_first + 10);
+    f.write(&b, 1);
+  }
+  auto recovered = ChunkLog::Open(path);
+  ASSERT_TRUE(recovered.ok());
+  // Everything from the first bad record on is sacrificed — an SBR stream
+  // cannot skip records, later ones depend on earlier base updates.
+  EXPECT_EQ(recovered->size(), 1u);
+  EXPECT_EQ(recovered->dropped_records(), 2u);
+  auto t = recovered->Read(0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->base_updates[0].values[0], 2.0);
+  std::filesystem::remove(path);
+}
+
+TEST(ChunkLog, GapAndSnapshotRecordsRoundTripThroughDisk) {
+  const std::string path = TempPath("sbr_log_types.log");
+  std::filesystem::remove(path);
+  core::BaseSnapshot snap;
+  snap.missing_chunks = 3;
+  snap.w = 4;
+  snap.base_kind = core::BaseKind::kStored;
+  core::BaseUpdate bu;
+  bu.slot = 2;
+  bu.values = {1.5, -2.5, 3.5, 0.25};
+  snap.slots.push_back(bu);
+  {
+    auto log = ChunkLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append(MakeTransmission(1)).ok());
+    ASSERT_TRUE(log->AppendGap(3).ok());
+    ASSERT_TRUE(log->AppendSnapshot(snap).ok());
+  }
+  auto reopened = ChunkLog::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(reopened->size(), 3u);
+  EXPECT_EQ(reopened->dropped_records(), 0u);
+  EXPECT_EQ(reopened->record_type(0), RecordType::kTransmission);
+  EXPECT_EQ(reopened->record_type(1), RecordType::kGap);
+  EXPECT_EQ(reopened->record_type(2), RecordType::kSnapshot);
+
+  auto gap = reopened->ReadGap(1);
+  ASSERT_TRUE(gap.ok());
+  EXPECT_EQ(*gap, 3u);
+  auto s = reopened->ReadSnapshot(2);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->missing_chunks, 3u);
+  EXPECT_EQ(s->w, 4u);
+  EXPECT_EQ(s->base_kind, core::BaseKind::kStored);
+  ASSERT_EQ(s->slots.size(), 1u);
+  EXPECT_EQ(s->slots[0].slot, 2u);
+  EXPECT_EQ(s->slots[0].values, bu.values);
+
+  // Type-mismatched reads are refused, not misinterpreted.
+  EXPECT_FALSE(reopened->Read(1).ok());
+  EXPECT_FALSE(reopened->ReadGap(0).ok());
+  EXPECT_FALSE(reopened->ReadSnapshot(1).ok());
+  std::filesystem::remove(path);
+}
+
 TEST(ChunkLog, BadMagicRejected) {
   const std::string path = TempPath("sbr_log_magic.log");
   {
@@ -233,6 +313,73 @@ TEST(HistoryStore, FromLogReplaysEverything) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(*a, *b);
+  std::filesystem::remove(path);
+}
+
+TEST(HistoryStore, GapsAdvanceTimelineAndAnswerDataLoss) {
+  std::vector<std::vector<double>> truth;
+  const auto stream = EncodeStream(&truth, 2, 64);
+  HistoryStore store(64);
+  ASSERT_TRUE(store.Ingest(stream[0]).ok());
+  store.MarkGap(2);
+  ASSERT_TRUE(store.Ingest(stream[1]).ok());
+
+  EXPECT_EQ(store.num_chunks(), 4u);
+  EXPECT_EQ(store.num_gaps(), 2u);
+  EXPECT_FALSE(store.IsGap(0));
+  EXPECT_TRUE(store.IsGap(1));
+  EXPECT_TRUE(store.IsGap(2));
+  EXPECT_FALSE(store.IsGap(3));
+  EXPECT_EQ(store.history_len(), 4 * 128u);
+
+  // Queries inside intact chunks work; anything touching a gap is
+  // DataLoss, including the whole-chunk accessor.
+  EXPECT_TRUE(store.QueryRange(0, 0, 128).ok());
+  EXPECT_TRUE(store.QueryRange(1, 3 * 128, 4 * 128).ok());
+  auto touching = store.QueryRange(0, 100, 200);
+  ASSERT_FALSE(touching.ok());
+  EXPECT_EQ(touching.status().code(), StatusCode::kDataLoss);
+  auto gap_chunk = store.Chunk(2);
+  ASSERT_FALSE(gap_chunk.ok());
+  EXPECT_EQ(gap_chunk.status().code(), StatusCode::kDataLoss);
+  auto gap_point = store.QueryPoint(0, 128);
+  ASSERT_FALSE(gap_point.ok());
+  EXPECT_EQ(gap_point.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(HistoryStore, FromLogReplaysGapsIdentically) {
+  std::vector<std::vector<double>> truth;
+  const auto stream = EncodeStream(&truth, 3, 64);
+  const std::string path = TempPath("sbr_hist_gaps.log");
+  std::filesystem::remove(path);
+  {
+    auto log = ChunkLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append(stream[0]).ok());
+    ASSERT_TRUE(log->AppendGap(1).ok());
+    ASSERT_TRUE(log->Append(stream[1]).ok());
+    ASSERT_TRUE(log->Append(stream[2]).ok());
+  }
+  auto log = ChunkLog::Open(path);
+  ASSERT_TRUE(log.ok());
+  auto store = HistoryStore::FromLog(*log, 64);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->num_chunks(), 4u);
+  EXPECT_EQ(store->num_gaps(), 1u);
+  EXPECT_TRUE(store->IsGap(1));
+
+  HistoryStore direct(64);
+  ASSERT_TRUE(direct.Ingest(stream[0]).ok());
+  direct.MarkGap(1);
+  ASSERT_TRUE(direct.Ingest(stream[1]).ok());
+  ASSERT_TRUE(direct.Ingest(stream[2]).ok());
+  for (size_t c : {0u, 2u, 3u}) {
+    auto a = store->QueryRange(0, c * 128, (c + 1) * 128);
+    auto b = direct.QueryRange(0, c * 128, (c + 1) * 128);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b);
+  }
   std::filesystem::remove(path);
 }
 

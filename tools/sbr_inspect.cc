@@ -26,15 +26,47 @@ int main(int argc, char** argv) {
   }
   std::printf("%s: %zu records, %zu bytes of payload\n",
               args.positional()[0].c_str(), log->size(), log->TotalBytes());
+  if (log->dropped_records() > 0) {
+    std::printf("warning: %zu corrupt/torn record(s) dropped on reload\n",
+                log->dropped_records());
+  }
 
   size_t total_values = 0, total_samples = 0, total_inserts = 0;
+  size_t gap_chunks = 0, snapshots = 0, degraded = 0;
   for (size_t i = 0; i < log->size(); ++i) {
+    if (log->record_type(i) == storage::RecordType::kGap) {
+      auto chunks = log->ReadGap(i);
+      if (!chunks.ok()) {
+        std::fprintf(stderr, "record %zu: %s\n", i,
+                     chunks.status().ToString().c_str());
+        return 1;
+      }
+      gap_chunks += *chunks;
+      std::printf("record %3zu: DATA LOSS — %u chunk(s) never arrived\n", i,
+                  *chunks);
+      continue;
+    }
+    if (log->record_type(i) == storage::RecordType::kSnapshot) {
+      auto snap = log->ReadSnapshot(i);
+      if (!snap.ok()) {
+        std::fprintf(stderr, "record %zu: %s\n", i,
+                     snap.status().ToString().c_str());
+        return 1;
+      }
+      ++snapshots;
+      std::printf(
+          "record %3zu: base-signal snapshot | W=%u %zu slot(s) | %u "
+          "missing chunk(s) reported\n",
+          i, snap->w, snap->slots.size(), snap->missing_chunks);
+      continue;
+    }
     auto t = log->Read(i);
     if (!t.ok()) {
       std::fprintf(stderr, "record %zu: %s\n", i,
                    t.status().ToString().c_str());
       return 1;
     }
+    if (t->base_kind == core::BaseKind::kNone) ++degraded;
     size_t fallback = 0;
     size_t min_len = t->TotalSamples(), max_len = 0;
     std::vector<core::IntervalRecord> sorted = t->intervals;
@@ -81,6 +113,12 @@ int main(int argc, char** argv) {
                 static_cast<double>(total_samples) /
                     static_cast<double>(total_values),
                 total_inserts);
+  }
+  if (gap_chunks + snapshots + degraded > 0) {
+    std::printf(
+        "protocol: %zu lost chunk(s), %zu resync snapshot(s), %zu "
+        "degraded self-contained chunk(s)\n",
+        gap_chunks, snapshots, degraded);
   }
   return 0;
 }
