@@ -9,6 +9,7 @@
 
 #include "compress/wavelet.h"
 #include "core/best_map.h"
+#include "core/encoder.h"
 #include "core/get_base.h"
 #include "core/get_intervals.h"
 #include "core/regression.h"
@@ -117,6 +118,31 @@ void BM_GetBaseLowMem(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_GetBaseLowMem)->Arg(4096);
+
+void BM_EncodeChunkThreads(benchmark::State& state) {
+  // Thread-scaling row for the full encode path (BestMap scans + GetBase
+  // matrix + search probes); arg = EncoderOptions::threads. Output is
+  // bitwise identical across rows, only the wall clock moves.
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const size_t n = 16384;
+  const auto y = RandomSeries(n, 15);
+  for (auto _ : state) {
+    EncoderOptions opts;
+    opts.total_band = n / 10;
+    opts.m_base = 1024;
+    opts.threads = threads;
+    SbrEncoder enc(opts);
+    auto t = enc.EncodeChunk(y, /*num_signals=*/4);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EncodeChunkThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_HaarForward(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -1,0 +1,95 @@
+// Parallel-encoding scaling bench: the Table-2 weather workload (N=6,
+// M=4096, M_base=3456, 10% compression ratio) encoded end-to-end at 1, 2,
+// 4 and 8 threads. Reports wall-clock per run, throughput and speedup over
+// the serial baseline, and cross-checks that every thread count produced a
+// byte-identical transmission stream — the determinism contract of
+// EncoderOptions::threads.
+//
+// Expected shape: near-linear scaling through the shift scans and the
+// GetBase matrix build (the bulk of encode time), >= 2.5x at 4 threads on
+// a 4-core host.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/encoder.h"
+#include "util/serialize.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+  double seconds = 0.0;
+  std::vector<uint8_t> bytes;  // serialized transmission stream
+};
+
+RunResult EncodeAll(const sbr::datagen::ExperimentSetup& setup,
+                    size_t ratio_pct, size_t threads) {
+  const size_t n = setup.dataset.num_signals() * setup.chunk_len;
+  sbr::core::EncoderOptions opts;
+  opts.total_band = n * ratio_pct / 100;
+  opts.m_base = setup.m_base;
+  opts.threads = threads;
+  sbr::core::SbrEncoder enc(opts);
+
+  RunResult result;
+  sbr::BinaryWriter w;
+  const auto t0 = Clock::now();
+  for (size_t c = 0; c < setup.num_chunks; ++c) {
+    const auto y =
+        sbr::datagen::ConcatRows(setup.dataset.Chunk(c, setup.chunk_len));
+    auto t = enc.EncodeChunk(y, setup.dataset.num_signals());
+    if (!t.ok()) {
+      std::fprintf(stderr, "encode failed: %s\n",
+                   t.status().ToString().c_str());
+      std::exit(1);
+    }
+    t->Serialize(&w);
+  }
+  result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.bytes = w.TakeBuffer();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const auto setup = sbr::datagen::PaperWeatherSetup();
+  const size_t ratio_pct = 10;
+  const size_t n = setup.dataset.num_signals() * setup.chunk_len;
+  const double total_values =
+      static_cast<double>(n) * static_cast<double>(setup.num_chunks);
+
+  std::printf("== Parallel encode scaling: weather workload of Table 2 ==\n");
+  std::printf("N=%zu signals, M=%zu, M_base=%zu, %zu chunks, ratio %zu%%, "
+              "%zu hardware threads\n\n",
+              setup.dataset.num_signals(), setup.chunk_len, setup.m_base,
+              setup.num_chunks, ratio_pct, sbr::util::HardwareThreads());
+  std::printf("| threads | seconds | Mvalues/s | speedup |\n");
+  std::printf("|---------|---------|-----------|---------|\n");
+
+  // Warm-up: populates the shared pool and touches the dataset pages so
+  // the serial baseline is not penalized for first-run effects.
+  (void)EncodeAll(setup, ratio_pct, 2);
+
+  RunResult serial;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    const RunResult r = EncodeAll(setup, ratio_pct, threads);
+    const double speedup = threads == 1 ? 1.0 : serial.seconds / r.seconds;
+    std::printf("| %7zu | %7.3f | %9.2f | %6.2fx |\n", threads, r.seconds,
+                total_values / r.seconds / 1e6, speedup);
+    if (threads == 1) {
+      serial = r;
+    } else if (r.bytes != serial.bytes) {
+      std::fprintf(stderr,
+                   "FAIL: %zu-thread output differs from serial output\n",
+                   threads);
+      return 1;
+    }
+  }
+  std::printf("\nall thread counts produced byte-identical streams\n");
+  return 0;
+}

@@ -1,25 +1,80 @@
 #include "core/best_map.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "core/regression.h"
 #include "util/prefix_sums.h"
+#include "util/thread_pool.h"
 
 namespace sbr::core {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// Shift ranges below this size are scanned on the calling thread even when
+// options.threads > 1; the pool dispatch would cost more than the scan.
+// (The partition never affects the result, so this is purely a tuning
+// constant, not a correctness one.)
+constexpr size_t kMinShiftsParallel = 16;
+
+// Deterministic selection rule shared by the serial scans and the parallel
+// chunk merge: lower error wins, and an *exact* error tie goes to the
+// lower shift. Serial ascending scans, partitioned scans at any chunk
+// count and any merge order therefore pick the same interval bitwise.
+bool BetterShift(double err, int64_t shift, const Interval& best) {
+  return err < best.err || (err == best.err && shift < best.shift);
+}
+
+void TakeShift(Interval* best, int64_t shift, double a, double b, double c,
+               double err) {
+  best->shift = shift;
+  best->a = a;
+  best->b = b;
+  best->c = c;
+  best->err = err;
+}
+
+// Partitions [0, num_shifts) over the pool, runs `scan(begin, end, out)`
+// per chunk into a local best, and merges the chunk bests in chunk order
+// with the deterministic rule above. threads <= 1 runs the scan inline.
+template <typename ScanRange>
+void RunShiftScan(size_t num_shifts, size_t threads, Interval* best,
+                  const ScanRange& scan) {
+  if (threads <= 1 || num_shifts < kMinShiftsParallel) {
+    scan(0, num_shifts, best);
+    return;
+  }
+  const size_t num_chunks = util::NumChunks(threads, num_shifts);
+  std::vector<Interval> partial(num_chunks);
+  for (Interval& p : partial) {
+    p.shift = kShiftLinearFallback;
+    p.err = kInf;
+  }
+  util::ParallelFor(threads, num_shifts,
+                    [&](size_t chunk, size_t begin, size_t end) {
+                      scan(begin, end, &partial[chunk]);
+                    });
+  for (const Interval& p : partial) {
+    if (BetterShift(p.err, p.shift, *best)) {
+      TakeShift(best, p.shift, p.a, p.b, p.c, p.err);
+    }
+  }
+}
+
 // Shift scan specialised for the SSE metric: sum_x and sum_x2 come from
 // prefix sums, only sum_xy needs an O(len) pass per shift, and the residual
 // error follows from the normal equations without a second pass.
+//
+// Every helper guards its own geometry: len > x.size() would underflow
+// num_shifts into a near-infinite out-of-bounds scan, so a caller bug must
+// degrade to a no-op here rather than rely on BestMap's gate.
 void ScanShiftsSse(std::span<const double> x, std::span<const double> yseg,
-                   Interval* best) {
+                   size_t threads, Interval* best) {
   const size_t len = yseg.size();
+  if (len == 0 || len > x.size()) return;
   const size_t num_shifts = x.size() - len + 1;
   const double flen = static_cast<double>(len);
 
@@ -32,40 +87,42 @@ void ScanShiftsSse(std::span<const double> x, std::span<const double> yseg,
 
   const double* xp = x.data();
   const double* yp = yseg.data();
-  for (size_t shift = 0; shift < num_shifts; ++shift) {
-    double sum_xy = 0.0;
-    const double* xs = xp + shift;
-    for (size_t i = 0; i < len; ++i) sum_xy += xs[i] * yp[i];
+  RunShiftScan(
+      num_shifts, threads, best,
+      [&](size_t begin, size_t end, Interval* out) {
+        for (size_t shift = begin; shift < end; ++shift) {
+          double sum_xy = 0.0;
+          const double* xs = xp + shift;
+          for (size_t i = 0; i < len; ++i) sum_xy += xs[i] * yp[i];
 
-    const double sum_x = px.RangeSum(shift, len);
-    const double sum_x2 = px.RangeSumSquares(shift, len);
-    const double denom = flen * sum_x2 - sum_x * sum_x;
+          const double sum_x = px.RangeSum(shift, len);
+          const double sum_x2 = px.RangeSumSquares(shift, len);
+          const double denom = flen * sum_x2 - sum_x * sum_x;
 
-    double a, b, err;
-    if (denom <= 1e-12 * std::max(1.0, flen * sum_x2)) {
-      a = 0.0;
-      b = sum_y / flen;
-      err = std::max(0.0, sum_y2 - b * sum_y);
-    } else {
-      a = (flen * sum_xy - sum_x * sum_y) / denom;
-      b = (sum_y - a * sum_x) / flen;
-      err = std::max(0.0, sum_y2 - a * sum_xy - b * sum_y);
-    }
-    if (err < best->err) {
-      best->shift = static_cast<int64_t>(shift);
-      best->a = a;
-      best->b = b;
-      best->err = err;
-    }
-  }
+          double a, b, err;
+          if (denom <= 1e-12 * std::max(1.0, flen * sum_x2)) {
+            a = 0.0;
+            b = sum_y / flen;
+            err = std::max(0.0, sum_y2 - b * sum_y);
+          } else {
+            a = (flen * sum_xy - sum_x * sum_y) / denom;
+            b = (sum_y - a * sum_x) / flen;
+            err = std::max(0.0, sum_y2 - a * sum_xy - b * sum_y);
+          }
+          if (BetterShift(err, static_cast<int64_t>(shift), *out)) {
+            TakeShift(out, static_cast<int64_t>(shift), a, b, 0.0, err);
+          }
+        }
+      });
 }
 
 // Shift scan for the relative-error metric: weights depend only on y, so
 // the y-side weighted sums are hoisted out of the shift loop.
 void ScanShiftsRelative(std::span<const double> x,
                         std::span<const double> yseg, double floor,
-                        Interval* best) {
+                        size_t threads, Interval* best) {
   const size_t len = yseg.size();
+  if (len == 0 || len > x.size()) return;
   const size_t num_shifts = x.size() - len + 1;
 
   std::vector<double> w(len), wy(len);
@@ -79,76 +136,95 @@ void ScanShiftsRelative(std::span<const double> x,
     swy2 += wy[i] * yseg[i];
   }
 
-  for (size_t shift = 0; shift < num_shifts; ++shift) {
-    const double* xs = x.data() + shift;
-    double swx = 0.0, swx2 = 0.0, swxy = 0.0;
-    for (size_t i = 0; i < len; ++i) {
-      swx += w[i] * xs[i];
-      swx2 += w[i] * xs[i] * xs[i];
-      swxy += wy[i] * xs[i];
-    }
-    const double denom = sw * swx2 - swx * swx;
-    double a, b, err;
-    if (denom <= 1e-12 * std::max(1.0, sw * swx2)) {
-      a = 0.0;
-      b = swy / sw;
-      err = std::max(0.0, swy2 - 2.0 * b * swy + b * b * sw);
-    } else {
-      a = (sw * swxy - swx * swy) / denom;
-      b = (swy - a * swx) / sw;
-      err = std::max(0.0, swy2 - a * swxy - b * swy);
-    }
-    if (err < best->err) {
-      best->shift = static_cast<int64_t>(shift);
-      best->a = a;
-      best->b = b;
-      best->err = err;
-    }
-  }
+  RunShiftScan(
+      num_shifts, threads, best,
+      [&](size_t begin, size_t end, Interval* out) {
+        for (size_t shift = begin; shift < end; ++shift) {
+          const double* xs = x.data() + shift;
+          double swx = 0.0, swx2 = 0.0, swxy = 0.0;
+          for (size_t i = 0; i < len; ++i) {
+            swx += w[i] * xs[i];
+            swx2 += w[i] * xs[i] * xs[i];
+            swxy += wy[i] * xs[i];
+          }
+          const double denom = sw * swx2 - swx * swx;
+          double a, b, err;
+          if (denom <= 1e-12 * std::max(1.0, sw * swx2)) {
+            a = 0.0;
+            b = swy / sw;
+            err = std::max(0.0, swy2 - 2.0 * b * swy + b * b * sw);
+          } else {
+            a = (sw * swxy - swx * swy) / denom;
+            b = (swy - a * swx) / sw;
+            err = std::max(0.0, swy2 - a * swxy - b * swy);
+          }
+          if (BetterShift(err, static_cast<int64_t>(shift), *out)) {
+            TakeShift(out, static_cast<int64_t>(shift), a, b, 0.0, err);
+          }
+        }
+      });
 }
 
 // Shift scan for the minimax metric: each shift runs a full Chebyshev fit.
 // Costly (see regression.h); intended for the error-bound workloads where
 // budgets, and therefore scan counts, are small.
 void ScanShiftsMaxAbs(std::span<const double> x,
-                      std::span<const double> yseg, Interval* best) {
+                      std::span<const double> yseg, size_t threads,
+                      Interval* best) {
   const size_t len = yseg.size();
+  if (len == 0 || len > x.size()) return;
   const size_t num_shifts = x.size() - len + 1;
-  for (size_t shift = 0; shift < num_shifts; ++shift) {
-    const RegressionResult r = FitMaxAbs(x.subspan(shift, len), yseg);
-    if (r.err < best->err) {
-      best->shift = static_cast<int64_t>(shift);
-      best->a = r.a;
-      best->b = r.b;
-      best->err = r.err;
-    }
-  }
+  RunShiftScan(num_shifts, threads, best,
+               [&](size_t begin, size_t end, Interval* out) {
+                 for (size_t shift = begin; shift < end; ++shift) {
+                   const RegressionResult r =
+                       FitMaxAbs(x.subspan(shift, len), yseg);
+                   if (BetterShift(r.err, static_cast<int64_t>(shift), *out)) {
+                     TakeShift(out, static_cast<int64_t>(shift), r.a, r.b,
+                               0.0, r.err);
+                   }
+                 }
+               });
 }
 
 // Shift scan for the quadratic encoding extension: a full 3x3 solve per
 // shift. O(len) per shift like the other scans, larger constant.
 void ScanShiftsQuadratic(std::span<const double> x,
-                         std::span<const double> yseg, Interval* best) {
+                         std::span<const double> yseg, size_t threads,
+                         Interval* best) {
   const size_t len = yseg.size();
+  if (len == 0 || len > x.size()) return;
   const size_t num_shifts = x.size() - len + 1;
-  for (size_t shift = 0; shift < num_shifts; ++shift) {
-    const QuadraticResult q = FitQuadratic(x.subspan(shift, len), yseg);
-    if (q.err < best->err) {
-      best->shift = static_cast<int64_t>(shift);
-      best->a = q.a;
-      best->b = q.b;
-      best->c = q.c;
-      best->err = q.err;
-    }
-  }
+  RunShiftScan(num_shifts, threads, best,
+               [&](size_t begin, size_t end, Interval* out) {
+                 for (size_t shift = begin; shift < end; ++shift) {
+                   const QuadraticResult q =
+                       FitQuadratic(x.subspan(shift, len), yseg);
+                   if (BetterShift(q.err, static_cast<int64_t>(shift), *out)) {
+                     TakeShift(out, static_cast<int64_t>(shift), q.a, q.b,
+                               q.c, q.err);
+                   }
+                 }
+               });
 }
 
 }  // namespace
 
 void BestMap(std::span<const double> x, std::span<const double> y,
              size_t w, const BestMapOptions& options, Interval* interval) {
-  assert(interval->start + interval->length <= y.size());
-  assert(interval->length > 0);
+  // Real validation, not an assert: a malformed interval — e.g. decoded
+  // from a corrupted frame — must not read out of bounds in a release
+  // build. It gets the fall-back marker with infinite error and zeroed
+  // coefficients, which downstream consumers already treat as "worthless".
+  if (interval->length == 0 || interval->start > y.size() ||
+      interval->length > y.size() - interval->start) {
+    interval->shift = kShiftLinearFallback;
+    interval->a = 0.0;
+    interval->b = 0.0;
+    interval->c = 0.0;
+    interval->err = kInf;
+    return;
+  }
   const std::span<const double> yseg =
       y.subspan(interval->start, interval->length);
 
@@ -162,17 +238,18 @@ void BestMap(std::span<const double> x, std::span<const double> y,
 
   if (scan_possible) {
     if (options.quadratic) {
-      ScanShiftsQuadratic(x, yseg, interval);
+      ScanShiftsQuadratic(x, yseg, options.threads, interval);
     } else {
       switch (options.metric) {
         case ErrorMetric::kSse:
-          ScanShiftsSse(x, yseg, interval);
+          ScanShiftsSse(x, yseg, options.threads, interval);
           break;
         case ErrorMetric::kSseRelative:
-          ScanShiftsRelative(x, yseg, options.relative_floor, interval);
+          ScanShiftsRelative(x, yseg, options.relative_floor,
+                             options.threads, interval);
           break;
         case ErrorMetric::kMaxAbs:
-          ScanShiftsMaxAbs(x, yseg, interval);
+          ScanShiftsMaxAbs(x, yseg, options.threads, interval);
           break;
       }
     }

@@ -30,12 +30,23 @@ struct BestMapOptions {
   /// y' = a x + b + c x^2 instead of a line. SSE metric only; each
   /// interval then costs 5 transmitted values instead of 4.
   bool quadratic = false;
+  /// Worker threads for the shift scan: the shift range is partitioned
+  /// into static chunks on the shared pool and the per-chunk bests are
+  /// merged deterministically (lowest error, then lowest shift), so the
+  /// selected interval is bitwise identical at any thread count. 1 (the
+  /// default) keeps the scan on the calling thread.
+  size_t threads = 1;
 };
 
 /// Fills interval->shift / a / b / err with the best mapping of
 /// Y[interval->start .. +length) found over the base signal `x` and the
 /// fall-back. `w` is the base-interval width used for the length cutoff.
 /// O(length + |x| * length) when the shift scan runs, O(length) otherwise.
+/// A malformed interval (zero length, or start + length beyond `y`) is
+/// rejected without touching `y`: it comes back as the linear-fallback
+/// marker with infinite error and zero coefficients.
+/// Exact error ties between shifts select the lowest shift, so the result
+/// does not depend on scan order or on options.threads.
 void BestMap(std::span<const double> x, std::span<const double> y,
              size_t w, const BestMapOptions& options, Interval* interval);
 

@@ -75,6 +75,7 @@ std::vector<CandidateBaseInterval> SbrEncoder::BuildCandidates(
   GetBaseOptions gb;
   gb.metric = options_.metric;
   gb.relative_floor = options_.relative_floor;
+  gb.threads = options_.threads;
   switch (options_.base_strategy) {
     case BaseStrategy::kGetBase:
       return GetBaseMultiRate(y, row_lengths_, w_, max_ins, gb);
@@ -147,6 +148,7 @@ StatusOr<Transmission> SbrEncoder::EncodeImpl(
   gi.best_map.allow_linear_fallback = options_.allow_linear_fallback;
   gi.best_map.max_shift_multiple = options_.max_shift_multiple;
   gi.best_map.quadratic = options_.quadratic;
+  gi.best_map.threads = options_.threads;
   gi.values_per_interval =
       options_.base_strategy == BaseStrategy::kNone ? 3 : 4;
   if (options_.quadratic) ++gi.values_per_interval;

@@ -73,6 +73,14 @@ struct EncoderOptions {
   /// bit-identical; the precision loss shows up only as a slightly larger
   /// approximation error.
   bool compact_wire = false;
+  /// Worker threads for the encoding hot paths: BestMap shift scans, the
+  /// GetBase benefit matrix and greedy re-scoring, and the insert-count
+  /// search probes (NetworkSim additionally fans its per-node encodes out
+  /// over the same count). Every parallel loop uses static chunking with a
+  /// deterministic reduction, so the emitted transmissions are bitwise
+  /// identical at any value. 1 (the default) runs everything on the
+  /// calling thread; pass sbr::util::HardwareThreads() to use the machine.
+  size_t threads = 1;
 };
 
 /// Per-chunk encoder diagnostics.

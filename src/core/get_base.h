@@ -22,6 +22,11 @@ struct GetBaseOptions {
   /// not selected; the greedy loop stops early instead of padding the
   /// result with useless intervals.
   double min_benefit = 1e-9;
+  /// Worker threads for the benefit-matrix build and the greedy
+  /// re-scoring. Candidate rows are scored independently and merged with
+  /// a deterministic reduction (higher benefit, then lower index), so the
+  /// selection sequence is identical at any thread count.
+  size_t threads = 1;
 };
 
 /// One selected base interval: W data values plus provenance for

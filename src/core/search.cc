@@ -1,8 +1,11 @@
 #include "core/search.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "util/thread_pool.h"
 
 namespace sbr::core {
 namespace {
@@ -14,17 +17,56 @@ class Prober {
  public:
   explicit Prober(const SearchContext& ctx)
       : ctx_(ctx),
+        threads_(ctx.get_intervals.best_map.threads),
         errors_(ctx.candidates->size() + 1, kNan) {}
 
   // Memoized Algorithm 6: total error with the first `pos` candidates
   // appended to the current base signal.
   double Error(size_t pos) {
     assert(pos < errors_.size());
-    if (!std::isnan(errors_[pos])) return errors_[pos];
-    ++probes_;
+    if (std::isnan(errors_[pos])) {
+      ++probes_;
+      Evaluate(pos);
+    }
+    return errors_[pos];
+  }
+
+  // Evaluates the listed probes that are still unprobed, concurrently when
+  // the encoder runs threaded. Each probe is an independent GetIntervals
+  // run writing a distinct memo slot, so the table fills with exactly the
+  // values — and, for unconditionally-needed probes, exactly the probe
+  // count — the serial order would produce.
+  void Prefetch(std::initializer_list<size_t> positions) {
+    std::vector<size_t> missing;
+    for (size_t pos : positions) {
+      assert(pos < errors_.size());
+      if (std::isnan(errors_[pos]) &&
+          std::find(missing.begin(), missing.end(), pos) == missing.end()) {
+        missing.push_back(pos);
+      }
+    }
+    probes_ += missing.size();
+    if (threads_ <= 1 || missing.size() < 2) {
+      for (size_t pos : missing) Evaluate(pos);
+      return;
+    }
+    util::ParallelFor(threads_, missing.size(),
+                      [&](size_t, size_t begin, size_t end) {
+                        for (size_t m = begin; m < end; ++m) {
+                          Evaluate(missing[m]);
+                        }
+                      });
+  }
+
+  size_t probes() const { return probes_; }
+  std::vector<double> TakeErrors() { return std::move(errors_); }
+
+ private:
+  void Evaluate(size_t pos) {
     const size_t insert_cost = pos * (ctx_.w + 1);
     if (insert_cost >= ctx_.total_band) {
-      return errors_[pos] = kInf;
+      errors_[pos] = kInf;
+      return;
     }
     const size_t budget = ctx_.total_band - insert_cost;
 
@@ -40,14 +82,11 @@ class Prober {
                            ctx_.get_intervals)
             : GetIntervalsMultiRate(trial, ctx_.y, ctx_.row_lengths, budget,
                                     ctx_.w, ctx_.get_intervals);
-    return errors_[pos] = approx.ok() ? approx->total_error : kInf;
+    errors_[pos] = approx.ok() ? approx->total_error : kInf;
   }
 
-  size_t probes() const { return probes_; }
-  std::vector<double> TakeErrors() { return std::move(errors_); }
-
- private:
   const SearchContext& ctx_;
+  size_t threads_ = 1;
   std::vector<double> errors_;
   size_t probes_ = 0;
 };
@@ -57,6 +96,10 @@ class Prober {
 size_t Search(Prober& prober, size_t start, size_t end) {
   if (end == start) return start;
   const size_t middle = (start + end) / 2;
+  // Both probes are needed unconditionally, so they evaluate concurrently;
+  // the conditional third probe (end, or middle + 1) stays lazy so the
+  // probe set — and therefore the memo table — matches the serial run.
+  prober.Prefetch({middle, start});
   const double e_middle = prober.Error(middle);
   const double e_start = prober.Error(start);
   if (e_middle > e_start) {

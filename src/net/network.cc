@@ -1,10 +1,12 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
 #include "util/serialize.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace sbr::net {
 namespace {
@@ -89,7 +91,7 @@ StatusOr<NetworkSim::DeliveryOutcome> NetworkSim::DeliverFrame(
     bool accepted = false;
     bool desync = false;
     for (auto& copy : copies) {
-      auto ack = station_.ReceiveBytes(copy);
+      auto ack = StationReceive(copy, nr);
       if (!ack.ok()) return ack.status();
       // Only a CRC-clean ack for this frame's identity settles its fate;
       // acks for held frames released from earlier transmits, and corrupt
@@ -196,6 +198,123 @@ Status NetworkSim::DeliverChunk(SensorNode* node, const core::Transmission& tx,
   return Status::Ok();
 }
 
+StatusOr<FrameAck> NetworkSim::StationReceive(std::span<const uint8_t> bytes,
+                                              NodeReport* nr) {
+  std::lock_guard<std::mutex> lock(station_mu_);
+  const size_t corrupt_before = station_.total_stats().corrupt_frames;
+  auto ack = station_.ReceiveBytes(bytes);
+  nr->corrupt_frames_detected +=
+      station_.total_stats().corrupt_frames - corrupt_before;
+  return ack;
+}
+
+Status NetworkSim::RunNode(size_t index, const datagen::Dataset& feed,
+                           NodeReport* nr_out) {
+  const NodePlacement& place = placements_[index];
+  SensorNode node(place.id, feed.num_signals(), chunk_len_,
+                  encoder_options_);
+  NodeReport& nr = *nr_out;
+  nr.id = place.id;
+
+  // One independent fault process per hop of this node's route, salted
+  // so every (node, hop) pair draws a decorrelated deterministic stream.
+  const size_t num_hops = place.hops_to_base == 0 ? 1 : place.hops_to_base;
+  std::vector<FaultChannel> hops;
+  hops.reserve(num_hops);
+  for (size_t h = 0; h < num_hops; ++h) {
+    hops.emplace_back(ToFaultOptions(link_),
+                      (static_cast<uint64_t>(place.id) << 16) | h);
+  }
+
+  std::vector<double> sample(feed.num_signals());
+  for (size_t t = 0; t < feed.length(); ++t) {
+    for (size_t s = 0; s < feed.num_signals(); ++s) {
+      sample[s] = feed.values(s, t);
+    }
+    auto emitted = node.AddSamples(sample);
+    if (!emitted.ok()) return emitted.status();
+    if (!emitted->has_value()) continue;
+
+    nr.values_raw += feed.num_signals() * chunk_len_;
+    nr.raw_energy_nj += energy_.RawTransmissionNj(
+        feed.num_signals() * chunk_len_, num_hops);
+    SBR_RETURN_IF_ERROR(
+        DeliverChunk(&node, **emitted, &hops, num_hops, &nr));
+  }
+
+  // Trailing losses still deserve a gap report: resync once more if the
+  // node knows of chunks the station has not accounted for.
+  if (link_.resync_enabled && node.needs_resync()) {
+    for (size_t round = 0;
+         round < link_.max_resync_rounds && node.needs_resync(); ++round) {
+      auto ok = TryResync(&node, /*recover_batch=*/false, &hops, num_hops,
+                          &nr);
+      if (!ok.ok()) return ok.status();
+    }
+  }
+
+  // Drain frames still held inside reordering hops; residual copies pay
+  // for the hops they have left to travel.
+  for (size_t h = 0; h < num_hops; ++h) {
+    std::vector<std::vector<uint8_t>> copies = hops[h].Flush();
+    for (size_t g = h + 1; g < num_hops && !copies.empty(); ++g) {
+      std::vector<std::vector<uint8_t>> next;
+      for (auto& copy : copies) {
+        energy_.ChargeTransmission(BytesToValues(copy.size()), 1,
+                                   &nr.energy);
+        auto out = hops[g].Transmit(std::move(copy));
+        for (auto& o : out) next.push_back(std::move(o));
+      }
+      copies = std::move(next);
+    }
+    for (auto& copy : copies) {
+      auto ack = StationReceive(copy, &nr);
+      if (!ack.ok()) return ack.status();
+    }
+  }
+
+  nr.transmissions = node.transmissions();
+  nr.resyncs_triggered = node.resyncs();
+  nr.degraded_batches = node.degraded_batches();
+  nr.chunks_lost = node.lost_chunks();
+
+  // Score the reconstructed history against the truth, chunk by chunk;
+  // chunks recorded as DataLoss gaps are excluded (their loss is already
+  // reported explicitly, not smeared into the error figure). Only the map
+  // lookups need the station lock: after this node's last frame, no other
+  // node touches this sensor's per-sensor state, so the history reads run
+  // unlocked.
+  const storage::HistoryStore* history = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(station_mu_);
+    nr.duplicates_suppressed =
+        station_.stats(place.id).duplicates_suppressed;
+    if (station_.HasSensor(place.id)) {
+      auto h = station_.History(place.id);
+      if (!h.ok()) return h.status();
+      history = *h;
+    }
+  }
+  if (history != nullptr) {
+    const storage::HistoryStore& h = *history;
+    std::vector<double> truth(h.chunk_len());
+    for (size_t c = 0; c < h.num_chunks(); ++c) {
+      if (h.IsGap(c)) continue;
+      const size_t t0 = c * h.chunk_len();
+      if (t0 + h.chunk_len() > feed.length()) break;
+      for (size_t s = 0; s < feed.num_signals(); ++s) {
+        auto approx = h.QueryRange(s, t0, t0 + h.chunk_len());
+        if (!approx.ok()) return approx.status();
+        for (size_t k = 0; k < h.chunk_len(); ++k) {
+          truth[k] = feed.values(s, t0 + k);
+        }
+        nr.sse += SumSquaredError(truth, *approx);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 StatusOr<SimulationReport> NetworkSim::Run(
     const std::vector<datagen::Dataset>& feeds) {
   if (feeds.size() != placements_.size()) {
@@ -204,105 +323,26 @@ StatusOr<SimulationReport> NetworkSim::Run(
         std::to_string(placements_.size()) + " nodes");
   }
 
+  // Nodes are mutually independent (own encoder, fault channels, energy
+  // account; station serialized behind its mutex), so the per-node
+  // simulations fan out over the pool. Each node writes its own report
+  // slot; the totals are then reduced serially in placement order, which
+  // keeps the report bitwise identical at any thread count.
+  const size_t threads = std::max<size_t>(encoder_options_.threads, 1);
+  const size_t n = placements_.size();
+  std::vector<NodeReport> reports(n);
+  std::vector<Status> statuses(n, Status::Ok());
+  util::ParallelFor(threads, n, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      statuses[i] = RunNode(i, feeds[i], &reports[i]);
+    }
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+
   SimulationReport report;
-  std::vector<double> sample;
-  for (size_t i = 0; i < placements_.size(); ++i) {
-    const NodePlacement& place = placements_[i];
-    const datagen::Dataset& feed = feeds[i];
-    SensorNode node(place.id, feed.num_signals(), chunk_len_,
-                    encoder_options_);
-    NodeReport nr;
-    nr.id = place.id;
-    const size_t corrupt_before = station_.total_stats().corrupt_frames;
-
-    // One independent fault process per hop of this node's route, salted
-    // so every (node, hop) pair draws a decorrelated deterministic stream.
-    const size_t num_hops = place.hops_to_base == 0 ? 1 : place.hops_to_base;
-    std::vector<FaultChannel> hops;
-    hops.reserve(num_hops);
-    for (size_t h = 0; h < num_hops; ++h) {
-      hops.emplace_back(ToFaultOptions(link_),
-                        (static_cast<uint64_t>(place.id) << 16) | h);
-    }
-
-    sample.resize(feed.num_signals());
-    for (size_t t = 0; t < feed.length(); ++t) {
-      for (size_t s = 0; s < feed.num_signals(); ++s) {
-        sample[s] = feed.values(s, t);
-      }
-      auto emitted = node.AddSamples(sample);
-      if (!emitted.ok()) return emitted.status();
-      if (!emitted->has_value()) continue;
-
-      nr.values_raw += feed.num_signals() * chunk_len_;
-      nr.raw_energy_nj += energy_.RawTransmissionNj(
-          feed.num_signals() * chunk_len_, num_hops);
-      SBR_RETURN_IF_ERROR(
-          DeliverChunk(&node, **emitted, &hops, num_hops, &nr));
-    }
-
-    // Trailing losses still deserve a gap report: resync once more if the
-    // node knows of chunks the station has not accounted for.
-    if (link_.resync_enabled && node.needs_resync()) {
-      for (size_t round = 0;
-           round < link_.max_resync_rounds && node.needs_resync(); ++round) {
-        auto ok = TryResync(&node, /*recover_batch=*/false, &hops, num_hops,
-                            &nr);
-        if (!ok.ok()) return ok.status();
-      }
-    }
-
-    // Drain frames still held inside reordering hops; residual copies pay
-    // for the hops they have left to travel.
-    for (size_t h = 0; h < num_hops; ++h) {
-      std::vector<std::vector<uint8_t>> copies = hops[h].Flush();
-      for (size_t g = h + 1; g < num_hops && !copies.empty(); ++g) {
-        std::vector<std::vector<uint8_t>> next;
-        for (auto& copy : copies) {
-          energy_.ChargeTransmission(BytesToValues(copy.size()), 1,
-                                     &nr.energy);
-          auto out = hops[g].Transmit(std::move(copy));
-          for (auto& o : out) next.push_back(std::move(o));
-        }
-        copies = std::move(next);
-      }
-      for (auto& copy : copies) {
-        auto ack = station_.ReceiveBytes(copy);
-        if (!ack.ok()) return ack.status();
-      }
-    }
-
-    nr.transmissions = node.transmissions();
-    nr.resyncs_triggered = node.resyncs();
-    nr.degraded_batches = node.degraded_batches();
-    nr.chunks_lost = node.lost_chunks();
-    nr.duplicates_suppressed = station_.stats(place.id).duplicates_suppressed;
-    nr.corrupt_frames_detected =
-        station_.total_stats().corrupt_frames - corrupt_before;
-
-    // Score the reconstructed history against the truth, chunk by chunk;
-    // chunks recorded as DataLoss gaps are excluded (their loss is already
-    // reported explicitly, not smeared into the error figure).
-    if (station_.HasSensor(place.id)) {
-      auto history = station_.History(place.id);
-      if (!history.ok()) return history.status();
-      const storage::HistoryStore& h = **history;
-      std::vector<double> truth(h.chunk_len());
-      for (size_t c = 0; c < h.num_chunks(); ++c) {
-        if (h.IsGap(c)) continue;
-        const size_t t0 = c * h.chunk_len();
-        if (t0 + h.chunk_len() > feed.length()) break;
-        for (size_t s = 0; s < feed.num_signals(); ++s) {
-          auto approx = h.QueryRange(s, t0, t0 + h.chunk_len());
-          if (!approx.ok()) return approx.status();
-          for (size_t k = 0; k < h.chunk_len(); ++k) {
-            truth[k] = feed.values(s, t0 + k);
-          }
-          nr.sse += SumSquaredError(truth, *approx);
-        }
-      }
-    }
-
+  for (NodeReport& nr : reports) {
     report.total_values_sent += nr.values_sent;
     report.total_values_raw += nr.values_raw;
     report.total_energy_nj += nr.energy.total_nj();
@@ -313,7 +353,7 @@ StatusOr<SimulationReport> NetworkSim::Run(
     report.total_duplicates_suppressed += nr.duplicates_suppressed;
     report.total_resyncs += nr.resyncs_triggered;
     report.total_degraded_batches += nr.degraded_batches;
-    report.nodes.push_back(nr);
+    report.nodes.push_back(std::move(nr));
   }
   return report;
 }

@@ -14,6 +14,7 @@
 #define SBR_NET_NETWORK_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "datagen/dataset.h"
@@ -115,6 +116,13 @@ class NetworkSim {
 
   /// Streams every feed through its node until the feeds are exhausted
   /// (only whole chunks are transmitted) and returns the report.
+  ///
+  /// When encoder_options.threads > 1, nodes are simulated concurrently on
+  /// the shared pool: each node's sampling, encoding, fault channels and
+  /// energy account are private, and the shared base station is serialized
+  /// behind a mutex. Per-node reports are computed independently and
+  /// aggregated in placement order, so the report is bitwise identical at
+  /// any thread count.
   StatusOr<SimulationReport> Run(const std::vector<datagen::Dataset>& feeds);
 
   const BaseStation& base_station() const { return station_; }
@@ -146,12 +154,28 @@ class NetworkSim {
                            std::vector<FaultChannel>* hops,
                            size_t hops_to_base, NodeReport* nr);
 
+  /// The entire lifetime of one node: sampling, encoding, delivery,
+  /// trailing resync, hop flush and history scoring. Touches only per-node
+  /// state plus the mutex-guarded station, so nodes may run concurrently.
+  Status RunNode(size_t index, const datagen::Dataset& feed, NodeReport* nr);
+
+  /// Serialized station ingest. Attributes the corrupt-frame delta of the
+  /// call to `nr` under the same lock, which keeps per-node attribution
+  /// exact even when other nodes interleave (a corrupt frame drained from
+  /// the reorder window is counted on the aggregate but not acked, so the
+  /// delta — not the ack type — is the reliable signal).
+  StatusOr<FrameAck> StationReceive(std::span<const uint8_t> bytes,
+                                    NodeReport* nr);
+
   std::vector<NodePlacement> placements_;
   core::EncoderOptions encoder_options_;
   size_t chunk_len_;
   EnergyModel energy_;
   LinkOptions link_;
   BaseStation station_;
+  /// Serializes every access to station_ (ingest, stats, history lookup)
+  /// during a threaded Run.
+  std::mutex station_mu_;
 };
 
 }  // namespace sbr::net

@@ -1,9 +1,12 @@
 // Unit tests for BestMap: shift selection over the base signal, the
-// linear-in-time fall-back, the 2W length cutoff, and optimality against
-// brute-force scans.
+// linear-in-time fall-back, the 2W length cutoff, optimality against
+// brute-force scans, malformed-interval rejection, deterministic
+// tie-breaks, and thread-count invariance of the parallel shift scan.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "core/best_map.h"
@@ -219,6 +222,205 @@ TEST(BestMap, SingleValueInterval) {
   BestMapOptions opts;
   BestMap(x, y, /*w=*/2, opts, &iv);
   EXPECT_NEAR(iv.err, 0.0, 1e-12);
+}
+
+// ------------------------------------------------------------- edge grid
+
+TEST(BestMap, LengthOneInteriorInterval) {
+  // length == 1 in the middle of y: a single point is always exactly
+  // representable, whichever encoding wins.
+  std::vector<double> x{0.5, -1.5, 2.5, 3.5};
+  std::vector<double> y{9.0, -7.0, 3.0};
+  Interval iv;
+  iv.start = 1;
+  iv.length = 1;
+  BestMapOptions opts;
+  BestMap(x, y, /*w=*/2, opts, &iv);
+  EXPECT_NEAR(iv.err, 0.0, 1e-12);
+}
+
+TEST(BestMap, LengthEqualsBaseSizeHasSingleShift) {
+  // length == x.size(): exactly one shift (0) is scannable, and it must
+  // actually be scanned, not skipped.
+  Rng rng(20);
+  std::vector<double> x(16);
+  for (auto& v : x) v = rng.Uniform(-1, 1);
+  std::vector<double> y(16);
+  for (size_t i = 0; i < 16; ++i) y[i] = -4.0 * x[i] + 0.5;
+  Interval iv;
+  iv.start = 0;
+  iv.length = 16;
+  BestMapOptions opts;
+  BestMap(x, y, /*w=*/16, opts, &iv);
+  EXPECT_EQ(iv.shift, 0);
+  EXPECT_NEAR(iv.a, -4.0, 1e-9);
+  EXPECT_NEAR(iv.b, 0.5, 1e-9);
+  EXPECT_NEAR(iv.err, 0.0, 1e-9);
+}
+
+TEST(BestMap, ConstantBaseSegmentDegenerateDenominator) {
+  // A constant base window makes the normal-equation denominator ~0: the
+  // scan must fall into the mean-only branch (a = 0, b = mean(y)) instead
+  // of dividing by (near) zero.
+  std::vector<double> x(12, 3.0);
+  std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  Interval iv;
+  iv.start = 0;
+  iv.length = 4;
+  BestMapOptions opts;
+  opts.allow_linear_fallback = false;  // force the base mapping
+  BestMap(x, y, /*w=*/4, opts, &iv);
+  ASSERT_GE(iv.shift, 0);
+  EXPECT_DOUBLE_EQ(iv.a, 0.0);
+  EXPECT_NEAR(iv.b, 5.0, 1e-12);  // mean of y
+  double expect_err = 0.0;
+  for (double v : y) expect_err += (v - 5.0) * (v - 5.0);
+  EXPECT_NEAR(iv.err, expect_err, 1e-9);
+  EXPECT_TRUE(std::isfinite(iv.err));
+}
+
+TEST(BestMap, RelativeMetricBelowFloorMatchesBruteForce) {
+  // Every |y| is far below relative_floor, so all the weights clamp to
+  // 1/floor^2; the scan must still agree with the brute-force fits.
+  Rng rng(21);
+  std::vector<double> x(32), full_y(16);
+  for (auto& v : x) v = rng.Uniform(-1, 1);
+  for (auto& v : full_y) v = rng.Uniform(-0.01, 0.01);  // << floor of 1.0
+
+  Interval iv;
+  iv.start = 2;
+  iv.length = 8;
+  BestMapOptions opts;
+  opts.metric = ErrorMetric::kSseRelative;
+  opts.relative_floor = 1.0;
+  BestMap(x, full_y, /*w=*/8, opts, &iv);
+
+  std::span<const double> yseg(full_y.data() + 2, 8);
+  double best = FitTime(ErrorMetric::kSseRelative, yseg, 1.0).err;
+  for (size_t s = 0; s + 8 <= x.size(); ++s) {
+    best = std::min(best,
+                    FitSseRelative(
+                        std::span<const double>(x.data() + s, 8), yseg, 1.0)
+                        .err);
+  }
+  EXPECT_NEAR(iv.err, best, 1e-9 * std::max(1.0, best));
+}
+
+// ------------------------------------------------- malformed input guard
+
+TEST(BestMap, MalformedIntervalRejectedNotRead) {
+  // An interval overrunning y (e.g. decoded from a corrupted frame) must
+  // come back as the infinite-error fall-back marker, not crash or scan
+  // out of bounds — this used to be a debug-only assert.
+  std::vector<double> x(16, 1.0);
+  std::vector<double> y(8, 2.0);
+  Interval iv;
+  iv.start = 4;
+  iv.length = 100;  // start + length far beyond y.size()
+  BestMapOptions opts;
+  BestMap(x, y, /*w=*/4, opts, &iv);
+  EXPECT_EQ(iv.shift, kShiftLinearFallback);
+  EXPECT_TRUE(std::isinf(iv.err));
+  EXPECT_DOUBLE_EQ(iv.a, 0.0);
+  EXPECT_DOUBLE_EQ(iv.b, 0.0);
+  EXPECT_DOUBLE_EQ(iv.c, 0.0);
+}
+
+TEST(BestMap, ZeroLengthIntervalRejected) {
+  std::vector<double> x(8, 1.0);
+  std::vector<double> y(8, 2.0);
+  Interval iv;
+  iv.start = 3;
+  iv.length = 0;
+  BestMapOptions opts;
+  BestMap(x, y, /*w=*/4, opts, &iv);
+  EXPECT_EQ(iv.shift, kShiftLinearFallback);
+  EXPECT_TRUE(std::isinf(iv.err));
+}
+
+TEST(BestMap, StartBeyondSeriesRejected) {
+  std::vector<double> y(8, 2.0);
+  Interval iv;
+  iv.start = 9;  // > y.size(); start + length would overflow a naive check
+  iv.length = static_cast<uint64_t>(-2);
+  BestMapOptions opts;
+  BestMap({}, y, /*w=*/4, opts, &iv);
+  EXPECT_EQ(iv.shift, kShiftLinearFallback);
+  EXPECT_TRUE(std::isinf(iv.err));
+}
+
+// ----------------------------------------------- determinism / threading
+
+TEST(BestMap, ExactTiePrefersLowestShift) {
+  // A periodic integer-valued base makes shifts {0, 4, 8, ...} produce
+  // bitwise-identical (zero) errors; the deterministic tie-break must pick
+  // shift 0 regardless of scan order or thread count.
+  std::vector<double> x;
+  for (int r = 0; r < 16; ++r) {
+    x.push_back(1.0);
+    x.push_back(2.0);
+    x.push_back(4.0);
+    x.push_back(3.0);
+  }
+  std::vector<double> y(x.begin(), x.begin() + 8);
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    Interval iv;
+    iv.start = 0;
+    iv.length = 8;
+    BestMapOptions opts;
+    opts.threads = threads;
+    BestMap(x, y, /*w=*/8, opts, &iv);
+    EXPECT_EQ(iv.shift, 0) << "threads=" << threads;
+    EXPECT_NEAR(iv.err, 0.0, 1e-12);
+  }
+}
+
+TEST(BestMap, ThreadCountsProduceBitwiseIdenticalIntervals) {
+  // The determinism contract of the parallel scan: for every metric, the
+  // interval selected with threads in {2, 4, 8} is bitwise identical to
+  // the serial result over seeded random inputs.
+  Rng rng(22);
+  std::vector<double> x(512), y(4096);
+  for (auto& v : x) v = rng.Uniform(-2, 2);
+  for (auto& v : y) v = std::sin(v) + rng.Uniform(-0.5, 0.5);
+
+  struct Case {
+    ErrorMetric metric;
+    bool quadratic;
+  };
+  const Case cases[] = {{ErrorMetric::kSse, false},
+                        {ErrorMetric::kSseRelative, false},
+                        {ErrorMetric::kMaxAbs, false},
+                        {ErrorMetric::kSse, true}};
+  for (const Case& c : cases) {
+    for (size_t start : {0u, 777u, 4000u}) {
+      for (size_t length : {1u, 33u, 96u}) {
+        if (start + length > y.size()) continue;
+        BestMapOptions opts;
+        opts.metric = c.metric;
+        opts.quadratic = c.quadratic;
+        Interval serial;
+        serial.start = start;
+        serial.length = length;
+        BestMap(x, y, /*w=*/64, opts, &serial);
+        for (size_t threads : {2u, 4u, 8u}) {
+          Interval iv;
+          iv.start = start;
+          iv.length = length;
+          opts.threads = threads;
+          BestMap(x, y, /*w=*/64, opts, &iv);
+          EXPECT_EQ(iv.shift, serial.shift)
+              << "metric=" << static_cast<int>(c.metric)
+              << " quad=" << c.quadratic << " start=" << start
+              << " len=" << length << " threads=" << threads;
+          EXPECT_EQ(iv.a, serial.a);
+          EXPECT_EQ(iv.b, serial.b);
+          EXPECT_EQ(iv.c, serial.c);
+          EXPECT_EQ(iv.err, serial.err);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -11,17 +11,21 @@
 #include "core/decoder.h"
 #include "core/encoder.h"
 #include "datagen/paper_datasets.h"
+#include "datagen/weather.h"
+#include "net/network.h"
 #include "util/rng.h"
 
 namespace sbr {
 namespace {
 
 std::vector<uint8_t> EncodeToBytes(const datagen::ExperimentSetup& setup,
-                                   size_t chunks, size_t ratio_pct) {
+                                   size_t chunks, size_t ratio_pct,
+                                   size_t threads = 1) {
   const size_t n = setup.dataset.num_signals() * setup.chunk_len;
   core::EncoderOptions opts;
   opts.total_band = n * ratio_pct / 100;
   opts.m_base = setup.m_base;
+  opts.threads = threads;
   core::SbrEncoder enc(opts);
   BinaryWriter w;
   for (size_t c = 0; c < chunks; ++c) {
@@ -75,6 +79,92 @@ TEST(Determinism, PaperSetupStructuralGoldens) {
     const size_t n = s.dataset.num_signals() * s.chunk_len;
     EXPECT_EQ(n, 30720u);
     EXPECT_EQ(static_cast<size_t>(std::sqrt(static_cast<double>(n))), 175u);
+  }
+}
+
+TEST(Determinism, EncoderOutputIdenticalAcrossThreadCounts) {
+  // The parallel-encoding contract: EncoderOptions::threads is a pure
+  // performance knob. The serialized transmission stream — intervals,
+  // base updates, everything — must be byte-identical at any thread count.
+  const auto setup = datagen::Fig6StockSetup();
+  const auto serial = EncodeToBytes(setup, 3, 10, /*threads=*/1);
+  for (size_t threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(EncodeToBytes(setup, 3, 10, threads), serial)
+        << "threads=" << threads;
+  }
+}
+
+void ExpectNodeReportsEqual(const net::NodeReport& a, const net::NodeReport& b,
+                            size_t threads) {
+  EXPECT_EQ(a.id, b.id) << "threads=" << threads;
+  EXPECT_EQ(a.transmissions, b.transmissions) << "threads=" << threads;
+  EXPECT_EQ(a.values_sent, b.values_sent) << "threads=" << threads;
+  EXPECT_EQ(a.values_raw, b.values_raw) << "threads=" << threads;
+  EXPECT_EQ(a.retransmissions, b.retransmissions) << "threads=" << threads;
+  EXPECT_EQ(a.backoff_slots, b.backoff_slots) << "threads=" << threads;
+  EXPECT_EQ(a.corrupt_frames_detected, b.corrupt_frames_detected)
+      << "threads=" << threads;
+  EXPECT_EQ(a.duplicates_suppressed, b.duplicates_suppressed)
+      << "threads=" << threads;
+  EXPECT_EQ(a.resyncs_triggered, b.resyncs_triggered) << "threads=" << threads;
+  EXPECT_EQ(a.degraded_batches, b.degraded_batches) << "threads=" << threads;
+  EXPECT_EQ(a.chunks_lost, b.chunks_lost) << "threads=" << threads;
+  EXPECT_EQ(a.frames_abandoned, b.frames_abandoned) << "threads=" << threads;
+  EXPECT_EQ(a.energy.total_nj(), b.energy.total_nj()) << "threads=" << threads;
+  EXPECT_EQ(a.raw_energy_nj, b.raw_energy_nj) << "threads=" << threads;
+  EXPECT_EQ(a.sse, b.sse) << "threads=" << threads;
+}
+
+TEST(Determinism, NetworkReportIdenticalAcrossThreadCounts) {
+  // Concurrent node simulation over adversarial links (drops, duplicates,
+  // reordering, bit flips — exercising the serialized base station and the
+  // per-node corrupt-frame attribution) must still yield a bitwise
+  // identical report at any thread count.
+  datagen::WeatherOptions wopts;
+  wopts.length = 512;
+  std::vector<datagen::Dataset> feeds;
+  std::vector<net::NodePlacement> placements;
+  for (uint32_t id = 0; id < 4; ++id) {
+    wopts.seed = 300 + id;
+    feeds.push_back(datagen::GenerateWeather(wopts));
+    placements.push_back({id, id % 2 + 1});
+  }
+  net::LinkOptions link;
+  link.loss_probability = 0.1;
+  link.duplicate_probability = 0.05;
+  link.reorder_probability = 0.05;
+  link.bit_flip_probability = 0.02;
+
+  auto run = [&](size_t threads) {
+    core::EncoderOptions opts;
+    opts.total_band = 300;
+    opts.m_base = 256;
+    opts.threads = threads;
+    net::NetworkSim sim(placements, opts, /*chunk_len=*/256,
+                        net::EnergyParams(), link);
+    auto report = sim.Run(feeds);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(report).value();
+  };
+
+  const auto serial = run(1);
+  ASSERT_EQ(serial.nodes.size(), 4u);
+  for (size_t threads : {2u, 4u, 8u}) {
+    const auto r = run(threads);
+    ASSERT_EQ(r.nodes.size(), serial.nodes.size());
+    for (size_t i = 0; i < r.nodes.size(); ++i) {
+      ExpectNodeReportsEqual(r.nodes[i], serial.nodes[i], threads);
+    }
+    EXPECT_EQ(r.total_values_sent, serial.total_values_sent);
+    EXPECT_EQ(r.total_values_raw, serial.total_values_raw);
+    EXPECT_EQ(r.total_energy_nj, serial.total_energy_nj);
+    EXPECT_EQ(r.total_raw_energy_nj, serial.total_raw_energy_nj);
+    EXPECT_EQ(r.total_sse, serial.total_sse);
+    EXPECT_EQ(r.total_chunks_lost, serial.total_chunks_lost);
+    EXPECT_EQ(r.total_corrupt_frames, serial.total_corrupt_frames);
+    EXPECT_EQ(r.total_duplicates_suppressed, serial.total_duplicates_suppressed);
+    EXPECT_EQ(r.total_resyncs, serial.total_resyncs);
+    EXPECT_EQ(r.total_degraded_batches, serial.total_degraded_batches);
   }
 }
 
