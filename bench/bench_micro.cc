@@ -4,7 +4,12 @@
 // host equivalent and expose the relative costs of the stages.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
+#include <span>
 #include <vector>
 
 #include "compress/wavelet.h"
@@ -13,8 +18,64 @@
 #include "core/get_base.h"
 #include "core/get_intervals.h"
 #include "core/regression.h"
+#include "core/search.h"
+#include "core/workspace.h"
+#include "datagen/dataset.h"
+#include "datagen/weather.h"
 #include "linalg/dct.h"
 #include "util/rng.h"
+
+namespace alloc_count {
+// Process-wide heap counters fed by the replacement global allocator
+// below; BM_BestMapWorkspace reads them around each encode to report
+// allocations per encode with and without workspace reuse.
+std::atomic<uint64_t> count{0};
+std::atomic<uint64_t> bytes{0};
+}  // namespace alloc_count
+
+// Replacement global allocator: two relaxed increments per allocation,
+// noise for the other rows (which time O(n) kernels, not the allocator).
+// The nothrow / array / sized-delete forms forward here per the standard's
+// default definitions; the aligned forms are replaced explicitly.
+//
+// GCC flags free() in the replaced deletes as mismatched because it cannot
+// see that the replaced news above are malloc-backed — a false positive.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  alloc_count::count.fetch_add(1, std::memory_order_relaxed);
+  alloc_count::bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  alloc_count::count.fetch_add(1, std::memory_order_relaxed);
+  alloc_count::bytes.fetch_add(size, std::memory_order_relaxed);
+  const std::size_t a =
+      std::max(static_cast<std::size_t>(align), sizeof(void*));
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -143,6 +204,77 @@ BENCHMARK(BM_EncodeChunkThreads)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+void BM_BestMapWorkspace(benchmark::State& state) {
+  // Per-encode heap-allocation accounting on a scaled-down Table-2 weather
+  // workload (N=6, M=1024, 10% ratio), before (arg 0: workspace pointers
+  // left null, i.e. the pre-refactor per-call allocations preserved by the
+  // legacy path) and after (arg 1: one persistent EncodeWorkspace) the
+  // workspace refactor. One "encode" = the insert-count search plus the
+  // final approximation — the stages the workspace serves. The emitted
+  // intervals are bitwise identical either way; only allocator traffic
+  // moves, reported by the allocs/encode and KB/encode counters.
+  const bool reuse = state.range(0) != 0;
+  datagen::WeatherOptions wopts;
+  wopts.length = 1024;
+  const datagen::Dataset ds = datagen::GenerateWeather(wopts);
+  const std::vector<double> y = datagen::ConcatRows(ds.values);
+  const std::vector<size_t> lengths(ds.num_signals(), ds.length());
+  const size_t n = y.size();
+  const size_t w = static_cast<size_t>(std::sqrt(static_cast<double>(n)));
+  const size_t band = n / 10;
+
+  GetIntervalsOptions gi;
+  gi.values_per_interval = 4;
+
+  // Candidate construction is hoisted out of the measurement: GetBase
+  // allocates the same either way and the workspace targets the
+  // search/approximate stages.
+  const auto candidates =
+      GetBaseMultiRate(y, lengths, w, /*max_ins=*/band / w, GetBaseOptions{});
+  std::vector<double> full_base;
+  for (const auto& c : candidates) {
+    full_base.insert(full_base.end(), c.values.begin(), c.values.end());
+  }
+
+  EncodeWorkspace ws;
+  uint64_t allocs = 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    const uint64_t c0 = alloc_count::count.load(std::memory_order_relaxed);
+    const uint64_t b0 = alloc_count::bytes.load(std::memory_order_relaxed);
+
+    if (reuse) ws.BeginChunk(/*threads=*/1);
+    gi.best_map.workspace = reuse ? &ws : nullptr;
+    SearchContext ctx;
+    ctx.current_base = {};
+    ctx.candidates = &candidates;
+    ctx.y = y;
+    ctx.row_lengths = lengths;
+    ctx.w = w;
+    ctx.total_band = band;
+    ctx.get_intervals = gi;
+    ctx.workspace = reuse ? &ws : nullptr;
+    const SearchResult sr = SearchInsertCount(ctx);
+
+    const std::span<const double> base(full_base.data(), sr.ins * w);
+    if (reuse) ws.SetBase(base);
+    auto r = GetIntervalsMultiRate(base, y, lengths,
+                                   band - sr.ins * (w + 1), w, gi);
+    benchmark::DoNotOptimize(r);
+
+    allocs += alloc_count::count.load(std::memory_order_relaxed) - c0;
+    bytes += alloc_count::bytes.load(std::memory_order_relaxed) - b0;
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["allocs/encode"] =
+      benchmark::Counter(static_cast<double>(allocs) / iters);
+  state.counters["KB/encode"] =
+      benchmark::Counter(static_cast<double>(bytes) / iters / 1024.0);
+  state.SetLabel(reuse ? "workspace" : "baseline");
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BestMapWorkspace)->Arg(0)->Arg(1);
 
 void BM_HaarForward(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

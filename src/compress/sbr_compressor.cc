@@ -4,7 +4,7 @@ namespace sbr::compress {
 
 SbrCompressor::SbrCompressor(core::EncoderOptions options, std::string name)
     : name_(std::move(name)),
-      encoder_(options),
+      encoder_(options, &workspace_),
       decoder_(core::DecoderOptions{options.m_base}) {}
 
 StatusOr<std::vector<double>> SbrCompressor::CompressAndReconstruct(

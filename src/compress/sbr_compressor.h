@@ -34,6 +34,9 @@ class SbrCompressor : public ChunkCompressor {
 
  private:
   std::string name_;
+  /// Encode arena reused across the harness's many CompressAndReconstruct
+  /// calls; declared before the encoder that borrows it.
+  core::EncodeWorkspace workspace_;
   core::SbrEncoder encoder_;
   core::SbrDecoder decoder_;
 };

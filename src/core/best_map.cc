@@ -1,11 +1,13 @@
 #include "core/best_map.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "core/regression.h"
+#include "core/workspace.h"
 #include "util/prefix_sums.h"
 #include "util/thread_pool.h"
 
@@ -37,12 +39,44 @@ void TakeShift(Interval* best, int64_t shift, double a, double b, double c,
   best->err = err;
 }
 
-// Partitions [0, num_shifts) over the pool, runs `scan(begin, end, out)`
-// per chunk into a local best, and merges the chunk bests in chunk order
-// with the deterministic rule above. threads <= 1 runs the scan inline.
-template <typename ScanRange>
-void RunShiftScan(size_t num_shifts, size_t threads, Interval* best,
-                  const ScanRange& scan) {
+// The fit one shift produces: coefficients of y' = a x + b (+ c x^2) and
+// the residual error under the policy's metric.
+struct ShiftFit {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+  double err = 0.0;
+};
+
+// The single shift-scan driver. Every metric used to own a near-identical
+// copy of this loop (guarding, partitioning, deterministic merge); now the
+// hardening and threading logic exists once and a metric policy supplies
+// only the per-shift residual math via `Fit(shift) -> ShiftFit`.
+//
+// The driver guards its own geometry: len > x.size() would underflow
+// num_shifts into a near-infinite out-of-bounds scan, so a caller bug must
+// degrade to a no-op here rather than rely on BestMap's gate.
+//
+// Parallel runs partition [0, num_shifts) into static chunks on the shared
+// pool, scan each chunk into a local best, and merge the chunk bests in
+// chunk order with the deterministic rule above; threads <= 1 (or a tiny
+// range) scans inline on the calling thread.
+template <typename Policy>
+void ScanShifts(std::span<const double> x, std::span<const double> yseg,
+                size_t threads, Interval* best, const Policy& policy) {
+  const size_t len = yseg.size();
+  if (len == 0 || len > x.size()) return;
+  const size_t num_shifts = x.size() - len + 1;
+
+  const auto scan = [&](size_t begin, size_t end, Interval* out) {
+    for (size_t shift = begin; shift < end; ++shift) {
+      const ShiftFit f = policy.Fit(shift);
+      if (BetterShift(f.err, static_cast<int64_t>(shift), *out)) {
+        TakeShift(out, static_cast<int64_t>(shift), f.a, f.b, f.c, f.err);
+      }
+    }
+  };
+
   if (threads <= 1 || num_shifts < kMinShiftsParallel) {
     scan(0, num_shifts, best);
     return;
@@ -64,148 +98,219 @@ void RunShiftScan(size_t num_shifts, size_t threads, Interval* best,
   }
 }
 
-// Shift scan specialised for the SSE metric: sum_x and sum_x2 come from
-// prefix sums, only sum_xy needs an O(len) pass per shift, and the residual
-// error follows from the normal equations without a second pass.
-//
-// Every helper guards its own geometry: len > x.size() would underflow
-// num_shifts into a near-infinite out-of-bounds scan, so a caller bug must
-// degrade to a no-op here rather than rely on BestMap's gate.
-void ScanShiftsSse(std::span<const double> x, std::span<const double> yseg,
-                   size_t threads, Interval* best) {
-  const size_t len = yseg.size();
-  if (len == 0 || len > x.size()) return;
-  const size_t num_shifts = x.size() - len + 1;
-  const double flen = static_cast<double>(len);
-
-  PrefixSums px(x);
-  double sum_y = 0.0, sum_y2 = 0.0;
-  for (double v : yseg) {
-    sum_y += v;
-    sum_y2 += v * v;
+// SSE policy: sum_x and sum_x2 come from prefix sums, only sum_xy needs an
+// O(len) pass per shift, and the residual error follows from the normal
+// equations without a second pass. With a workspace the prefix table is
+// the shared one over the trial base (built once, extended incrementally)
+// and the y-side moments come from the per-interval cache; without one,
+// both are materialized locally exactly as the standalone kernel did.
+class SsePolicy {
+ public:
+  SsePolicy(std::span<const double> x, std::span<const double> yseg,
+            const PrefixSums* shared_prefix, const SseMoments& moments)
+      : xp_(x.data()),
+        yp_(yseg.data()),
+        len_(yseg.size()),
+        flen_(static_cast<double>(yseg.size())),
+        moments_(moments) {
+    if (shared_prefix != nullptr) {
+      // The workspace invariant: the shared table covers (at least) the
+      // base signal being scanned, with identical values.
+      assert(shared_prefix->size() >= x.size());
+      prefix_ = shared_prefix;
+    } else {
+      local_prefix_.Reset(x);
+      prefix_ = &local_prefix_;
+    }
   }
 
-  const double* xp = x.data();
-  const double* yp = yseg.data();
-  RunShiftScan(
-      num_shifts, threads, best,
-      [&](size_t begin, size_t end, Interval* out) {
-        for (size_t shift = begin; shift < end; ++shift) {
-          double sum_xy = 0.0;
-          const double* xs = xp + shift;
-          for (size_t i = 0; i < len; ++i) sum_xy += xs[i] * yp[i];
+  ShiftFit Fit(size_t shift) const {
+    double sum_xy = 0.0;
+    const double* xs = xp_ + shift;
+    for (size_t i = 0; i < len_; ++i) sum_xy += xs[i] * yp_[i];
 
-          const double sum_x = px.RangeSum(shift, len);
-          const double sum_x2 = px.RangeSumSquares(shift, len);
-          const double denom = flen * sum_x2 - sum_x * sum_x;
+    const double sum_x = prefix_->RangeSum(shift, len_);
+    const double sum_x2 = prefix_->RangeSumSquares(shift, len_);
+    const double denom = flen_ * sum_x2 - sum_x * sum_x;
 
-          double a, b, err;
-          if (denom <= 1e-12 * std::max(1.0, flen * sum_x2)) {
-            a = 0.0;
-            b = sum_y / flen;
-            err = std::max(0.0, sum_y2 - b * sum_y);
-          } else {
-            a = (flen * sum_xy - sum_x * sum_y) / denom;
-            b = (sum_y - a * sum_x) / flen;
-            err = std::max(0.0, sum_y2 - a * sum_xy - b * sum_y);
-          }
-          if (BetterShift(err, static_cast<int64_t>(shift), *out)) {
-            TakeShift(out, static_cast<int64_t>(shift), a, b, 0.0, err);
-          }
-        }
-      });
+    ShiftFit f;
+    if (denom <= 1e-12 * std::max(1.0, flen_ * sum_x2)) {
+      f.a = 0.0;
+      f.b = moments_.sum_y / flen_;
+      f.err = std::max(0.0, moments_.sum_y2 - f.b * moments_.sum_y);
+    } else {
+      f.a = (flen_ * sum_xy - sum_x * moments_.sum_y) / denom;
+      f.b = (moments_.sum_y - f.a * sum_x) / flen_;
+      f.err = std::max(
+          0.0, moments_.sum_y2 - f.a * sum_xy - f.b * moments_.sum_y);
+    }
+    return f;
+  }
+
+ private:
+  const double* xp_;
+  const double* yp_;
+  size_t len_;
+  double flen_;
+  SseMoments moments_;
+  const PrefixSums* prefix_ = nullptr;
+  PrefixSums local_prefix_;
+};
+
+// Relative-error policy: weights depend only on y, so the y-side weighted
+// sums are hoisted out of the shift loop (memoized per interval with a
+// workspace) and the weight arrays live in reusable arena scratch.
+class RelativePolicy {
+ public:
+  RelativePolicy(std::span<const double> x, const double* w, const double* wy,
+                 size_t len, const RelativeMoments& moments)
+      : xp_(x.data()), w_(w), wy_(wy), len_(len), moments_(moments) {}
+
+  ShiftFit Fit(size_t shift) const {
+    const double* xs = xp_ + shift;
+    double swx = 0.0, swx2 = 0.0, swxy = 0.0;
+    for (size_t i = 0; i < len_; ++i) {
+      swx += w_[i] * xs[i];
+      swx2 += w_[i] * xs[i] * xs[i];
+      swxy += wy_[i] * xs[i];
+    }
+    const double sw = moments_.sw;
+    const double swy = moments_.swy;
+    const double swy2 = moments_.swy2;
+    const double denom = sw * swx2 - swx * swx;
+    ShiftFit f;
+    if (denom <= 1e-12 * std::max(1.0, sw * swx2)) {
+      f.a = 0.0;
+      f.b = swy / sw;
+      f.err = std::max(0.0, swy2 - 2.0 * f.b * swy + f.b * f.b * sw);
+    } else {
+      f.a = (sw * swxy - swx * swy) / denom;
+      f.b = (swy - f.a * swx) / sw;
+      f.err = std::max(0.0, swy2 - f.a * swxy - f.b * swy);
+    }
+    return f;
+  }
+
+ private:
+  const double* xp_;
+  const double* w_;
+  const double* wy_;
+  size_t len_;
+  RelativeMoments moments_;
+};
+
+// Minimax policy: each shift runs a full Chebyshev fit. Costly (see
+// regression.h); intended for the error-bound workloads where budgets, and
+// therefore scan counts, are small.
+class MaxAbsPolicy {
+ public:
+  MaxAbsPolicy(std::span<const double> x, std::span<const double> yseg)
+      : x_(x), yseg_(yseg) {}
+
+  ShiftFit Fit(size_t shift) const {
+    const RegressionResult r =
+        FitMaxAbs(x_.subspan(shift, yseg_.size()), yseg_);
+    return {r.a, r.b, 0.0, r.err};
+  }
+
+ private:
+  std::span<const double> x_;
+  std::span<const double> yseg_;
+};
+
+// Quadratic-extension policy: a full 3x3 solve per shift. O(len) per shift
+// like the other policies, larger constant.
+class QuadraticPolicy {
+ public:
+  QuadraticPolicy(std::span<const double> x, std::span<const double> yseg)
+      : x_(x), yseg_(yseg) {}
+
+  ShiftFit Fit(size_t shift) const {
+    const QuadraticResult q =
+        FitQuadratic(x_.subspan(shift, yseg_.size()), yseg_);
+    return {q.a, q.b, q.c, q.err};
+  }
+
+ private:
+  std::span<const double> x_;
+  std::span<const double> yseg_;
+};
+
+// Computes the y-side SSE moments locally (the no-workspace path).
+SseMoments ComputeSseMoments(std::span<const double> yseg) {
+  SseMoments m;
+  for (double v : yseg) {
+    m.sum_y += v;
+    m.sum_y2 += v * v;
+  }
+  return m;
 }
 
-// Shift scan for the relative-error metric: weights depend only on y, so
-// the y-side weighted sums are hoisted out of the shift loop.
-void ScanShiftsRelative(std::span<const double> x,
-                        std::span<const double> yseg, double floor,
-                        size_t threads, Interval* best) {
+// Computes the relative-metric weights and moments into local buffers
+// (the no-workspace path).
+RelativeMoments ComputeRelativeMoments(std::span<const double> yseg,
+                                       double floor, std::vector<double>* w,
+                                       std::vector<double>* wy) {
   const size_t len = yseg.size();
-  if (len == 0 || len > x.size()) return;
-  const size_t num_shifts = x.size() - len + 1;
-
-  std::vector<double> w(len), wy(len);
-  double sw = 0.0, swy = 0.0, swy2 = 0.0;
+  w->resize(len);
+  wy->resize(len);
+  RelativeMoments m;
   for (size_t i = 0; i < len; ++i) {
     const double d = std::max(std::abs(yseg[i]), floor);
-    w[i] = 1.0 / (d * d);
-    wy[i] = w[i] * yseg[i];
-    sw += w[i];
-    swy += wy[i];
-    swy2 += wy[i] * yseg[i];
+    (*w)[i] = 1.0 / (d * d);
+    (*wy)[i] = (*w)[i] * yseg[i];
+    m.sw += (*w)[i];
+    m.swy += (*wy)[i];
+    m.swy2 += (*wy)[i] * yseg[i];
   }
-
-  RunShiftScan(
-      num_shifts, threads, best,
-      [&](size_t begin, size_t end, Interval* out) {
-        for (size_t shift = begin; shift < end; ++shift) {
-          const double* xs = x.data() + shift;
-          double swx = 0.0, swx2 = 0.0, swxy = 0.0;
-          for (size_t i = 0; i < len; ++i) {
-            swx += w[i] * xs[i];
-            swx2 += w[i] * xs[i] * xs[i];
-            swxy += wy[i] * xs[i];
-          }
-          const double denom = sw * swx2 - swx * swx;
-          double a, b, err;
-          if (denom <= 1e-12 * std::max(1.0, sw * swx2)) {
-            a = 0.0;
-            b = swy / sw;
-            err = std::max(0.0, swy2 - 2.0 * b * swy + b * b * sw);
-          } else {
-            a = (sw * swxy - swx * swy) / denom;
-            b = (swy - a * swx) / sw;
-            err = std::max(0.0, swy2 - a * swxy - b * swy);
-          }
-          if (BetterShift(err, static_cast<int64_t>(shift), *out)) {
-            TakeShift(out, static_cast<int64_t>(shift), a, b, 0.0, err);
-          }
-        }
-      });
+  return m;
 }
 
-// Shift scan for the minimax metric: each shift runs a full Chebyshev fit.
-// Costly (see regression.h); intended for the error-bound workloads where
-// budgets, and therefore scan counts, are small.
-void ScanShiftsMaxAbs(std::span<const double> x,
-                      std::span<const double> yseg, size_t threads,
-                      Interval* best) {
-  const size_t len = yseg.size();
-  if (len == 0 || len > x.size()) return;
-  const size_t num_shifts = x.size() - len + 1;
-  RunShiftScan(num_shifts, threads, best,
-               [&](size_t begin, size_t end, Interval* out) {
-                 for (size_t shift = begin; shift < end; ++shift) {
-                   const RegressionResult r =
-                       FitMaxAbs(x.subspan(shift, len), yseg);
-                   if (BetterShift(r.err, static_cast<int64_t>(shift), *out)) {
-                     TakeShift(out, static_cast<int64_t>(shift), r.a, r.b,
-                               0.0, r.err);
-                   }
-                 }
-               });
-}
+// Builds the policy for the configured metric and runs the shared scan
+// driver. `start` keys the workspace moment cache; the interval geometry
+// has been validated by BestMap.
+void RunMetricScan(std::span<const double> x, std::span<const double> yseg,
+                   size_t start, const BestMapOptions& options,
+                   Interval* best) {
+  EncodeWorkspace* ws = options.workspace;
+  EncodeArena* arena = ws != nullptr ? &ws->arena(options.arena) : nullptr;
 
-// Shift scan for the quadratic encoding extension: a full 3x3 solve per
-// shift. O(len) per shift like the other scans, larger constant.
-void ScanShiftsQuadratic(std::span<const double> x,
-                         std::span<const double> yseg, size_t threads,
-                         Interval* best) {
-  const size_t len = yseg.size();
-  if (len == 0 || len > x.size()) return;
-  const size_t num_shifts = x.size() - len + 1;
-  RunShiftScan(num_shifts, threads, best,
-               [&](size_t begin, size_t end, Interval* out) {
-                 for (size_t shift = begin; shift < end; ++shift) {
-                   const QuadraticResult q =
-                       FitQuadratic(x.subspan(shift, len), yseg);
-                   if (BetterShift(q.err, static_cast<int64_t>(shift), *out)) {
-                     TakeShift(out, static_cast<int64_t>(shift), q.a, q.b,
-                               q.c, q.err);
-                   }
-                 }
-               });
+  if (options.quadratic) {
+    ScanShifts(x, yseg, options.threads, best, QuadraticPolicy(x, yseg));
+    return;
+  }
+  switch (options.metric) {
+    case ErrorMetric::kSse: {
+      const SseMoments m =
+          ws != nullptr ? ws->Sse(yseg, start) : ComputeSseMoments(yseg);
+      const PrefixSums* shared = ws != nullptr ? &ws->base_prefix() : nullptr;
+      ScanShifts(x, yseg, options.threads, best,
+                 SsePolicy(x, yseg, shared, m));
+      break;
+    }
+    case ErrorMetric::kSseRelative: {
+      std::vector<double> local_w, local_wy;
+      const double* w;
+      const double* wy;
+      RelativeMoments m;
+      if (ws != nullptr) {
+        m = ws->Relative(yseg, start, options.relative_floor, arena);
+        w = arena->weights().data();
+        wy = arena->weighted_values().data();
+      } else {
+        m = ComputeRelativeMoments(yseg, options.relative_floor, &local_w,
+                                   &local_wy);
+        w = local_w.data();
+        wy = local_wy.data();
+      }
+      ScanShifts(x, yseg, options.threads, best,
+                 RelativePolicy(x, w, wy, yseg.size(), m));
+      break;
+    }
+    case ErrorMetric::kMaxAbs:
+      ScanShifts(x, yseg, options.threads, best, MaxAbsPolicy(x, yseg));
+      break;
+  }
 }
 
 }  // namespace
@@ -237,27 +342,15 @@ void BestMap(std::span<const double> x, std::span<const double> y,
       x.size() >= interval->length;
 
   if (scan_possible) {
-    if (options.quadratic) {
-      ScanShiftsQuadratic(x, yseg, options.threads, interval);
-    } else {
-      switch (options.metric) {
-        case ErrorMetric::kSse:
-          ScanShiftsSse(x, yseg, options.threads, interval);
-          break;
-        case ErrorMetric::kSseRelative:
-          ScanShiftsRelative(x, yseg, options.relative_floor,
-                             options.threads, interval);
-          break;
-        case ErrorMetric::kMaxAbs:
-          ScanShiftsMaxAbs(x, yseg, options.threads, interval);
-          break;
-      }
-    }
+    RunMetricScan(x, yseg, interval->start, options, interval);
   }
 
   if (options.allow_linear_fallback || !scan_possible) {
+    EncodeArena* arena = options.workspace != nullptr
+                             ? &options.workspace->arena(options.arena)
+                             : nullptr;
     if (options.quadratic) {
-      const QuadraticResult q = FitTimeQuadratic(yseg);
+      const QuadraticResult q = FitTimeQuadratic(yseg, arena);
       if (q.err < interval->err) {
         interval->shift = kShiftLinearFallback;
         interval->a = q.a;
@@ -267,7 +360,7 @@ void BestMap(std::span<const double> x, std::span<const double> y,
       }
     } else {
       const RegressionResult r =
-          FitTime(options.metric, yseg, options.relative_floor);
+          FitTime(options.metric, yseg, options.relative_floor, arena);
       if (r.err < interval->err) {
         interval->shift = kShiftLinearFallback;
         interval->a = r.a;

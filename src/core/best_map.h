@@ -7,10 +7,14 @@
 
 #include <span>
 
+#include <cstdint>
+
 #include "core/error_metric.h"
 #include "core/interval.h"
 
 namespace sbr::core {
+
+class EncodeWorkspace;
 
 /// Knobs shared by BestMap and GetIntervals.
 struct BestMapOptions {
@@ -36,6 +40,19 @@ struct BestMapOptions {
   /// selected interval is bitwise identical at any thread count. 1 (the
   /// default) keeps the scan on the calling thread.
   size_t threads = 1;
+  /// Optional encode workspace (see core/workspace.h): supplies the shared
+  /// base-signal prefix sums, the per-interval moment cache and per-thread
+  /// arena scratch, making the scan allocation-free. The caller must have
+  /// called BeginChunk for the current chunk and SetBase/AppendBase so the
+  /// prefix table covers the `x` being scanned. Null (the default) keeps
+  /// every kernel self-contained, materializing its state per call.
+  /// Purely an allocation/reuse knob: results are bitwise identical with
+  /// or without a workspace.
+  EncodeWorkspace* workspace = nullptr;
+  /// Arena index within the workspace: the ParallelFor chunk id of the
+  /// enclosing parallel region (0 when called serially), so concurrent
+  /// search probes never share scratch.
+  uint32_t arena = 0;
 };
 
 /// Fills interval->shift / a / b / err with the best mapping of

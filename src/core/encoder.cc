@@ -11,7 +11,11 @@
 namespace sbr::core {
 
 SbrEncoder::SbrEncoder(EncoderOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)), workspace_(&owned_workspace_) {}
+
+SbrEncoder::SbrEncoder(EncoderOptions options, EncodeWorkspace* workspace)
+    : options_(std::move(options)),
+      workspace_(workspace != nullptr ? workspace : &owned_workspace_) {}
 
 Status SbrEncoder::ValidateGeometry(std::span<const size_t> row_lengths) {
   if (row_lengths.empty()) {
@@ -76,6 +80,7 @@ std::vector<CandidateBaseInterval> SbrEncoder::BuildCandidates(
   gb.metric = options_.metric;
   gb.relative_floor = options_.relative_floor;
   gb.threads = options_.threads;
+  gb.workspace = workspace_;
   switch (options_.base_strategy) {
     case BaseStrategy::kGetBase:
       return GetBaseMultiRate(y, row_lengths_, w_, max_ins, gb);
@@ -141,6 +146,11 @@ StatusOr<Transmission> SbrEncoder::EncodeImpl(
   }
 
   stats_ = EncodeStats{};
+  // One workspace reset per chunk: clears the per-interval moment cache
+  // (y changes) and sizes the arena pool for the configured thread count.
+  // Everything downstream — GetBase scoring, search probes, the final
+  // approximation — draws its scratch from this workspace.
+  workspace_->BeginChunk(options_.threads);
 
   GetIntervalsOptions gi;
   gi.best_map.metric = options_.metric;
@@ -175,6 +185,7 @@ StatusOr<Transmission> SbrEncoder::EncodeImpl(
     ctx.w = w_;
     ctx.total_band = options_.total_band;
     ctx.get_intervals = gi;
+    ctx.workspace = workspace_;
     const SearchResult sr = SearchInsertCount(ctx);
     ins = sr.ins;
     stats_.search_probes = sr.probes;
@@ -237,6 +248,12 @@ StatusOr<Transmission> SbrEncoder::EncodeImpl(
     return Status::Internal("insertions consumed the entire bandwidth");
   }
   const size_t budget = options_.total_band - insert_cost;
+  // Rebind the workspace's prefix sums to the *final* base signal (the
+  // search ran against trial prefixes; placement may have evicted slots
+  // and compact mode rounds values), then run the final approximation
+  // against the shared tables.
+  workspace_->SetBase(x);
+  gi.best_map.workspace = workspace_;
   auto approx = GetIntervalsMultiRate(x, y, row_lengths_, budget, w_, gi);
   if (!approx.ok()) return approx.status();
 
@@ -257,6 +274,7 @@ StatusOr<Transmission> SbrEncoder::EncodeImpl(
   stats_.num_intervals = approx->intervals.size();
   stats_.total_error = approx->total_error;
   stats_.values_used = t.ValueCount();
+  stats_.workspace = workspace_->stats();
   return t;
 }
 

@@ -17,6 +17,7 @@
 #include "core/get_base.h"
 #include "core/get_intervals.h"
 #include "core/transmission.h"
+#include "core/workspace.h"
 #include "linalg/matrix.h"
 #include "util/status.h"
 
@@ -90,6 +91,9 @@ struct EncodeStats {
   size_t values_used = 0;
   double total_error = 0.0;
   size_t search_probes = 0;
+  /// Workspace reuse counters for the chunk (moment-cache hit rate,
+  /// prefix-sum rebuilds vs incremental appends).
+  WorkspaceStats workspace;
 };
 
 /// Stateful sensor-side encoder. Chunks must share one geometry
@@ -97,6 +101,14 @@ struct EncodeStats {
 class SbrEncoder {
  public:
   explicit SbrEncoder(EncoderOptions options);
+
+  /// Borrows an external workspace instead of using the encoder's own —
+  /// the composition hook for hosts that already keep one per node or per
+  /// thread (SbrCompressor, SensorNode's degraded re-encode path). The
+  /// workspace must outlive the encoder; the encoder resets it at the
+  /// start of every chunk, so sharing one workspace across *sequentially*
+  /// encoding encoders is safe, concurrent sharing is not.
+  SbrEncoder(EncoderOptions options, EncodeWorkspace* workspace);
 
   /// Encodes the next chunk of measurements into one transmission.
   StatusOr<Transmission> EncodeChunk(const linalg::Matrix& chunk);
@@ -122,6 +134,8 @@ class SbrEncoder {
   size_t w() const { return w_; }
   const BaseSignal& base_signal() const { return base_; }
   const EncodeStats& last_stats() const { return stats_; }
+  /// The workspace the encode pipeline runs against (owned or borrowed).
+  const EncodeWorkspace& workspace() const { return *workspace_; }
 
  private:
   Status ValidateGeometry(std::span<const size_t> row_lengths);
@@ -137,6 +151,11 @@ class SbrEncoder {
   BaseSignal base_;
   std::vector<double> dct_base_;  // only for kDctFixed
   EncodeStats stats_;
+  /// Arena for the encode hot path (see core/workspace.h): prefix sums
+  /// over the (trial) base signal, per-interval moment cache, per-thread
+  /// scratch. Owned by default; an injected workspace is only borrowed.
+  EncodeWorkspace owned_workspace_;
+  EncodeWorkspace* workspace_ = nullptr;
 };
 
 }  // namespace sbr::core

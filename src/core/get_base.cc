@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/regression.h"
+#include "core/workspace.h"
 #include "util/thread_pool.h"
 
 namespace sbr::core {
@@ -60,6 +61,14 @@ void BestCandidate(size_t k, size_t threads,
   }
 }
 
+// Per-chunk arena lookup shared by the scoring loops: workspace callers
+// get the arena of the ParallelFor chunk they run on, others fall back to
+// the thread-local arena inside FitTime.
+EncodeArena* ArenaFor(const GetBaseOptions& options, size_t chunk) {
+  return options.workspace != nullptr ? &options.workspace->arena(chunk)
+                                      : nullptr;
+}
+
 // Shared greedy-selection body over a fixed candidate list.
 std::vector<CandidateBaseInterval> SelectGreedy(
     const std::vector<std::span<const double>>& cands, size_t max_ins,
@@ -74,10 +83,12 @@ std::vector<CandidateBaseInterval> SelectGreedy(
   // O(K^2 W) build fans out over the pool row by row.
   std::vector<double> err(k * k);
   std::vector<double> best_err(k);
-  util::ParallelFor(threads, k, [&](size_t, size_t begin, size_t end) {
+  util::ParallelFor(threads, k, [&](size_t chunk, size_t begin, size_t end) {
+    EncodeArena* arena = ArenaFor(options, chunk);
     for (size_t j = begin; j < end; ++j) {
       best_err[j] =
-          FitTime(options.metric, cands[j], options.relative_floor).err;
+          FitTime(options.metric, cands[j], options.relative_floor, arena)
+              .err;
     }
   });
   util::ParallelFor(threads, k, [&](size_t, size_t begin, size_t end) {
@@ -152,10 +163,12 @@ std::vector<CandidateBaseInterval> GetBaseLowMem(
   if (k == 0 || max_ins == 0) return result;
 
   std::vector<double> best_err(k);
-  util::ParallelFor(threads, k, [&](size_t, size_t begin, size_t end) {
+  util::ParallelFor(threads, k, [&](size_t chunk, size_t begin, size_t end) {
+    EncodeArena* arena = ArenaFor(options, chunk);
     for (size_t j = begin; j < end; ++j) {
       best_err[j] =
-          FitTime(options.metric, cands[j], options.relative_floor).err;
+          FitTime(options.metric, cands[j], options.relative_floor, arena)
+              .err;
     }
   });
 

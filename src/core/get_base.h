@@ -14,6 +14,8 @@
 
 namespace sbr::core {
 
+class EncodeWorkspace;
+
 /// Options for the base-construction algorithms.
 struct GetBaseOptions {
   ErrorMetric metric = ErrorMetric::kSse;
@@ -27,6 +29,11 @@ struct GetBaseOptions {
   /// a deterministic reduction (higher benefit, then lower index), so the
   /// selection sequence is identical at any thread count.
   size_t threads = 1;
+  /// Optional encode workspace: the per-candidate linear-in-time fits draw
+  /// their ramp scratch from the workspace arena of the ParallelFor chunk
+  /// they run on instead of thread-local fallback storage. BeginChunk must
+  /// have sized the arena pool for `threads`. Bitwise-neutral.
+  EncodeWorkspace* workspace = nullptr;
 };
 
 /// One selected base interval: W data values plus provenance for

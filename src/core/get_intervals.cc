@@ -5,12 +5,23 @@
 #include <numeric>
 #include <queue>
 
+#include "core/workspace.h"
+
 namespace sbr::core {
 namespace {
 
 // Shared splitting loop: starts from one interval per row (rows given by
 // their lengths) and splits the worst interval until the budget or the
 // error target is reached.
+//
+// This is the split stage of the encode pipeline (ingest -> split ->
+// BestMap -> Search -> serialize): every interval it enqueues flows
+// through BestMap, which is where the per-interval state — prefix sums
+// over `x`, y-side regression moments, arena scratch — is consumed. When
+// options.best_map carries an EncodeWorkspace, that state is shared and
+// memoized across every BestMap call of the chunk (the same (start,
+// length) intervals recur across search probes and the final
+// approximation), instead of being rebuilt O(|x|) per interval.
 StatusOr<ApproximationResult> Run(std::span<const double> x,
                                   std::span<const double> y,
                                   std::span<const size_t> row_lengths,
@@ -36,6 +47,10 @@ StatusOr<ApproximationResult> Run(std::span<const double> x,
         " values cannot afford one interval per signal (" +
         std::to_string(row_lengths.size()) + " needed)");
   }
+  // Workspace invariant (debug-only): the shared prefix-sum table must
+  // cover the base signal every BestMap call below will scan.
+  assert(options.best_map.workspace == nullptr ||
+         options.best_map.workspace->base_prefix().size() >= x.size());
 
   const bool is_max_metric =
       options.best_map.metric == ErrorMetric::kMaxAbs;

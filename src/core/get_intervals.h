@@ -16,6 +16,10 @@ namespace sbr::core {
 
 /// Options for GetIntervals.
 struct GetIntervalsOptions {
+  /// Per-interval mapping knobs. When best_map.workspace is set, every
+  /// BestMap call of this run shares the workspace's prefix sums, moment
+  /// cache and arena scratch (see core/workspace.h); the workspace's
+  /// prefix table must cover the `x` passed in. Bitwise-neutral.
   BestMapOptions best_map;
   /// Transmission cost of one interval record: 4 values
   /// (start, shift, a, b) with a base signal, 3 (start, a, b) for the plain

@@ -6,10 +6,21 @@
 #include <limits>
 #include <vector>
 
+#include "core/workspace.h"
 #include "util/stats.h"
 
 namespace sbr::core {
 namespace {
+
+// The single time-ramp code path: every linear-in-time fit materializes
+// t = 0..n-1 from an EncodeArena's grow-only buffer. Workspace callers
+// pass their per-thread arena; workspace-less callers share one
+// thread-local fallback arena, so no call allocates a fresh ramp.
+std::span<const double> TimeRampFor(size_t n, EncodeArena* arena) {
+  if (arena != nullptr) return arena->TimeRamp(n);
+  static thread_local EncodeArena fallback;
+  return fallback.TimeRamp(n);
+}
 
 // Treats near-zero normal-equation denominators as degenerate; relative to
 // the magnitude of the sums involved.
@@ -173,20 +184,11 @@ RegressionResult Fit(ErrorMetric metric, std::span<const double> x,
 }
 
 RegressionResult FitTime(ErrorMetric metric, std::span<const double> y,
-                         double relative_floor) {
+                         double relative_floor, EncodeArena* arena) {
   // Materializing the ramp keeps all kernels on one code path; interval
   // lengths are at most a few thousand so this is cheap relative to the
   // shift scans that dominate.
-  static thread_local std::vector<double> ramp;
-  if (ramp.size() < y.size()) {
-    const size_t old = ramp.size();
-    ramp.resize(y.size());
-    for (size_t i = old; i < ramp.size(); ++i) {
-      ramp[i] = static_cast<double>(i);
-    }
-  }
-  return Fit(metric, std::span<const double>(ramp.data(), y.size()), y,
-             relative_floor);
+  return Fit(metric, TimeRampFor(y.size(), arena), y, relative_floor);
 }
 
 QuadraticResult FitQuadratic(std::span<const double> x,
@@ -264,12 +266,9 @@ QuadraticResult FitQuadratic(std::span<const double> x,
   return q;
 }
 
-QuadraticResult FitTimeQuadratic(std::span<const double> y) {
-  std::vector<double> ramp(y.size());
-  for (size_t i = 0; i < ramp.size(); ++i) {
-    ramp[i] = static_cast<double>(i);
-  }
-  return FitQuadratic(ramp, y);
+QuadraticResult FitTimeQuadratic(std::span<const double> y,
+                                 EncodeArena* arena) {
+  return FitQuadratic(TimeRampFor(y.size(), arena), y);
 }
 
 double EvaluateLine(ErrorMetric metric, std::span<const double> x,

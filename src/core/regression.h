@@ -13,6 +13,8 @@
 
 namespace sbr::core {
 
+class EncodeArena;
+
 /// Result of fitting y' = a * x + b: the coefficients and the error of the
 /// fit under the metric that produced it.
 struct RegressionResult {
@@ -46,8 +48,11 @@ RegressionResult Fit(ErrorMetric metric, std::span<const double> x,
 
 /// Fits y ~ a * t + b against the time index t = 0..len-1 (the "standard
 /// linear regression" fall-back of Algorithm 2), under the given metric.
+/// The ramp is materialized from `arena` when given (allocation-free on a
+/// warm workspace) or from a shared thread-local fallback arena otherwise.
 RegressionResult FitTime(ErrorMetric metric, std::span<const double> y,
-                         double relative_floor);
+                         double relative_floor,
+                         EncodeArena* arena = nullptr);
 
 /// Evaluates the error of a *given* line y' = a x + b under the metric
 /// (used by tests and by the decoder-side quality reporting).
@@ -71,8 +76,10 @@ struct QuadraticResult {
 QuadraticResult FitQuadratic(std::span<const double> x,
                              std::span<const double> y);
 
-/// Quadratic-in-time fall-back: y ~ a t + b + c t^2, t = 0..len-1.
-QuadraticResult FitTimeQuadratic(std::span<const double> y);
+/// Quadratic-in-time fall-back: y ~ a t + b + c t^2, t = 0..len-1. Ramp
+/// sourcing as in FitTime.
+QuadraticResult FitTimeQuadratic(std::span<const double> y,
+                                 EncodeArena* arena = nullptr);
 
 }  // namespace sbr::core
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/workspace.h"
 #include "util/thread_pool.h"
 
 namespace sbr::core {
@@ -18,7 +19,25 @@ class Prober {
   explicit Prober(const SearchContext& ctx)
       : ctx_(ctx),
         threads_(ctx.get_intervals.best_map.threads),
-        errors_(ctx.candidates->size() + 1, kNan) {}
+        workspace_(ctx.workspace),
+        errors_(ctx.candidates->size() + 1, kNan) {
+    if (workspace_ == nullptr) return;
+    // Build the maximal trial base once: the trial signal of probe `pos`
+    // is a prefix of the trial signal of probe `pos + 1`, so one shared
+    // buffer (and one incrementally extended prefix-sum table) serves
+    // every probe as a read-only prefix view. offsets_[pos] is the trial
+    // length probe `pos` sees.
+    size_t total = ctx.current_base.size();
+    for (const auto& cand : *ctx.candidates) total += cand.values.size();
+    workspace_->ReserveBase(total);
+    workspace_->SetBase(ctx.current_base);
+    offsets_.reserve(ctx.candidates->size() + 1);
+    offsets_.push_back(workspace_->trial_size());
+    for (const auto& cand : *ctx.candidates) {
+      workspace_->AppendBase(cand.values);
+      offsets_.push_back(workspace_->trial_size());
+    }
+  }
 
   // Memoized Algorithm 6: total error with the first `pos` candidates
   // appended to the current base signal.
@@ -26,7 +45,7 @@ class Prober {
     assert(pos < errors_.size());
     if (std::isnan(errors_[pos])) {
       ++probes_;
-      Evaluate(pos);
+      Evaluate(pos, /*arena=*/0);
     }
     return errors_[pos];
   }
@@ -35,7 +54,8 @@ class Prober {
   // the encoder runs threaded. Each probe is an independent GetIntervals
   // run writing a distinct memo slot, so the table fills with exactly the
   // values — and, for unconditionally-needed probes, exactly the probe
-  // count — the serial order would produce.
+  // count — the serial order would produce. Concurrent probes read the
+  // shared trial buffer and use their chunk's workspace arena for scratch.
   void Prefetch(std::initializer_list<size_t> positions) {
     std::vector<size_t> missing;
     for (size_t pos : positions) {
@@ -47,13 +67,13 @@ class Prober {
     }
     probes_ += missing.size();
     if (threads_ <= 1 || missing.size() < 2) {
-      for (size_t pos : missing) Evaluate(pos);
+      for (size_t pos : missing) Evaluate(pos, /*arena=*/0);
       return;
     }
     util::ParallelFor(threads_, missing.size(),
-                      [&](size_t, size_t begin, size_t end) {
+                      [&](size_t chunk, size_t begin, size_t end) {
                         for (size_t m = begin; m < end; ++m) {
-                          Evaluate(missing[m]);
+                          Evaluate(missing[m], chunk);
                         }
                       });
   }
@@ -62,7 +82,7 @@ class Prober {
   std::vector<double> TakeErrors() { return std::move(errors_); }
 
  private:
-  void Evaluate(size_t pos) {
+  void Evaluate(size_t pos, size_t arena) {
     const size_t insert_cost = pos * (ctx_.w + 1);
     if (insert_cost >= ctx_.total_band) {
       errors_[pos] = kInf;
@@ -70,23 +90,36 @@ class Prober {
     }
     const size_t budget = ctx_.total_band - insert_cost;
 
-    std::vector<double> trial(ctx_.current_base.begin(),
-                              ctx_.current_base.end());
-    for (size_t i = 0; i < pos; ++i) {
-      const auto& vals = (*ctx_.candidates)[i].values;
-      trial.insert(trial.end(), vals.begin(), vals.end());
+    // With a workspace the trial base is a prefix view of the shared
+    // buffer; without one it is materialized per probe as before.
+    std::span<const double> trial;
+    std::vector<double> local_trial;
+    GetIntervalsOptions gi = ctx_.get_intervals;
+    if (workspace_ != nullptr) {
+      trial = workspace_->TrialPrefix(offsets_[pos]);
+      gi.best_map.workspace = workspace_;
+      gi.best_map.arena = static_cast<uint32_t>(arena);
+    } else {
+      local_trial.assign(ctx_.current_base.begin(), ctx_.current_base.end());
+      for (size_t i = 0; i < pos; ++i) {
+        const auto& vals = (*ctx_.candidates)[i].values;
+        local_trial.insert(local_trial.end(), vals.begin(), vals.end());
+      }
+      trial = local_trial;
     }
     auto approx =
         ctx_.row_lengths.empty()
             ? GetIntervals(trial, ctx_.y, ctx_.num_signals, budget, ctx_.w,
-                           ctx_.get_intervals)
+                           gi)
             : GetIntervalsMultiRate(trial, ctx_.y, ctx_.row_lengths, budget,
-                                    ctx_.w, ctx_.get_intervals);
+                                    ctx_.w, gi);
     errors_[pos] = approx.ok() ? approx->total_error : kInf;
   }
 
   const SearchContext& ctx_;
   size_t threads_ = 1;
+  EncodeWorkspace* workspace_ = nullptr;
+  std::vector<size_t> offsets_;  // trial length per probe position
   std::vector<double> errors_;
   size_t probes_ = 0;
 };

@@ -14,6 +14,8 @@
 
 namespace sbr::core {
 
+class EncodeWorkspace;
+
 /// Inputs to the insert-count search.
 struct SearchContext {
   /// Flat current base signal (may be empty on the first transmission).
@@ -32,6 +34,14 @@ struct SearchContext {
   /// costs w + 1 of them (values + slot position).
   size_t total_band = 0;
   GetIntervalsOptions get_intervals;
+  /// Optional encode workspace. When set, the search builds the maximal
+  /// trial base (current base + every candidate) in the workspace once,
+  /// extending its prefix sums incrementally, and each probe evaluates
+  /// against a prefix *view* of that buffer — no per-probe base copy, no
+  /// per-interval prefix rebuild. Probes that run concurrently (Prefetch)
+  /// are assigned distinct workspace arenas by ParallelFor chunk id.
+  /// Results are bitwise identical with or without a workspace.
+  EncodeWorkspace* workspace = nullptr;
 };
 
 /// Result of the search: the chosen prefix length and the probe record.

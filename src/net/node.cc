@@ -8,7 +8,7 @@ SensorNode::SensorNode(uint32_t id, size_t num_signals, size_t chunk_len,
       num_signals_(num_signals),
       chunk_len_(chunk_len),
       buffer_(num_signals * chunk_len, 0.0),
-      encoder_(std::move(encoder_options)) {}
+      encoder_(std::move(encoder_options), &workspace_) {}
 
 StatusOr<std::optional<core::Transmission>> SensorNode::AddSamples(
     std::span<const double> sample_per_signal) {
@@ -47,7 +47,7 @@ StatusOr<core::Transmission> SensorNode::EncodeSelfContained() {
   opts.base_strategy = core::BaseStrategy::kNone;
   opts.base_provider = nullptr;
   opts.update_base = false;
-  core::SbrEncoder standalone(std::move(opts));
+  core::SbrEncoder standalone(std::move(opts), &degraded_workspace_);
   auto t = standalone.EncodeChunk(last_batch_, num_signals_);
   if (!t.ok()) return t.status();
   ++degraded_batches_;

@@ -100,7 +100,14 @@ class SensorNode {
   /// Row-major N x M batch buffer, flat in the concatenated layout the
   /// encoder consumes directly.
   std::vector<double> buffer_;
+  /// Encode arena for the node's primary encoder; declared before the
+  /// encoder that borrows it. On a real device this is the one scratch
+  /// allocation the encode path ever makes.
+  core::EncodeWorkspace workspace_;
   core::SbrEncoder encoder_;
+  /// Arena reused across degraded self-contained re-encodes, so retry
+  /// storms under link faults do not re-allocate scratch per attempt.
+  core::EncodeWorkspace degraded_workspace_;
 
   // Protocol state.
   uint64_t seq_ = 0;

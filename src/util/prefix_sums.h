@@ -10,14 +10,19 @@
 
 namespace sbr {
 
-/// Precomputed prefix sums of a series and of its squares.
+/// Precomputed prefix sums of a series and of its squares. Supports
+/// incremental extension via Append: appending values one at a time
+/// performs the same left-to-right additions Reset would, so an
+/// incrementally grown table is bitwise identical to one rebuilt from the
+/// full series (the property the encode workspace's trial-base extension
+/// relies on).
 class PrefixSums {
  public:
   PrefixSums() = default;
 
   explicit PrefixSums(std::span<const double> values) { Reset(values); }
 
-  /// Rebuilds the tables for a new series.
+  /// Rebuilds the tables for a new series. Keeps existing capacity.
   void Reset(std::span<const double> values) {
     sum_.assign(values.size() + 1, 0.0);
     sum_sq_.assign(values.size() + 1, 0.0);
@@ -27,18 +32,43 @@ class PrefixSums {
     }
   }
 
+  /// Reserves table capacity for a series of `n` values, so subsequent
+  /// Append calls do not reallocate.
+  void Reserve(size_t n) {
+    sum_.reserve(n + 1);
+    sum_sq_.reserve(n + 1);
+  }
+
+  /// Extends the series by one value in O(1). Usable on a
+  /// default-constructed table (an empty series).
+  void Append(double value) {
+    if (sum_.empty()) {
+      sum_.push_back(0.0);
+      sum_sq_.push_back(0.0);
+    }
+    sum_.push_back(sum_.back() + value);
+    sum_sq_.push_back(sum_sq_.back() + value * value);
+  }
+
   /// Number of values covered.
   size_t size() const { return sum_.empty() ? 0 : sum_.size() - 1; }
 
+  /// True when [start, start + length) lies within the covered series.
+  /// Written without computing start + length, which could wrap on
+  /// adversarial inputs and make a malformed range look valid.
+  bool CoversRange(size_t start, size_t length) const {
+    return start <= size() && length <= size() - start;
+  }
+
   /// Sum of values in [start, start + length).
   double RangeSum(size_t start, size_t length) const {
-    assert(start + length < sum_.size());
+    assert(CoversRange(start, length));
     return sum_[start + length] - sum_[start];
   }
 
   /// Sum of squared values in [start, start + length).
   double RangeSumSquares(size_t start, size_t length) const {
-    assert(start + length < sum_sq_.size());
+    assert(CoversRange(start, length));
     return sum_sq_[start + length] - sum_sq_[start];
   }
 

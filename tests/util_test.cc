@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <set>
 
 #include "util/csv.h"
@@ -370,6 +371,54 @@ TEST(PrefixSums, ResetReplacesSeries) {
   ps.Reset(std::vector<double>{10, 10});
   EXPECT_EQ(ps.size(), 2u);
   EXPECT_DOUBLE_EQ(ps.RangeSum(0, 2), 20.0);
+}
+
+TEST(PrefixSums, AppendMatchesReset) {
+  // Incremental growth must produce bitwise the same tables as a fresh
+  // build over the full series — the encode pipeline relies on this when
+  // Search extends the trial base one candidate at a time.
+  Rng r(31);
+  std::vector<double> v(97);
+  for (auto& x : v) x = r.Uniform(-3, 3);
+
+  PrefixSums incremental;
+  for (double x : v) incremental.Append(x);
+  PrefixSums fresh(v);
+
+  ASSERT_EQ(incremental.size(), fresh.size());
+  for (size_t start = 0; start < v.size(); start += 13) {
+    for (size_t len : {1u, 5u, 31u}) {
+      if (!fresh.CoversRange(start, len)) continue;
+      // Exact equality, not NEAR: the append path performs the identical
+      // left-to-right additions as the reset path.
+      EXPECT_EQ(incremental.RangeSum(start, len), fresh.RangeSum(start, len));
+      EXPECT_EQ(incremental.RangeSumSquares(start, len),
+                fresh.RangeSumSquares(start, len));
+    }
+  }
+}
+
+TEST(PrefixSums, AppendOntoExistingSeries) {
+  PrefixSums ps(std::vector<double>{1, 2});
+  ps.Append(3);
+  ps.Append(4);
+  EXPECT_EQ(ps.size(), 4u);
+  EXPECT_DOUBLE_EQ(ps.RangeSum(0, 4), 10.0);
+  EXPECT_DOUBLE_EQ(ps.RangeSumSquares(2, 2), 25.0);
+}
+
+TEST(PrefixSums, CoversRangeIsOverflowSafe) {
+  PrefixSums ps(std::vector<double>{1, 2, 3});
+  EXPECT_TRUE(ps.CoversRange(0, 3));
+  EXPECT_TRUE(ps.CoversRange(3, 0));
+  EXPECT_FALSE(ps.CoversRange(0, 4));
+  EXPECT_FALSE(ps.CoversRange(4, 0));
+  // start + length would wrap to a small value; the naive
+  // `start + length <= size` check would accept these.
+  const size_t huge = std::numeric_limits<size_t>::max();
+  EXPECT_FALSE(ps.CoversRange(huge, 2));
+  EXPECT_FALSE(ps.CoversRange(2, huge));
+  EXPECT_FALSE(ps.CoversRange(huge, huge));
 }
 
 // ------------------------------------------------------------------- Csv
