@@ -23,6 +23,7 @@
 #include "datagen/dataset.h"
 #include "datagen/weather.h"
 #include "linalg/dct.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace alloc_count {
@@ -275,6 +276,35 @@ void BM_BestMapWorkspace(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_BestMapWorkspace)->Arg(0)->Arg(1);
+
+void BM_EncodeWeatherObs(benchmark::State& state) {
+  // Observability overhead on the Table-2 weather encode path. Arg 0 runs
+  // with instrumentation compiled in but runtime-disabled (each site costs
+  // one relaxed load + branch), arg 1 with the full metric/span recording
+  // on. Compare the arg-0 row against the same row from a build-noobs
+  // binary (SBR_OBS=0, sites compiled out) for the compiled-in-disabled
+  // overhead figure; the acceptance bar is <= 2%.
+  const bool enabled = state.range(0) != 0;
+  datagen::WeatherOptions wopts;
+  wopts.length = 1024;
+  const datagen::Dataset ds = datagen::GenerateWeather(wopts);
+  const std::vector<double> y = datagen::ConcatRows(ds.values);
+  const size_t n = y.size();
+
+  sbr::obs::SetEnabled(enabled);
+  for (auto _ : state) {
+    EncoderOptions opts;
+    opts.total_band = n / 10;
+    opts.m_base = 1024;
+    SbrEncoder enc(opts);
+    auto t = enc.EncodeChunk(y, ds.num_signals());
+    benchmark::DoNotOptimize(t);
+  }
+  sbr::obs::SetEnabled(false);
+  state.SetLabel(enabled ? "obs-enabled" : "obs-disabled");
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EncodeWeatherObs)->Arg(0)->Arg(1);
 
 void BM_HaarForward(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

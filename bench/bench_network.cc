@@ -8,9 +8,13 @@
 #include "bench_util.h"
 #include "datagen/weather.h"
 #include "net/network.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 int main() {
   using namespace sbr;
+  obs::SetEnabled(true);
   std::printf("== Network simulation: energy and accuracy vs budget ==\n");
 
   constexpr size_t kNodes = 5;
@@ -43,6 +47,10 @@ int main() {
                 report->total_values_sent, report->CompressionFactor(),
                 report->EnergySavingFactor(), report->total_sse);
     std::fflush(stdout);
+    report->PublishMetrics(&obs::MetricsRegistry::Global());
+  }
+  if (obs::WriteStageReport("obs_network")) {
+    std::printf("\nper-node breakdown written to obs_network.{json,csv}\n");
   }
   return 0;
 }

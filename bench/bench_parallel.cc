@@ -14,6 +14,8 @@
 
 #include "bench_util.h"
 #include "core/encoder.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
 
@@ -57,6 +59,7 @@ RunResult EncodeAll(const sbr::datagen::ExperimentSetup& setup,
 }  // namespace
 
 int main() {
+  sbr::obs::SetEnabled(true);
   const auto setup = sbr::datagen::PaperWeatherSetup();
   const size_t ratio_pct = 10;
   const size_t n = setup.dataset.num_signals() * setup.chunk_len;
@@ -91,5 +94,8 @@ int main() {
     }
   }
   std::printf("\nall thread counts produced byte-identical streams\n");
+  if (sbr::obs::WriteStageReport("obs_parallel")) {
+    std::printf("per-stage breakdown written to obs_parallel.{json,csv}\n");
+  }
   return 0;
 }

@@ -7,9 +7,12 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 
 int main() {
   using namespace sbr::bench;
+  sbr::obs::SetEnabled(true);
   std::printf("== Table 2: Average SSE error vs compression ratio ==\n");
   const auto methods = PaperMethodSet();
   auto value = [](const MethodScore& s) { return s.avg_sse; };
@@ -21,5 +24,9 @@ int main() {
   const auto stock = sbr::datagen::PaperStockSetup();
   PrintRatioTable("-- Stock data (N=10, M=2048, M_base=2048) --", stock,
                   methods, kPaperRatios, value, stock.num_chunks);
+
+  if (sbr::obs::WriteStageReport("obs_table2")) {
+    std::printf("\nper-stage breakdown written to obs_table2.{json,csv}\n");
+  }
   return 0;
 }

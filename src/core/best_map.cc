@@ -8,6 +8,7 @@
 
 #include "core/regression.h"
 #include "core/workspace.h"
+#include "obs/metrics.h"
 #include "util/prefix_sums.h"
 #include "util/thread_pool.h"
 
@@ -67,6 +68,7 @@ void ScanShifts(std::span<const double> x, std::span<const double> yseg,
   const size_t len = yseg.size();
   if (len == 0 || len > x.size()) return;
   const size_t num_shifts = x.size() - len + 1;
+  SBR_OBS_COUNT("encode.best_map.shifts_scanned", num_shifts);
 
   const auto scan = [&](size_t begin, size_t end, Interval* out) {
     for (size_t shift = begin; shift < end; ++shift) {
@@ -317,6 +319,7 @@ void RunMetricScan(std::span<const double> x, std::span<const double> yseg,
 
 void BestMap(std::span<const double> x, std::span<const double> y,
              size_t w, const BestMapOptions& options, Interval* interval) {
+  SBR_OBS_COUNT("encode.best_map.calls", 1);
   // Real validation, not an assert: a malformed interval — e.g. decoded
   // from a corrupted frame — must not read out of bounds in a release
   // build. It gets the fall-back marker with infinite error and zeroed
@@ -362,6 +365,7 @@ void BestMap(std::span<const double> x, std::span<const double> y,
       const RegressionResult r =
           FitTime(options.metric, yseg, options.relative_floor, arena);
       if (r.err < interval->err) {
+        SBR_OBS_COUNT("encode.best_map.linear_fallbacks", 1);
         interval->shift = kShiftLinearFallback;
         interval->a = r.a;
         interval->b = r.b;

@@ -5,6 +5,8 @@
 #include "core/fixed_base.h"
 #include "core/get_intervals.h"
 #include "core/interval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sbr::core {
 
@@ -45,6 +47,20 @@ Status SbrDecoder::ApplyHeader(const Transmission& t) {
 }
 
 StatusOr<std::vector<double>> SbrDecoder::DecodeChunk(const Transmission& t) {
+  SBR_OBS_SPAN(decode_span, "decode.chunk");
+  SBR_OBS_TIMER(decode_timer, "decode.chunk_us");
+  SBR_OBS_COUNT("decode.chunks", 1);
+  auto result = DecodeChunkImpl(t);
+  if (result.ok()) {
+    SBR_OBS_COUNT("decode.values", result->size());
+  } else {
+    SBR_OBS_COUNT("decode.errors", 1);
+  }
+  return result;
+}
+
+StatusOr<std::vector<double>> SbrDecoder::DecodeChunkImpl(
+    const Transmission& t) {
   SBR_RETURN_IF_ERROR(ApplyHeader(t));
 
   const bool self_contained = t.base_kind == BaseKind::kNone;

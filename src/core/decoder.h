@@ -45,6 +45,7 @@ class SbrDecoder {
 
  private:
   Status ApplyHeader(const Transmission& t);
+  StatusOr<std::vector<double>> DecodeChunkImpl(const Transmission& t);
 
   DecoderOptions options_;
   size_t w_ = 0;

@@ -7,6 +7,8 @@
 
 #include "core/fixed_base.h"
 #include "core/search.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sbr::core {
 
@@ -146,6 +148,8 @@ StatusOr<Transmission> SbrEncoder::EncodeImpl(
   }
 
   stats_ = EncodeStats{};
+  SBR_OBS_SPAN(chunk_span, "encode.chunk");
+  SBR_OBS_TIMER(chunk_timer, "encode.chunk_us");
   // One workspace reset per chunk: clears the per-interval moment cache
   // (y changes) and sizes the arena pool for the configured thread count.
   // Everything downstream — GetBase scoring, search probes, the final
@@ -176,7 +180,12 @@ StatusOr<Transmission> SbrEncoder::EncodeImpl(
     size_t max_ins =
         std::min(options_.m_base, options_.total_band) / w_;
     max_ins = std::min(max_ins, base_.num_slots());
-    candidates = BuildCandidates(y, max_ins);
+    {
+      SBR_OBS_SPAN(get_base_span, "encode.get_base");
+      candidates = BuildCandidates(y, max_ins);
+    }
+    SBR_OBS_COUNT("encode.get_base.candidates", candidates.size());
+    SBR_OBS_SPAN(search_span, "encode.search");
     SearchContext ctx;
     ctx.current_base = base_.values();
     ctx.candidates = &candidates;
@@ -254,6 +263,7 @@ StatusOr<Transmission> SbrEncoder::EncodeImpl(
   // against the shared tables.
   workspace_->SetBase(x);
   gi.best_map.workspace = workspace_;
+  SBR_OBS_SPAN(approx_span, "encode.approx");
   auto approx = GetIntervalsMultiRate(x, y, row_lengths_, budget, w_, gi);
   if (!approx.ok()) return approx.status();
 
@@ -275,6 +285,20 @@ StatusOr<Transmission> SbrEncoder::EncodeImpl(
   stats_.total_error = approx->total_error;
   stats_.values_used = t.ValueCount();
   stats_.workspace = workspace_->stats();
+  // Registry view of the per-chunk diagnostics: the same numbers
+  // EncodeStats carries, accumulated across chunks for the stage reports.
+  SBR_OBS_COUNT("encode.chunks", 1);
+  SBR_OBS_COUNT("encode.search_probes", stats_.search_probes);
+  SBR_OBS_COUNT("encode.inserted_cbis", ins);
+  SBR_OBS_COUNT("encode.intervals", stats_.num_intervals);
+  SBR_OBS_COUNT("encode.workspace.moment_hits", stats_.workspace.moment_hits);
+  SBR_OBS_COUNT("encode.workspace.moment_misses",
+                stats_.workspace.moment_misses);
+  SBR_OBS_COUNT("encode.workspace.prefix_resets",
+                stats_.workspace.prefix_resets);
+  SBR_OBS_COUNT("encode.workspace.prefix_appends",
+                stats_.workspace.prefix_appends);
+  SBR_OBS_HIST("encode.values_used", stats_.values_used);
   return t;
 }
 

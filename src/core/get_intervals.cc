@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "core/workspace.h"
+#include "obs/metrics.h"
 
 namespace sbr::core {
 namespace {
@@ -138,6 +139,9 @@ StatusOr<ApproximationResult> Run(std::span<const double> x,
     result.total_error = sum;
   }
   result.values_used = result.intervals.size() * options.values_per_interval;
+  SBR_OBS_COUNT("encode.get_intervals.runs", 1);
+  SBR_OBS_COUNT("encode.get_intervals.splits",
+                num_intervals - row_lengths.size());
   return result;
 }
 

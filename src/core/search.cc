@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "core/workspace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace sbr::core {
@@ -83,6 +85,8 @@ class Prober {
 
  private:
   void Evaluate(size_t pos, size_t arena) {
+    SBR_OBS_SPAN(probe_span, "encode.search.probe");
+    SBR_OBS_COUNT("encode.search.probe_evals", 1);
     const size_t insert_cost = pos * (ctx_.w + 1);
     if (insert_cost >= ctx_.total_band) {
       errors_[pos] = kInf;

@@ -1,5 +1,7 @@
 #include "net/base_station.h"
 
+#include "obs/metrics.h"
+
 namespace sbr::net {
 namespace {
 
@@ -77,17 +79,42 @@ Status BaseStation::DeclareGap(PerSensor* s, size_t chunks) {
 
 StatusOr<FrameAck> BaseStation::ReceiveBytes(
     std::span<const uint8_t> bytes) {
+  SBR_OBS_COUNT("net.rx.frames", 1);
+  SBR_OBS_COUNT("net.rx.bytes", bytes.size());
   auto frame = core::Frame::Parse(bytes);
   if (!frame.ok()) {
     // Corruption is detected, counted and NACKed — never decoded. The
     // sensor id cannot be trusted on a frame that failed its CRC, so the
     // count lives on the aggregate only.
     ++total_.corrupt_frames;
+    SBR_OBS_COUNT("net.rx.corrupt", 1);
     FrameAck ack;
     ack.type = AckType::kCorrupt;
     return ack;
   }
-  return HandleFrame(std::move(*frame));
+  auto ack = HandleFrame(std::move(*frame));
+  // One attribution point for the ack outcome, rather than a counter per
+  // return path inside the state machine.
+  if (ack.ok()) {
+    switch (ack->type) {
+      case AckType::kAccept:
+        SBR_OBS_COUNT("net.rx.accepted", 1);
+        break;
+      case AckType::kDuplicate:
+        SBR_OBS_COUNT("net.rx.duplicates", 1);
+        break;
+      case AckType::kBuffered:
+        SBR_OBS_COUNT("net.rx.buffered", 1);
+        break;
+      case AckType::kDesync:
+        SBR_OBS_COUNT("net.rx.desync", 1);
+        break;
+      case AckType::kCorrupt:
+        SBR_OBS_COUNT("net.rx.corrupt_payload", 1);
+        break;
+    }
+  }
+  return ack;
 }
 
 StatusOr<FrameAck> BaseStation::HandleFrame(core::Frame frame) {

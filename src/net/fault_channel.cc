@@ -1,5 +1,7 @@
 #include "net/fault_channel.h"
 
+#include "obs/metrics.h"
+
 namespace sbr::net {
 namespace {
 
@@ -25,11 +27,13 @@ void FaultChannel::MaybeFlipBit(std::vector<uint8_t>* bytes) {
       rng_.UniformInt(0, static_cast<int64_t>(bytes->size()) - 1));
   (*bytes)[pos] ^= static_cast<uint8_t>(1u << rng_.UniformInt(0, 7));
   ++counters_.bit_flipped;
+  SBR_OBS_COUNT("net.fault.bit_flipped", 1);
 }
 
 std::vector<std::vector<uint8_t>> FaultChannel::Transmit(
     std::vector<uint8_t> bytes) {
   ++counters_.transmitted;
+  SBR_OBS_COUNT("net.fault.transmitted", 1);
   // A frame held by an earlier Transmit exits on this call, after the
   // current frame — that is what makes it arrive out of order.
   std::optional<std::vector<uint8_t>> release = std::move(held_);
@@ -39,12 +43,14 @@ std::vector<std::vector<uint8_t>> FaultChannel::Transmit(
   if (options_.drop_probability > 0.0 &&
       rng_.NextDouble() < options_.drop_probability) {
     ++counters_.dropped;
+    SBR_OBS_COUNT("net.fault.dropped", 1);
   } else {
     const bool duplicate =
         options_.duplicate_probability > 0.0 &&
         rng_.NextDouble() < options_.duplicate_probability;
     if (duplicate) {
       ++counters_.duplicated;
+      SBR_OBS_COUNT("net.fault.duplicated", 1);
       std::vector<uint8_t> copy = bytes;
       MaybeFlipBit(&copy);
       out.push_back(std::move(copy));
@@ -53,6 +59,7 @@ std::vector<std::vector<uint8_t>> FaultChannel::Transmit(
     if (options_.reorder_probability > 0.0 &&
         rng_.NextDouble() < options_.reorder_probability) {
       ++counters_.reordered;
+      SBR_OBS_COUNT("net.fault.reordered", 1);
       held_ = std::move(bytes);
     } else {
       out.push_back(std::move(bytes));

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/serialize.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -46,6 +48,43 @@ double SimulationReport::EnergySavingFactor() const {
                                 : total_raw_energy_nj / total_energy_nj;
 }
 
+void SimulationReport::PublishMetrics(obs::MetricsRegistry* registry) const {
+  if (!obs::Enabled() || registry == nullptr) return;
+  // Dynamic names, so the cached-reference macros do not apply; this runs
+  // once per report, far from any hot path. Doubles (energy, sse) are
+  // rounded — the registry view is a gauge dashboard, the report struct
+  // remains the exact figure.
+  auto set = [registry](const std::string& name, int64_t v) {
+    registry->GetGauge(name).Set(v);
+  };
+  set("sim.values_sent", static_cast<int64_t>(total_values_sent));
+  set("sim.values_raw", static_cast<int64_t>(total_values_raw));
+  set("sim.energy_nj", static_cast<int64_t>(std::llround(total_energy_nj)));
+  set("sim.raw_energy_nj",
+      static_cast<int64_t>(std::llround(total_raw_energy_nj)));
+  set("sim.sse", static_cast<int64_t>(std::llround(total_sse)));
+  set("sim.chunks_lost", static_cast<int64_t>(total_chunks_lost));
+  set("sim.corrupt_frames", static_cast<int64_t>(total_corrupt_frames));
+  set("sim.duplicates_suppressed",
+      static_cast<int64_t>(total_duplicates_suppressed));
+  set("sim.resyncs", static_cast<int64_t>(total_resyncs));
+  set("sim.degraded_batches", static_cast<int64_t>(total_degraded_batches));
+  set("sim.nodes", static_cast<int64_t>(nodes.size()));
+  for (const NodeReport& nr : nodes) {
+    const std::string p = "node." + std::to_string(nr.id) + ".";
+    set(p + "tx_values", static_cast<int64_t>(nr.values_sent));
+    set(p + "raw_values", static_cast<int64_t>(nr.values_raw));
+    set(p + "retries", static_cast<int64_t>(nr.retransmissions));
+    set(p + "energy_nj",
+        static_cast<int64_t>(std::llround(nr.energy.total_nj())));
+    set(p + "chunks_lost", static_cast<int64_t>(nr.chunks_lost));
+    set(p + "corrupt_frames",
+        static_cast<int64_t>(nr.corrupt_frames_detected));
+    set(p + "resyncs", static_cast<int64_t>(nr.resyncs_triggered));
+    set(p + "sse", static_cast<int64_t>(std::llround(nr.sse)));
+  }
+}
+
 NetworkSim::NetworkSim(std::vector<NodePlacement> placements,
                        core::EncoderOptions encoder_options,
                        size_t chunk_len, EnergyParams energy,
@@ -63,6 +102,9 @@ StatusOr<NetworkSim::DeliveryOutcome> NetworkSim::DeliverFrame(
   BinaryWriter writer;
   frame.Serialize(&writer);
   const std::vector<uint8_t>& wire = writer.buffer();
+  SBR_OBS_COUNT("net.tx.frames", 1);
+  SBR_OBS_COUNT("net.tx.bytes", wire.size());
+  SBR_OBS_HIST("net.tx.frame_bytes", wire.size());
 
   // Stop-and-wait with end-to-end acknowledgement: each attempt pushes one
   // fresh copy through every hop's fault process; retries back off
@@ -70,6 +112,7 @@ StatusOr<NetworkSim::DeliveryOutcome> NetworkSim::DeliverFrame(
   for (size_t attempt = 0; attempt < link_.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++nr->retransmissions;
+      SBR_OBS_COUNT("net.tx.retries", 1);
       const size_t slots = size_t{1} << std::min<size_t>(attempt, 10);
       nr->backoff_slots += slots;
       energy_.ChargeBackoff(slots, &nr->energy);
@@ -115,9 +158,13 @@ StatusOr<NetworkSim::DeliveryOutcome> NetworkSim::DeliverFrame(
     }
     if (accepted) return DeliveryOutcome::kAccepted;
     // Retrying the same frame cannot cure a desync; the caller must resync.
-    if (desync) return DeliveryOutcome::kDesync;
+    if (desync) {
+      SBR_OBS_COUNT("net.tx.desyncs", 1);
+      return DeliveryOutcome::kDesync;
+    }
   }
   ++nr->frames_abandoned;
+  SBR_OBS_COUNT("net.tx.abandoned", 1);
   return DeliveryOutcome::kAbandoned;
 }
 
@@ -210,6 +257,7 @@ StatusOr<FrameAck> NetworkSim::StationReceive(std::span<const uint8_t> bytes,
 
 Status NetworkSim::RunNode(size_t index, const datagen::Dataset& feed,
                            NodeReport* nr_out) {
+  SBR_OBS_SPAN(node_span, "net.node");
   const NodePlacement& place = placements_[index];
   SensorNode node(place.id, feed.num_signals(), chunk_len_,
                   encoder_options_);

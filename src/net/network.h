@@ -23,6 +23,10 @@
 #include "net/fault_channel.h"
 #include "net/node.h"
 
+namespace sbr::obs {
+class MetricsRegistry;
+}  // namespace sbr::obs
+
 namespace sbr::net {
 
 /// Static description of one sensor's place in the routing tree.
@@ -102,6 +106,15 @@ struct SimulationReport {
   double CompressionFactor() const;
   /// raw energy / actual energy.
   double EnergySavingFactor() const;
+
+  /// Mirrors the report into `registry` as gauges: run totals under
+  /// `sim.*` and per-node breakdowns under `node.<id>.*` (tx_values,
+  /// retries, energy_nj, chunks_lost, corrupt_frames, resyncs, sse — see
+  /// obs/export.h for the emitted schema). The report structs stay the
+  /// canonical deterministic result; the registry view exists so bench and
+  /// tooling exports see the simulation next to the encode-stage metrics.
+  /// No-op unless observability is compiled in and enabled.
+  void PublishMetrics(obs::MetricsRegistry* registry) const;
 };
 
 /// Multi-sensor, single-base-station simulation.

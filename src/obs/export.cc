@@ -1,0 +1,65 @@
+#include "obs/export.h"
+
+#include <fstream>
+
+namespace sbr::obs {
+
+std::string StageReportJson(const MetricsSnapshot& metrics,
+                            const std::vector<StageAggregate>& stages) {
+  // Reuse the snapshot's own JSON body for the metrics section.
+  std::string metrics_json = metrics.ToJson();  // {"metrics":[...]}
+  std::string out = metrics_json.substr(0, metrics_json.size() - 1);
+  out += ",\"stages\":[";
+  bool first = true;
+  for (const StageAggregate& s : stages) {
+    if (!first) out += ",";
+    first = false;
+    const uint64_t total_us = s.total_ns / 1000;
+    const uint64_t avg_us = s.count == 0 ? 0 : total_us / s.count;
+    out += "{\"name\":\"" + s.name +
+           "\",\"count\":" + std::to_string(s.count) +
+           ",\"total_us\":" + std::to_string(total_us) +
+           ",\"avg_us\":" + std::to_string(avg_us) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string StageReportCsv(const MetricsSnapshot& metrics,
+                           const std::vector<StageAggregate>& stages) {
+  std::string out = "kind,name,value,aux\n";
+  for (const MetricValue& m : metrics.metrics) {
+    const char* kind = m.kind == MetricValue::Kind::kCounter    ? "counter"
+                       : m.kind == MetricValue::Kind::kGauge    ? "gauge"
+                                                                : "histogram";
+    out += kind;
+    out += ",";
+    out += m.name;
+    out += "," + std::to_string(m.value) + "," + std::to_string(m.aux) + "\n";
+  }
+  for (const StageAggregate& s : stages) {
+    out += "stage,";
+    out += s.name;
+    out += "," + std::to_string(s.count) + "," +
+           std::to_string(s.total_ns / 1000) + "\n";
+  }
+  return out;
+}
+
+bool WriteStageReport(const std::string& path_prefix) {
+  const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  const std::vector<SpanEvent> events = TraceCollector::Global().Drain();
+  const std::vector<StageAggregate> stages = TraceCollector::Aggregate(events);
+
+  std::ofstream json(path_prefix + ".json", std::ios::trunc);
+  if (!json) return false;
+  json << StageReportJson(metrics, stages);
+  if (!json.flush()) return false;
+
+  std::ofstream csv(path_prefix + ".csv", std::ios::trunc);
+  if (!csv) return false;
+  csv << StageReportCsv(metrics, stages);
+  return static_cast<bool>(csv.flush());
+}
+
+}  // namespace sbr::obs

@@ -1,0 +1,137 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sbr::obs {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+TraceCollector::ThreadBuffer* TraceCollector::BufferForThisThread() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    buffer = owned.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = static_cast<uint32_t>(buffers_.size());
+    buffers_.push_back(std::move(owned));
+  }
+  return buffer;
+}
+
+std::vector<SpanEvent> TraceCollector::Drain() {
+  std::vector<SpanEvent> merged;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    merged.insert(merged.end(), buf->events.begin(), buf->events.end());
+    buf->events.clear();
+  }
+  // Buffers are registered in tid order and each buffer is seq-ordered, so
+  // a stable sort by tid alone would do; sort on the pair to be explicit.
+  std::sort(merged.begin(), merged.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.tid != b.tid ? a.tid < b.tid : a.seq < b.seq;
+            });
+  return merged;
+}
+
+uint64_t TraceCollector::dropped() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+std::string TraceCollector::ToChromeJson(const std::vector<SpanEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += e.name;
+    out += "\",\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(e.tid) +
+           ",\"ts\":" + std::to_string(e.start_ns / 1000) +
+           ",\"dur\":" + std::to_string(e.duration_ns / 1000) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceCollector::ToCsv(const std::vector<SpanEvent>& events) {
+  std::string out = "name,tid,depth,seq,start_us,duration_us\n";
+  for (const SpanEvent& e : events) {
+    out += e.name;
+    out += "," + std::to_string(e.tid) + "," + std::to_string(e.depth) +
+           "," + std::to_string(e.seq) + "," +
+           std::to_string(e.start_ns / 1000) + "," +
+           std::to_string(e.duration_ns / 1000) + "\n";
+  }
+  return out;
+}
+
+std::vector<StageAggregate> TraceCollector::Aggregate(
+    const std::vector<SpanEvent>& events) {
+  std::vector<StageAggregate> stages;
+  for (const SpanEvent& e : events) {
+    auto it = std::find_if(
+        stages.begin(), stages.end(),
+        [&](const StageAggregate& s) { return s.name == e.name; });
+    if (it == stages.end()) {
+      stages.push_back({e.name, 0, 0});
+      it = std::prev(stages.end());
+    }
+    ++it->count;
+    it->total_ns += e.duration_ns;
+  }
+  std::sort(stages.begin(), stages.end(),
+            [](const StageAggregate& a, const StageAggregate& b) {
+              return a.name < b.name;
+            });
+  return stages;
+}
+
+void ScopedSpan::Begin(const char* name) {
+  name_ = name;
+  buffer_ = TraceCollector::Global().BufferForThisThread();
+  depth_ = buffer_->depth++;
+  start_ns_ = NowNs();
+}
+
+void ScopedSpan::End() {
+  const uint64_t end_ns = NowNs();
+  TraceCollector::ThreadBuffer* buf = buffer_;
+  --buf->depth;
+  std::lock_guard<std::mutex> lock(buf->mu);
+  if (buf->events.size() >= TraceCollector::kMaxEventsPerThread) {
+    ++buf->dropped;
+    return;
+  }
+  SpanEvent e;
+  e.name = name_;
+  e.tid = buf->tid;
+  e.depth = depth_;
+  e.seq = buf->seq++;
+  e.start_ns = start_ns_;
+  e.duration_ns = end_ns - start_ns_;
+  buf->events.push_back(e);
+}
+
+}  // namespace sbr::obs

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace sbr::util {
 namespace {
 
@@ -25,13 +27,23 @@ struct ForState {
 // any worker that picked up a helper task. `state.body` is only
 // dereferenced for a successfully claimed chunk, which the caller is
 // guaranteed to still be waiting on.
-void RunChunks(ForState& state) {
+void RunChunks(ForState& state, bool helper) {
   for (;;) {
     const size_t c = state.next.fetch_add(1, std::memory_order_relaxed);
     if (c >= state.num_chunks) return;
     const size_t begin = c * state.n / state.num_chunks;
     const size_t end = (c + 1) * state.n / state.num_chunks;
-    (*state.body)(c, begin, end);
+    {
+      SBR_OBS_TIMER(chunk_timer, "pool.chunk_us");
+      (*state.body)(c, begin, end);
+    }
+    // Two sites, not a ternary name: the counter macro caches the metric in
+    // a function-local static keyed by its call site.
+    if (helper) {
+      SBR_OBS_COUNT("pool.worker_chunks", 1);
+    } else {
+      SBR_OBS_COUNT("pool.caller_chunks", 1);
+    }
     std::lock_guard<std::mutex> lock(state.mu);
     if (++state.done == state.num_chunks) state.done_cv.notify_all();
   }
@@ -84,6 +96,7 @@ void ThreadPool::ParallelFor(
     return;
   }
 
+  SBR_OBS_COUNT("pool.parallel_fors", 1);
   auto state = std::make_shared<ForState>();
   state->n = n;
   state->num_chunks = num_chunks;
@@ -98,13 +111,15 @@ void ThreadPool::ParallelFor(
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (size_t i = 0; i < helpers; ++i) {
-        tasks_.emplace_back([state] { RunChunks(*state); });
+        tasks_.emplace_back([state] { RunChunks(*state, /*helper=*/true); });
       }
+      SBR_OBS_COUNT("pool.tasks_enqueued", helpers);
+      SBR_OBS_GAUGE_SET("pool.queue_depth", tasks_.size());
     }
     cv_.notify_all();
   }
 
-  RunChunks(*state);
+  RunChunks(*state, /*helper=*/false);
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(lock,
                       [&] { return state->done == state->num_chunks; });

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "golden_common.h"
+#include "obs/obs.h"
 
 namespace sbr {
 namespace {
@@ -50,6 +51,30 @@ TEST(Golden, EncodedBytesMatchRecordedDigests) {
           << c.name << " threads=" << threads;
       EXPECT_EQ(Crc32(bytes), expect.crc32)
           << c.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Golden, ObservabilityEnabledDoesNotChangeBytes) {
+  // The observability contract: metrics and spans recording at full tilt
+  // never touches the emitted bytes. Same digests, every case, every
+  // thread count, with the runtime gate on. (The compiled-out half of the
+  // contract is this same binary built with the `noobs` preset, where the
+  // gate below is a no-op and the sites do not exist.)
+  obs::EnabledScope enabled;
+  std::map<std::string, golden::GoldenDigest> by_name;
+  for (const auto& d : Digests()) by_name[d.name] = d;
+  for (const auto& c : golden::GoldenCases()) {
+    ASSERT_TRUE(by_name.count(c.name)) << c.name;
+    const auto& expect = by_name[c.name];
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      bool ok = false;
+      const auto bytes = golden::EncodeGoldenStream(c, threads, &ok);
+      ASSERT_TRUE(ok) << c.name << " threads=" << threads;
+      EXPECT_EQ(bytes.size(), expect.bytes)
+          << c.name << " threads=" << threads << " (obs enabled)";
+      EXPECT_EQ(Crc32(bytes), expect.crc32)
+          << c.name << " threads=" << threads << " (obs enabled)";
     }
   }
 }

@@ -230,5 +230,103 @@ INSTANTIATE_TEST_SUITE_P(Sweep, EvictionProperty,
                                          EvictionPolicy::kFifo,
                                          EvictionPolicy::kRandom));
 
+// ----------------------------------------------- error-bound properties
+
+// Strict error-bound mode (Section 4.5): sweep (metric, band_pct,
+// achievable). The error target is derived from a baseline run of the
+// same workload — a multiple above the baseline error when `achievable`,
+// a small fraction of it otherwise — so both halves of the contract get
+// exercised on every metric:
+//   * achievable target  -> the reported error meets the target, the
+//     decoder-side reconstruction realizes that error (no silent
+//     violation), and bandwidth is saved relative to the baseline;
+//   * unachievable target -> the encoder must not pretend: it reports an
+//     error above the target, and because the stop-early check never
+//     fires it spends exactly the baseline's budget and produces exactly
+//     the baseline's error.
+class ErrorBoundProperty
+    : public testing::TestWithParam<std::tuple<ErrorMetric, size_t, bool>> {
+};
+
+TEST_P(ErrorBoundProperty, TargetRespectedOrReportedUnreachable) {
+  const auto [metric, pct, achievable] = GetParam();
+  const size_t num_signals = 3, m = 160;
+  const size_t n = num_signals * m;
+
+  Rng rng(static_cast<uint64_t>(metric) * 100003 + pct * 977 + achievable);
+  std::vector<double> y(n);
+  for (size_t s = 0; s < num_signals; ++s) {
+    for (size_t i = 0; i < m; ++i) {
+      y[s * m + i] = std::sin(i * (0.1 + 0.03 * s)) * (2.0 + s) +
+                     rng.Gaussian(0, 0.3);
+    }
+  }
+
+  EncoderOptions opts;
+  opts.total_band = n * pct / 100;
+  opts.m_base = 96;
+  opts.metric = metric;
+
+  // Baseline: no target, full budget spend.
+  EncodeStats baseline;
+  {
+    SbrEncoder enc(opts);
+    auto t = enc.EncodeChunk(y, num_signals);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    baseline = enc.last_stats();
+  }
+  ASSERT_GT(baseline.total_error, 0.0);
+
+  opts.error_target =
+      achievable ? baseline.total_error * 4.0 : baseline.total_error * 0.01;
+  SbrEncoder enc(opts);
+  auto t = enc.EncodeChunk(y, num_signals);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  const EncodeStats& stats = enc.last_stats();
+
+  // The reported error is honest in both halves: the decoder-side
+  // reconstruction realizes it exactly (no silent bound violation).
+  SbrDecoder dec(DecoderOptions{opts.m_base});
+  auto decoded = dec.DecodeChunk(*t);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  double direct = 0.0;
+  switch (metric) {
+    case ErrorMetric::kSse:
+      direct = SumSquaredError(y, *decoded);
+      break;
+    case ErrorMetric::kSseRelative:
+      direct = SumSquaredRelativeError(y, *decoded);
+      break;
+    case ErrorMetric::kMaxAbs:
+      direct = MaxAbsoluteError(y, *decoded);
+      break;
+  }
+  EXPECT_NEAR(stats.total_error, direct, 1e-6 * std::max(1.0, direct));
+
+  if (achievable) {
+    // Bound met, and met frugally: stopping early can only save values.
+    EXPECT_LE(stats.total_error,
+              opts.error_target * (1.0 + 1e-9));
+    EXPECT_LE(stats.values_used, baseline.values_used);
+    EXPECT_LE(t->ValueCount(), opts.total_band);
+  } else {
+    // Unreachable: the encoder reports it cannot — the error stays above
+    // the target — and the run is bit-identical to the unconstrained one
+    // (the stop-early check never fired, nothing else differs).
+    EXPECT_GT(stats.total_error, opts.error_target);
+    EXPECT_EQ(stats.values_used, baseline.values_used);
+    EXPECT_EQ(stats.num_intervals, baseline.num_intervals);
+    EXPECT_DOUBLE_EQ(stats.total_error, baseline.total_error);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ErrorBoundProperty,
+    testing::Combine(testing::Values(ErrorMetric::kSse,
+                                     ErrorMetric::kSseRelative,
+                                     ErrorMetric::kMaxAbs),
+                     testing::Values<size_t>(10, 25),
+                     testing::Bool()));
+
 }  // namespace
 }  // namespace sbr::core

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Line-coverage workflow for the `coverage` CMake preset.
+#
+#   tools/coverage.sh [scope]
+#
+# Configures + builds build-cov (Debug, --coverage), runs the full ctest
+# suite there, then aggregates gcov line stats for every source under
+# `scope` (default: src/core). Uses only gcc's gcov and python3 — no
+# gcovr/lcov required. The per-file table and TOTAL line land on stdout;
+# record the src/core TOTAL in TESTING.md when it moves.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+SCOPE="${1:-src/core}"
+BUILD="$REPO/build-cov"
+
+cmake --preset coverage -S "$REPO" >/dev/null
+cmake --build --preset coverage -j"$(nproc)"
+(cd "$BUILD" && ctest -j"$(nproc)" --output-on-failure)
+
+# gcov --json-format writes one .gcov.json.gz per source next to the cwd;
+# collect them in a scratch dir, then merge line hits across test binaries
+# (the same source is compiled into several objects).
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+(
+  cd "$TMP"
+  find "$BUILD" -name '*.gcda' -print0 |
+    xargs -0 -r -n 16 gcov --json-format --object-file >/dev/null 2>&1 || true
+  # xargs batching passes multiple .gcda files per gcov invocation; gcov
+  # treats each as its own --object-file argument only when given one, so
+  # fall back to one-at-a-time if the batch produced nothing.
+  if ! ls ./*.gcov.json.gz >/dev/null 2>&1; then
+    find "$BUILD" -name '*.gcda' | while read -r f; do
+      gcov --json-format "$f" >/dev/null 2>&1 || true
+    done
+  fi
+)
+
+python3 - "$TMP" "$REPO" "$SCOPE" <<'EOF'
+import glob, gzip, json, os, sys
+
+tmp, repo, scope = sys.argv[1], sys.argv[2], sys.argv[3]
+hits = {}  # relpath -> {line_number: bool}
+for path in glob.glob(os.path.join(tmp, "*.gcov.json.gz")):
+    with gzip.open(path) as f:
+        data = json.load(f)
+    for fil in data.get("files", []):
+        name = fil["file"]
+        if not os.path.isabs(name):
+            name = os.path.join(repo, name)
+        rel = os.path.relpath(os.path.normpath(name), repo)
+        if rel.startswith("..") or not rel.startswith(scope):
+            continue
+        d = hits.setdefault(rel, {})
+        for ln in fil.get("lines", []):
+            n = ln["line_number"]
+            d[n] = d.get(n, False) or ln["count"] > 0
+
+if not hits:
+    sys.exit(f"no gcov data under scope '{scope}' — did the build run?")
+
+total = covered = 0
+print(f"{'file':<44} {'lines':>6} {'cov%':>7}")
+for rel in sorted(hits):
+    d = hits[rel]
+    t, h = len(d), sum(d.values())
+    if t == 0:
+        continue  # header compiled in but no executable lines attributed
+    total += t
+    covered += h
+    print(f"{rel:<44} {t:>6} {100.0 * h / t:>6.1f}%")
+print(f"{'TOTAL ' + scope:<44} {total:>6} {100.0 * covered / total:>6.1f}%")
+EOF
