@@ -3,10 +3,13 @@
 // to the base station; the bench reports per-node compression factors,
 // radio energy vs the raw-feed counterfactual and the reconstruction
 // error, at several bandwidth budgets.
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "bench_util.h"
 #include "datagen/weather.h"
+#include "net/chaos_sim.h"
 #include "net/network.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -49,6 +52,51 @@ int main() {
     std::fflush(stdout);
     report->PublishMetrics(&obs::MetricsRegistry::Global());
   }
+  // Lifecycle chaos: how much timeline survives when the *endpoints*
+  // fail (crash/restart, power-loss log tears, stalls), and what the
+  // crash-consistent recovery machinery costs in wall clock. Loss here is
+  // explicitly-declared DataLoss, never corruption — the sim's invariant
+  // checks enforce that (DESIGN.md section 5g).
+  std::printf("\n== Lifecycle chaos: survival under crash/restart ==\n");
+  const std::string chaos_dir =
+      (std::filesystem::temp_directory_path() / "sbr_bench_chaos").string();
+  std::filesystem::create_directories(chaos_dir);
+  std::printf("%-8s %-6s %-11s %-6s %-9s %-7s %-7s %-10s\n", "seed", "fed",
+              "delivered", "lost", "crashes", "tears", "clean", "seconds");
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    net::ChaosOptions copts;
+    copts.num_nodes = 4;
+    copts.rounds = 24;
+    copts.chunk_len = 64;
+    copts.encoder.total_band = 100;
+    copts.encoder.m_base = 128;
+    copts.link.drop_probability = 0.08;
+    copts.link.duplicate_probability = 0.04;
+    copts.link.bit_flip_probability = 0.04;
+    copts.faults.seed = seed;
+    copts.log_dir = chaos_dir;
+    copts.data_seed = seed;
+    const auto start = std::chrono::steady_clock::now();
+    net::ChaosSim sim(copts);
+    auto chaos = sim.Run();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (!chaos.ok()) {
+      std::fprintf(stderr, "chaos run failed: %s\n",
+                   chaos.status().ToString().c_str());
+      return 1;
+    }
+    size_t crashes = 0;
+    for (const auto& nr : chaos->nodes) {
+      crashes += nr.crashes + nr.watchdog_restarts;
+    }
+    std::printf("%-8llu %-6zu %-11zu %-6zu %-9zu %-7zu %-7s %-10.3f\n",
+                static_cast<unsigned long long>(seed), chaos->total_fed,
+                chaos->total_delivered, chaos->total_lost, crashes,
+                chaos->log_tears, chaos->clean() ? "yes" : "NO",
+                elapsed.count());
+  }
+
   if (obs::WriteStageReport("obs_network")) {
     std::printf("\nper-node breakdown written to obs_network.{json,csv}\n");
   }

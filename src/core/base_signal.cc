@@ -83,6 +83,49 @@ Status BaseSignal::Overwrite(size_t slot, std::span<const double> vals) {
   return Status::Ok();
 }
 
+void BaseSignal::SaveState(BinaryWriter* writer) const {
+  writer->PutU64(w_);
+  writer->PutU64(num_slots_);
+  writer->PutU64(used_slots_);
+  writer->PutU8(static_cast<uint8_t>(policy_));
+  writer->PutU64(insertion_clock_);
+  writer->PutU64(random_state_);
+  writer->PutDoubles(values_);
+  for (uint64_t c : use_counts_) writer->PutU64(c);
+  for (uint64_t a : inserted_at_) writer->PutU64(a);
+}
+
+StatusOr<BaseSignal> BaseSignal::LoadState(BinaryReader* reader) {
+  BaseSignal sig;
+  uint64_t w = 0, num_slots = 0, used_slots = 0;
+  uint8_t policy = 0;
+  SBR_RETURN_IF_ERROR(reader->GetU64(&w));
+  SBR_RETURN_IF_ERROR(reader->GetU64(&num_slots));
+  SBR_RETURN_IF_ERROR(reader->GetU64(&used_slots));
+  SBR_RETURN_IF_ERROR(reader->GetU8(&policy));
+  if (policy > static_cast<uint8_t>(EvictionPolicy::kRandom)) {
+    return Status::DataLoss("invalid eviction policy in base-signal state");
+  }
+  if (used_slots > num_slots) {
+    return Status::DataLoss("base-signal state used_slots > num_slots");
+  }
+  sig.w_ = w;
+  sig.num_slots_ = num_slots;
+  sig.used_slots_ = used_slots;
+  sig.policy_ = static_cast<EvictionPolicy>(policy);
+  SBR_RETURN_IF_ERROR(reader->GetU64(&sig.insertion_clock_));
+  SBR_RETURN_IF_ERROR(reader->GetU64(&sig.random_state_));
+  SBR_RETURN_IF_ERROR(reader->GetDoubles(&sig.values_));
+  if (sig.values_.size() != num_slots * w) {
+    return Status::DataLoss("base-signal state value count mismatch");
+  }
+  sig.use_counts_.resize(num_slots);
+  sig.inserted_at_.resize(num_slots);
+  for (auto& c : sig.use_counts_) SBR_RETURN_IF_ERROR(reader->GetU64(&c));
+  for (auto& a : sig.inserted_at_) SBR_RETURN_IF_ERROR(reader->GetU64(&a));
+  return sig;
+}
+
 void BaseSignal::RecordUse(size_t shift, size_t length) {
   if (length == 0 || w_ == 0) return;
   assert(shift + length <= used_slots_ * w_);

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "util/serialize.h"
 #include "util/status.h"
 
 namespace sbr::core {
@@ -65,6 +66,12 @@ class BaseSignal {
   /// Monotone counter of Overwrite calls, used for FIFO ordering and
   /// LFU tie-breaking (older slot evicted first).
   uint64_t insertions() const { return insertion_clock_; }
+
+  /// Serializes the complete eviction state (values, use counts, insertion
+  /// order, random stream) so a restored signal plans byte-identical
+  /// placements.
+  void SaveState(BinaryWriter* writer) const;
+  static StatusOr<BaseSignal> LoadState(BinaryReader* reader);
 
  private:
   size_t w_ = 0;

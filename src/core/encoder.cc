@@ -302,4 +302,70 @@ StatusOr<Transmission> SbrEncoder::EncodeImpl(
   return t;
 }
 
+namespace {
+
+bool IsStoredStrategy(BaseStrategy s) {
+  return s == BaseStrategy::kGetBase || s == BaseStrategy::kGetBaseLowMem;
+}
+
+}  // namespace
+
+Status SbrEncoder::SetBaseStrategy(BaseStrategy strategy) {
+  if (!IsStoredStrategy(options_.base_strategy) ||
+      !IsStoredStrategy(strategy)) {
+    return Status::InvalidArgument(
+        "only kGetBase <-> kGetBaseLowMem transitions keep the wire "
+        "format stable");
+  }
+  options_.base_strategy = strategy;
+  return Status::Ok();
+}
+
+void SbrEncoder::SaveState(BinaryWriter* writer) const {
+  writer->PutU64(w_);
+  writer->PutU8(static_cast<uint8_t>(options_.base_strategy));
+  writer->PutU64(row_lengths_.size());
+  for (size_t len : row_lengths_) writer->PutU64(len);
+  const uint8_t has_base = base_.num_slots() > 0 ? 1 : 0;
+  writer->PutU8(has_base);
+  if (has_base) base_.SaveState(writer);
+}
+
+Status SbrEncoder::RestoreState(BinaryReader* reader) {
+  uint64_t w = 0, num_rows = 0;
+  uint8_t strategy = 0, has_base = 0;
+  SBR_RETURN_IF_ERROR(reader->GetU64(&w));
+  SBR_RETURN_IF_ERROR(reader->GetU8(&strategy));
+  if (strategy > static_cast<uint8_t>(BaseStrategy::kNone)) {
+    return Status::DataLoss("invalid base strategy in encoder state");
+  }
+  SBR_RETURN_IF_ERROR(reader->GetU64(&num_rows));
+  std::vector<size_t> rows(num_rows);
+  for (auto& len : rows) {
+    uint64_t v = 0;
+    SBR_RETURN_IF_ERROR(reader->GetU64(&v));
+    len = v;
+  }
+  SBR_RETURN_IF_ERROR(reader->GetU8(&has_base));
+  BaseSignal base;
+  if (has_base) {
+    auto loaded = BaseSignal::LoadState(reader);
+    if (!loaded.ok()) return loaded.status();
+    base = *std::move(loaded);
+  }
+  // The degraded-mode strategy travels with the checkpoint only where the
+  // transition is legal; otherwise the constructed options win.
+  const auto saved = static_cast<BaseStrategy>(strategy);
+  if (IsStoredStrategy(saved) && IsStoredStrategy(options_.base_strategy)) {
+    options_.base_strategy = saved;
+  }
+  w_ = w;
+  row_lengths_ = std::move(rows);
+  base_ = std::move(base);
+  if (w_ != 0 && options_.base_strategy == BaseStrategy::kDctFixed) {
+    dct_base_ = MakeDctFixedBase(w_);
+  }
+  return Status::Ok();
+}
+
 }  // namespace sbr::core

@@ -137,6 +137,20 @@ class SbrEncoder {
   /// The workspace the encode pipeline runs against (owned or borrowed).
   const EncodeWorkspace& workspace() const { return *workspace_; }
 
+  /// Switches between the interchangeable stored-base constructions
+  /// (kGetBase <-> kGetBaseLowMem), the memory-pressure degraded mode. Any
+  /// other transition would change the wire format mid-stream and is
+  /// refused.
+  Status SetBaseStrategy(BaseStrategy strategy);
+
+  /// Serializes the cross-chunk encoder state (geometry, W, base-signal
+  /// buffer, active stored-base strategy) for crash checkpoints. Restoring
+  /// into an encoder built with the same options resumes byte-identical
+  /// encoding. Per-chunk scratch (workspace, stats) is not part of the
+  /// state — it is rebuilt on the next chunk.
+  void SaveState(BinaryWriter* writer) const;
+  Status RestoreState(BinaryReader* reader);
+
  private:
   Status ValidateGeometry(std::span<const size_t> row_lengths);
   StatusOr<Transmission> EncodeImpl(std::span<const double> y,

@@ -235,6 +235,7 @@ size_t BaseSnapshot::ValueCount() const {
 
 void BaseSnapshot::Serialize(BinaryWriter* writer) const {
   writer->PutU32(missing_chunks);
+  writer->PutU64(timeline_chunks);
   writer->PutU32(w);
   writer->PutU8(static_cast<uint8_t>(base_kind));
   writer->PutU32(static_cast<uint32_t>(slots.size()));
@@ -247,6 +248,7 @@ void BaseSnapshot::Serialize(BinaryWriter* writer) const {
 StatusOr<BaseSnapshot> BaseSnapshot::Deserialize(BinaryReader* reader) {
   BaseSnapshot snap;
   SBR_RETURN_IF_ERROR(reader->GetU32(&snap.missing_chunks));
+  SBR_RETURN_IF_ERROR(reader->GetU64(&snap.timeline_chunks));
   SBR_RETURN_IF_ERROR(reader->GetU32(&snap.w));
   uint8_t kind;
   SBR_RETURN_IF_ERROR(reader->GetU8(&kind));

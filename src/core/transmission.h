@@ -146,6 +146,16 @@ Frame MakeDataFrame(uint32_t sensor_id, uint64_t seq, uint32_t epoch,
 /// explicit DataLoss gaps so the timeline stays aligned.
 struct BaseSnapshot {
   uint32_t missing_chunks = 0;
+  /// Chunks the sensor has *resolved* (delivered or written off as lost)
+  /// over its whole lifetime. Lets a receiver whose log lost records (power
+  /// loss, mid-log corruption) rebuild the timeline length: any shortfall
+  /// versus this count is recorded as DataLoss gaps before the snapshot.
+  /// A 0 here means "not tracked": the receiver falls back to summing
+  /// missing_chunks onto its own length. Senders that report losses must
+  /// therefore also report deliveries (MarkChunkDelivered per accepted
+  /// chunk) — a nonzero count that undercounts deliveries would understate
+  /// the timeline, so the receiver takes max(timeline_chunks, own length).
+  uint64_t timeline_chunks = 0;
   uint32_t w = 0;  ///< base-interval width; 0 = encoder not warmed up yet
   BaseKind base_kind = BaseKind::kStored;
   /// Populated slots in slot order (each exactly w values).

@@ -1,9 +1,14 @@
 #include "net/base_station.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 
 namespace sbr::net {
 namespace {
+
+// Station protocol-checkpoint blob format version.
+constexpr uint8_t kStationCheckpointVersion = 1;
 
 void AddStats(const ProtocolStats& from, ProtocolStats* to) {
   to->frames_accepted += from.frames_accepted;
@@ -20,10 +25,11 @@ void AddStats(const ProtocolStats& from, ProtocolStats* to) {
 }  // namespace
 
 BaseStation::BaseStation(size_t m_base, std::string log_dir,
-                         size_t reorder_window)
+                         size_t reorder_window, bool persist_protocol_state)
     : m_base_(m_base),
       log_dir_(std::move(log_dir)),
-      reorder_window_(reorder_window == 0 ? 1 : reorder_window) {}
+      reorder_window_(reorder_window == 0 ? 1 : reorder_window),
+      persist_protocol_state_(persist_protocol_state) {}
 
 StatusOr<BaseStation::PerSensor*> BaseStation::GetOrCreate(
     uint32_t sensor_id) {
@@ -46,7 +52,108 @@ StatusOr<BaseStation::PerSensor*> BaseStation::GetOrCreate(
   auto [pos, inserted] = sensors_.emplace(
       sensor_id, PerSensor{std::move(log), std::move(history).value()});
   (void)inserted;
-  return &pos->second;
+  PerSensor* s = &pos->second;
+  if (persist_protocol_state_ && !s->log.empty()) {
+    SBR_RETURN_IF_ERROR(RestoreProtocolState(s));
+  }
+  return s;
+}
+
+Status BaseStation::AppendProtocolCheckpoint(PerSensor* s) {
+  if (!persist_protocol_state_) return Status::Ok();
+  BinaryWriter writer;
+  writer.PutU8(kStationCheckpointVersion);
+  writer.PutU64(s->expected_seq);
+  writer.PutU32(s->epoch);
+  writer.PutU8(s->awaiting_resync ? 1 : 0);
+  writer.PutU64(s->stats.frames_accepted);
+  writer.PutU64(s->stats.duplicates_suppressed);
+  writer.PutU64(s->stats.buffered_out_of_order);
+  writer.PutU64(s->stats.gap_chunks);
+  writer.PutU64(s->stats.resync_requests);
+  writer.PutU64(s->stats.snapshots_applied);
+  writer.PutU64(s->stats.degraded_batches);
+  writer.PutU64(s->stats.stale_frames_rejected);
+  SBR_OBS_COUNT("net.station.checkpoints", 1);
+  return s->log.AppendCheckpoint(writer.TakeBuffer());
+}
+
+Status BaseStation::RestoreProtocolState(PerSensor* s) {
+  const size_t checkpoint = s->log.LastCheckpointIndex();
+  size_t replay_from = 0;
+  if (checkpoint != storage::ChunkLog::kNoCheckpoint) {
+    auto blob = s->log.ReadCheckpoint(checkpoint);
+    if (!blob.ok()) return blob.status();
+    BinaryReader reader(*blob);
+    uint8_t version = 0, awaiting = 0;
+    SBR_RETURN_IF_ERROR(reader.GetU8(&version));
+    if (version != kStationCheckpointVersion) {
+      return Status::DataLoss("unsupported station checkpoint version " +
+                              std::to_string(version));
+    }
+    SBR_RETURN_IF_ERROR(reader.GetU64(&s->expected_seq));
+    SBR_RETURN_IF_ERROR(reader.GetU32(&s->epoch));
+    SBR_RETURN_IF_ERROR(reader.GetU8(&awaiting));
+    s->awaiting_resync = awaiting != 0;
+    ProtocolStats& st = s->stats;
+    uint64_t v = 0;
+    SBR_RETURN_IF_ERROR(reader.GetU64(&v)); st.frames_accepted = v;
+    SBR_RETURN_IF_ERROR(reader.GetU64(&v)); st.duplicates_suppressed = v;
+    SBR_RETURN_IF_ERROR(reader.GetU64(&v)); st.buffered_out_of_order = v;
+    SBR_RETURN_IF_ERROR(reader.GetU64(&v)); st.gap_chunks = v;
+    SBR_RETURN_IF_ERROR(reader.GetU64(&v)); st.resync_requests = v;
+    SBR_RETURN_IF_ERROR(reader.GetU64(&v)); st.snapshots_applied = v;
+    SBR_RETURN_IF_ERROR(reader.GetU64(&v)); st.degraded_batches = v;
+    SBR_RETURN_IF_ERROR(reader.GetU64(&v)); st.stale_frames_rejected = v;
+    replay_from = checkpoint + 1;
+  }
+  // Roll the state machine forward over whatever landed in the log after
+  // the checkpoint (crash between an append and its checkpoint, or log
+  // recovery rewriting the tail). Sequence numbers advance with each
+  // surviving transmission; anything that signals lost or re-anchored
+  // state forces a resync handshake before new data is trusted.
+  for (size_t i = replay_from; i < s->log.size(); ++i) {
+    switch (s->log.record_type(i)) {
+      case storage::RecordType::kTransmission: {
+        auto t = s->log.Read(i);
+        if (!t.ok()) return t.status();
+        ++s->expected_seq;
+        ++s->stats.frames_accepted;
+        if (t->base_kind == core::BaseKind::kNone) {
+          ++s->stats.degraded_batches;
+        }
+        break;
+      }
+      case storage::RecordType::kGap: {
+        auto chunks = s->log.ReadGap(i);
+        if (!chunks.ok()) return chunks.status();
+        s->stats.gap_chunks += *chunks;
+        s->awaiting_resync = true;
+        break;
+      }
+      case storage::RecordType::kSnapshot:
+        // The snapshot's frame header (seq, epoch) was not persisted with
+        // it, so the post-restart epoch cannot be trusted: demand a fresh
+        // resync instead of guessing.
+        ++s->stats.snapshots_applied;
+        s->awaiting_resync = true;
+        break;
+      case storage::RecordType::kCheckpoint:
+        break;  // older checkpoint, superseded
+    }
+  }
+  // Recovery that dropped, rewrote or de-anchored anything means the
+  // decoder replay no longer mirrors the sensor's base signal and the
+  // frontier may be stale: no data is trusted until a snapshot handshake.
+  if (s->log.dropped_records() > 0 || s->log.quarantined_records() > 0 ||
+      s->log.recovered_lineage_broken()) {
+    s->awaiting_resync = true;
+  }
+  // The per-sensor counters re-enter the station-wide aggregate so the
+  // totals keep reconciling after a restart.
+  AddStats(s->stats, &total_);
+  SBR_OBS_COUNT("net.station.recoveries", 1);
+  return Status::Ok();
 }
 
 Status BaseStation::Receive(uint32_t sensor_id, const core::Transmission& t) {
@@ -152,10 +259,22 @@ StatusOr<FrameAck> BaseStation::HandleFrame(core::Frame frame) {
       ack.type = AckType::kDuplicate;
       return ack;
     }
-    // The snapshot re-establishes a common base signal. Chunks the sensor
-    // reports as lost for good become explicit gaps; anything buffered
-    // under the old epoch is undecodable and is discarded.
-    SBR_RETURN_IF_ERROR(DeclareGap(s, snap->missing_chunks));
+    // The snapshot re-establishes a common base signal and reconciles the
+    // timeline. A sensor that tracks deliveries reports its authoritative
+    // resolved-chunk count (timeline_chunks), which also covers records
+    // this station lost to power failure or log corruption; the shortfall
+    // becomes explicit gaps. Sensors without delivery tracking report the
+    // incremental lost-for-good count instead — the two schemes are not
+    // summed, because the incremental count may include chunks a stale
+    // (crash-recovered) sensor checkpoint already reported once.
+    // Anything buffered under the old epoch is undecodable and discarded.
+    const uint64_t len = s->history.num_chunks();
+    const uint64_t target =
+        snap->timeline_chunks > 0
+            ? std::max<uint64_t>(snap->timeline_chunks, len)
+            : len + snap->missing_chunks;
+    SBR_RETURN_IF_ERROR(
+        DeclareGap(s, target > len ? static_cast<size_t>(target - len) : 0));
     SBR_RETURN_IF_ERROR(s->history.ApplySnapshot(*snap));
     SBR_RETURN_IF_ERROR(s->log.AppendSnapshot(*snap));
     s->stats.stale_frames_rejected += s->pending.size();
@@ -168,6 +287,7 @@ StatusOr<FrameAck> BaseStation::HandleFrame(core::Frame frame) {
     ++total_.snapshots_applied;
     ++s->stats.frames_accepted;
     ++total_.frames_accepted;
+    SBR_RETURN_IF_ERROR(AppendProtocolCheckpoint(s));
     ack.type = AckType::kAccept;
     ack.epoch = s->epoch;
     return ack;
@@ -223,6 +343,7 @@ StatusOr<FrameAck> BaseStation::HandleFrame(core::Frame frame) {
       }
       s->expected_seq = held.seq + 1;
     }
+    SBR_RETURN_IF_ERROR(AppendProtocolCheckpoint(s));
     ack.type = AckType::kAccept;
     return ack;
   }
@@ -237,16 +358,15 @@ StatusOr<FrameAck> BaseStation::HandleFrame(core::Frame frame) {
     return ack;
   }
 
-  // The hole is too old to ever fill: everything from the expected seq
-  // through this frame is lost or undecodable (the missing frames carried
-  // base-signal updates the later ones depend on). Declare the gap loudly
-  // and demand a resync.
-  const size_t lost = frame.seq - s->expected_seq + 1;
-  SBR_RETURN_IF_ERROR(DeclareGap(s, lost));
-  s->stats.stale_frames_rejected += s->pending.size();
-  total_.stale_frames_rejected += s->pending.size();
+  // The hole is too old to ever fill: the missing frames carried
+  // base-signal updates this one may depend on, so it cannot be decoded.
+  // How many chunks the hole really cost is NOT derivable from sequence
+  // numbers alone (retries, snapshots and control frames consume seqs
+  // too); the gap is deferred to the resync handshake, whose snapshot
+  // carries the sensor's own loss accounting and re-aligns the frontier.
+  s->stats.stale_frames_rejected += s->pending.size() + 1;
+  total_.stale_frames_rejected += s->pending.size() + 1;
   s->pending.clear();
-  s->expected_seq = frame.seq + 1;
   s->awaiting_resync = true;
   ++s->stats.resync_requests;
   ++total_.resync_requests;

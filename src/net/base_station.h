@@ -63,8 +63,15 @@ class BaseStation {
   /// it ("sensor_<id>.log"); otherwise logs are in-memory.
   /// `reorder_window` bounds how many frames ahead of the expected
   /// sequence number are buffered before a gap is declared.
+  /// With `persist_protocol_state` the receive state machine (expected
+  /// seq, epoch, counters) is checkpointed into each sensor's log after
+  /// every record-appending transition and restored on the next Open, so
+  /// a restarted station resumes the protocol instead of treating every
+  /// sensor as brand new. Off by default: trusted-path (`Receive`) users
+  /// keep byte-identical logs with no checkpoint records interleaved.
   explicit BaseStation(size_t m_base, std::string log_dir = "",
-                       size_t reorder_window = 8);
+                       size_t reorder_window = 8,
+                       bool persist_protocol_state = false);
 
   /// Ingests one transmission from `sensor_id`, bypassing the frame
   /// protocol (trusted local path; no sequence/epoch tracking).
@@ -112,10 +119,17 @@ class BaseStation {
   Status IngestData(PerSensor* s, const core::Transmission& t);
   /// Records `chunks` DataLoss gaps in history and log.
   Status DeclareGap(PerSensor* s, size_t chunks);
+  /// Appends a protocol-state checkpoint record (persist mode only).
+  Status AppendProtocolCheckpoint(PerSensor* s);
+  /// Restores protocol state from the log's last checkpoint, replaying any
+  /// records appended after it (persist mode only; checkpoint-less legacy
+  /// logs keep the fresh-sensor defaults).
+  Status RestoreProtocolState(PerSensor* s);
 
   size_t m_base_;
   std::string log_dir_;
   size_t reorder_window_;
+  bool persist_protocol_state_;
   std::map<uint32_t, PerSensor> sensors_;
   ProtocolStats total_;
 };

@@ -1,0 +1,174 @@
+// ChaosSim: a lockstep node-lifecycle chaos harness. Where NetworkSim
+// exercises the protocol against *link* faults, ChaosSim additionally
+// subjects the processes themselves to a seeded FaultScheduler: sensor
+// nodes crash and come back from their durable checkpoints, the base
+// station restarts and rebuilds its receive state from its logs, power
+// loss tears the record a log was writing, stalled nodes are power-cycled
+// by a watchdog, and memory pressure flips encoders into the low-memory
+// base construction.
+//
+// The harness keeps a per-node *shadow history*: an oracle HistoryStore
+// fed exactly the transmissions and snapshots the station accepted, but
+// living outside the blast radius of every fault. After the run it checks
+// the recovery invariants the lifecycle layer promises:
+//
+//   I1  no silent corruption — every non-gap chunk the station serves is
+//       bitwise identical to the shadow's chunk at the same position, and
+//       every chunk the shadow knows was written off is a gap at the
+//       station too;
+//   I2  the station's timeline converges to exactly the chunks fed;
+//   I3  delivered + written-off chunks account for every chunk fed;
+//   I4  data survives unless a fault explicitly destroyed it — without
+//       log tears the station holds every delivered chunk;
+//   I5  the whole run is a pure function of its seeds (checked by the
+//       caller via ChaosReport::Digest()).
+//
+// Violations are reported as strings, not assertions, so a sweep can
+// print every offending seed instead of dying on the first.
+#ifndef SBR_NET_CHAOS_SIM_H_
+#define SBR_NET_CHAOS_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/encoder.h"
+#include "net/base_station.h"
+#include "net/fault_channel.h"
+#include "net/fault_scheduler.h"
+#include "net/node.h"
+#include "storage/chunk_log.h"
+#include "storage/history_store.h"
+#include "util/status.h"
+
+namespace sbr::net {
+
+/// Chaos-run configuration. One round feeds every live node exactly one
+/// chunk of synthetic data, so `rounds` is also the per-node chunk count.
+struct ChaosOptions {
+  size_t num_nodes = 3;
+  size_t num_signals = 2;
+  size_t chunk_len = 32;
+  size_t rounds = 16;
+  core::EncoderOptions encoder;
+  /// Link fault rates (per frame copy). Reordering is forced off: the
+  /// lifecycle layer owns timeline alignment and the reorder window is
+  /// covered by the protocol tests.
+  FaultOptions link;
+  /// Lifecycle fault schedule shape; `rounds` and `node_ids` are filled in
+  /// by the sim, the probabilities and `seed` are the caller's knobs.
+  FaultScheduleOptions faults;
+  /// Directory for the durable state: the station's per-sensor logs and
+  /// each node's checkpoint log ("node_<id>.ckpt"). Required; the sim
+  /// deletes its own files there at start so every run begins cold.
+  std::string log_dir;
+  uint64_t data_seed = 1;
+  size_t max_attempts = 16;
+  size_t max_resync_rounds = 3;
+  size_t reorder_window = 8;
+};
+
+/// Per-node chaos outcome.
+struct ChaosNodeReport {
+  uint32_t id = 0;
+  size_t fed = 0;        ///< chunks generated and encoded
+  size_t delivered = 0;  ///< chunks the station accepted (any form)
+  size_t lost = 0;       ///< chunks written off as DataLoss
+  size_t crashes = 0;
+  size_t clean_restarts = 0;
+  size_t watchdog_restarts = 0;
+  size_t stall_rounds = 0;
+  size_t pressure_toggles = 0;
+  size_t backoff_slots = 0;
+  size_t station_chunks = 0;  ///< final station timeline length
+  size_t station_gaps = 0;
+  /// FNV-1a over the station's final reconstructed history (values and gap
+  /// positions); equal digests mean bitwise-equal histories.
+  uint64_t history_digest = 0;
+};
+
+/// Whole-run chaos outcome.
+struct ChaosReport {
+  std::vector<ChaosNodeReport> nodes;
+  size_t rounds = 0;
+  size_t events_scheduled = 0;
+  size_t events_applied = 0;
+  size_t events_skipped = 0;  ///< e.g. faults aimed at a stalled node
+  size_t station_restarts = 0;
+  size_t log_tears = 0;  ///< power-loss events that damaged a log file
+  size_t total_fed = 0;
+  size_t total_delivered = 0;
+  size_t total_lost = 0;
+  /// Human-readable invariant violations; empty on a clean run.
+  std::vector<std::string> violations;
+
+  bool clean() const { return violations.empty(); }
+  /// Order-sensitive digest of every per-node digest and counter, for
+  /// same-seed determinism checks.
+  uint64_t Digest() const;
+};
+
+/// One chaos run. Single-threaded lockstep by design — the *encoders* may
+/// still run multi-threaded via ChaosOptions::encoder.threads, which is
+/// how the chaos suite doubles as a thread-invariance test.
+class ChaosSim {
+ public:
+  explicit ChaosSim(ChaosOptions options);
+
+  /// Executes the full schedule plus a convergence tail and returns the
+  /// report. Returns a Status error only for harness-level failures
+  /// (unwritable log_dir, invalid encoder geometry); protocol-level
+  /// damage always surfaces as report violations instead.
+  StatusOr<ChaosReport> Run();
+
+ private:
+  struct NodeCtx {
+    explicit NodeCtx(size_t m_base) : shadow(m_base) {}
+
+    uint32_t id = 0;
+    std::unique_ptr<SensorNode> node;
+    storage::ChunkLog ckpt;
+    std::string ckpt_path;
+    FaultChannel channel;
+    storage::HistoryStore shadow;
+    ChaosNodeReport report;
+    size_t stall_until = 0;      ///< rounds < stall_until are silent
+    bool watchdog_pending = false;
+  };
+
+  Status SetUp();
+  Status ApplyEvent(const LifecycleEvent& e, size_t round);
+  Status RunRound(size_t round);
+  /// Feeds round `round`'s chunk into a node and drives it to a terminal
+  /// outcome (accepted, recovered degraded, or written off).
+  Status ResolveChunk(NodeCtx* ctx, size_t round);
+  /// One end-to-end frame delivery through the node's fault channel.
+  /// Success is strictly an Accept ack for this frame's identity.
+  enum class Outcome { kAccepted, kDesync, kAbandoned };
+  StatusOr<Outcome> Deliver(NodeCtx* ctx, const core::Frame& frame);
+  /// Snapshot handshake over the faulty channel; mirrors the accepted
+  /// snapshot into the shadow history on success.
+  StatusOr<bool> TryResync(NodeCtx* ctx);
+  /// Applies an accepted frame to the node's shadow history.
+  Status ShadowAccept(NodeCtx* ctx, const core::Frame& frame);
+  Status CrashRestartNode(NodeCtx* ctx);
+  Status CleanRestartNode(NodeCtx* ctx);
+  Status RestartStation();
+  /// Damages a log file per the event's tear mode; true if bytes changed.
+  StatusOr<bool> TearLog(const std::string& path,
+                         const storage::ChunkLog& view, TearMode mode,
+                         storage::RecordType flip_target);
+  Status Finalize();
+  void CheckInvariants();
+
+  ChaosOptions options_;
+  std::unique_ptr<BaseStation> station_;
+  std::vector<NodeCtx> nodes_;
+  ChaosReport report_;
+  bool any_station_tear_ = false;
+};
+
+}  // namespace sbr::net
+
+#endif  // SBR_NET_CHAOS_SIM_H_

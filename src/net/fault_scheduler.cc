@@ -1,0 +1,77 @@
+#include "net/fault_scheduler.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace sbr::net {
+namespace {
+
+// One Bernoulli draw. Always consumes exactly one stream value so the
+// schedule stays a pure function of the options even as probabilities
+// change between runs of a sweep.
+bool Draw(Rng* rng, double p) { return rng->NextDouble() < p; }
+
+}  // namespace
+
+FaultScheduler::FaultScheduler(const FaultScheduleOptions& options) {
+  Rng rng(options.seed ^ 0x8f1bbcdcbfa53e0bull);
+  const size_t fault_rounds =
+      options.rounds > options.fault_free_tail
+          ? options.rounds - options.fault_free_tail
+          : 0;
+  // Round-major generation with a fixed draw order (station first, then
+  // each node in id order, one draw per fault kind) keeps events sorted by
+  // round and makes the schedule independent of container iteration order.
+  for (size_t round = 0; round < fault_rounds; ++round) {
+    if (Draw(&rng, options.station_restart_probability)) {
+      LifecycleEvent e;
+      e.round = round;
+      e.fault = LifecycleFault::kStationRestart;
+      events_.push_back(e);
+      ++counts_[static_cast<size_t>(e.fault)];
+    }
+    for (uint32_t id : options.node_ids) {
+      LifecycleEvent e;
+      e.round = round;
+      e.node_id = id;
+      // At most one lifecycle fault per node per round; the first draw
+      // that fires wins, but every draw is still consumed (see Draw).
+      const bool crash = Draw(&rng, options.node_crash_probability);
+      const bool clean = Draw(&rng, options.clean_restart_probability);
+      const bool power = Draw(&rng, options.power_loss_probability);
+      const bool stall = Draw(&rng, options.stall_probability);
+      const bool pressure = Draw(&rng, options.memory_pressure_probability);
+      const auto tear_mode = static_cast<TearMode>(rng.UniformInt(0, 2));
+      const auto tear_target = static_cast<TearTarget>(rng.UniformInt(0, 1));
+      const size_t stall_rounds = options.max_stall_rounds > 0
+                                      ? static_cast<size_t>(rng.UniformInt(
+                                            1, static_cast<int64_t>(
+                                                   options.max_stall_rounds)))
+                                      : 1;
+      if (crash) {
+        e.fault = LifecycleFault::kNodeCrash;
+      } else if (clean) {
+        e.fault = LifecycleFault::kNodeCleanRestart;
+      } else if (power) {
+        e.fault = LifecycleFault::kPowerLoss;
+        e.tear_mode = tear_mode;
+        e.tear_target = tear_target;
+      } else if (stall) {
+        e.fault = LifecycleFault::kNodeStall;
+        // The stall must end inside the fault window, otherwise the
+        // watchdog restart would fire inside the convergence tail.
+        e.duration = std::min(stall_rounds, fault_rounds - round);
+        if (e.duration == 0) continue;
+      } else if (pressure) {
+        e.fault = LifecycleFault::kMemoryPressure;
+      } else {
+        continue;
+      }
+      events_.push_back(e);
+      ++counts_[static_cast<size_t>(e.fault)];
+    }
+  }
+}
+
+}  // namespace sbr::net

@@ -1,0 +1,96 @@
+// FaultScheduler: a deterministic, seeded generator of node-lifecycle
+// fault schedules for the chaos simulation. Where FaultChannel models the
+// *link* misbehaving (drop/duplicate/reorder/bit-flip per frame), the
+// scheduler models the *processes* misbehaving: sensor nodes crash and
+// restart from their last checkpoint, the base station restarts and
+// reloads its logs, power loss tears the record a ChunkLog was writing,
+// nodes hang until a watchdog power-cycles them, and memory pressure
+// forces the encoder into its low-memory base construction.
+//
+// A schedule is a pure function of its options (seed included): the same
+// options replay the same events in the same rounds, which is what lets a
+// failing chaos run be reproduced from nothing but its seed.
+#ifndef SBR_NET_FAULT_SCHEDULER_H_
+#define SBR_NET_FAULT_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sbr::net {
+
+/// Process-level fault kinds the chaos layer injects.
+enum class LifecycleFault : uint8_t {
+  kNodeCrash = 0,       ///< node dies; restarts from its last checkpoint
+  kNodeCleanRestart,    ///< node checkpoints, shuts down, restarts
+  kStationRestart,      ///< base station restarts and reloads its logs
+  kPowerLoss,           ///< power cut mid-write: a log record is torn
+  kNodeStall,           ///< node hangs; the watchdog power-cycles it later
+  kMemoryPressure,      ///< toggles the encoder's low-memory degraded mode
+};
+inline constexpr size_t kNumLifecycleFaults = 6;
+
+/// How a power-loss event damages the active log.
+enum class TearMode : uint8_t {
+  kTruncate = 0,   ///< the tail of the last record vanishes
+  kHalfWrite,      ///< a record's framing lands but its payload does not
+  kFlipByte,       ///< a payload byte of a settled record is corrupted
+};
+
+/// Whose log the power loss hits.
+enum class TearTarget : uint8_t {
+  kStationLog = 0,     ///< the station's per-sensor chunk log
+  kNodeCheckpoint,     ///< the node's own checkpoint log (node also crashes)
+};
+
+/// One scheduled fault.
+struct LifecycleEvent {
+  size_t round = 0;       ///< lockstep round the event fires at
+  LifecycleFault fault = LifecycleFault::kNodeCrash;
+  uint32_t node_id = 0;   ///< victim node (ignored for kStationRestart)
+  size_t duration = 0;    ///< kNodeStall: rounds of silence before watchdog
+  TearMode tear_mode = TearMode::kTruncate;      ///< kPowerLoss only
+  TearTarget tear_target = TearTarget::kStationLog;  ///< kPowerLoss only
+};
+
+/// Schedule shape. Probabilities are per round (and per node for the
+/// node-scoped faults), evaluated independently from the seeded stream.
+struct FaultScheduleOptions {
+  size_t rounds = 0;               ///< total lockstep rounds of the run
+  std::vector<uint32_t> node_ids;  ///< nodes eligible as victims
+  uint64_t seed = 1;
+  /// No events are scheduled in the last `fault_free_tail` rounds, so
+  /// every run ends with a convergence window in which the protocol can
+  /// settle back to a fully reconciled, byte-identical history.
+  size_t fault_free_tail = 4;
+  double node_crash_probability = 0.03;
+  double clean_restart_probability = 0.02;
+  double station_restart_probability = 0.02;
+  double power_loss_probability = 0.02;
+  double stall_probability = 0.02;
+  double memory_pressure_probability = 0.03;
+  size_t max_stall_rounds = 3;
+};
+
+/// Deterministic fault schedule: built once, replayed read-only.
+class FaultScheduler {
+ public:
+  explicit FaultScheduler(const FaultScheduleOptions& options);
+
+  /// All events in firing order (round-major, stable within a round).
+  const std::vector<LifecycleEvent>& events() const { return events_; }
+
+  /// Number of scheduled events of one kind.
+  size_t count(LifecycleFault fault) const {
+    return counts_[static_cast<size_t>(fault)];
+  }
+  size_t total_events() const { return events_.size(); }
+
+ private:
+  std::vector<LifecycleEvent> events_;
+  size_t counts_[kNumLifecycleFaults] = {};
+};
+
+}  // namespace sbr::net
+
+#endif  // SBR_NET_FAULT_SCHEDULER_H_

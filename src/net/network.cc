@@ -97,7 +97,7 @@ NetworkSim::NetworkSim(std::vector<NodePlacement> placements,
       station_(encoder_options_.m_base, "", link.reorder_window) {}
 
 StatusOr<NetworkSim::DeliveryOutcome> NetworkSim::DeliverFrame(
-    const core::Frame& frame, size_t value_count,
+    SensorNode* node, const core::Frame& frame, size_t value_count,
     std::vector<FaultChannel>* hops, size_t hops_to_base, NodeReport* nr) {
   BinaryWriter writer;
   frame.Serialize(&writer);
@@ -113,7 +113,7 @@ StatusOr<NetworkSim::DeliveryOutcome> NetworkSim::DeliverFrame(
     if (attempt > 0) {
       ++nr->retransmissions;
       SBR_OBS_COUNT("net.tx.retries", 1);
-      const size_t slots = size_t{1} << std::min<size_t>(attempt, 10);
+      const size_t slots = node->NextBackoffSlots(attempt);
       nr->backoff_slots += slots;
       energy_.ChargeBackoff(slots, &nr->energy);
     }
@@ -176,8 +176,8 @@ StatusOr<bool> NetworkSim::TryResync(SensorNode* node, bool recover_batch,
   core::Frame snap = node->BuildSnapshotFrame();
   const size_t snap_values = BytesToValues(snap.payload.size());
   nr->values_sent += snap_values;
-  auto delivered = DeliverFrame(snap, OnAirValues(energy_.params(),
-                                                  snap_values),
+  auto delivered = DeliverFrame(node, snap,
+                                OnAirValues(energy_.params(), snap_values),
                                 hops, hops_to_base, nr);
   if (!delivered.ok()) return delivered.status();
   if (*delivered != DeliveryOutcome::kAccepted) return false;
@@ -193,10 +193,14 @@ StatusOr<bool> NetworkSim::TryResync(SensorNode* node, bool recover_batch,
   const size_t values = degraded->ValueCount();
   core::Frame frame = node->MakeDataFrame(*degraded);
   nr->values_sent += values;
-  auto outcome = DeliverFrame(frame, OnAirValues(energy_.params(), values),
+  auto outcome = DeliverFrame(node, frame,
+                              OnAirValues(energy_.params(), values),
                               hops, hops_to_base, nr);
   if (!outcome.ok()) return outcome.status();
-  if (*outcome == DeliveryOutcome::kAccepted) return true;
+  if (*outcome == DeliveryOutcome::kAccepted) {
+    node->MarkChunkDelivered();
+    return true;
+  }
   if (*outcome == DeliveryOutcome::kDesync) node->set_needs_resync(true);
   return false;
 }
@@ -225,10 +229,14 @@ Status NetworkSim::DeliverChunk(SensorNode* node, const core::Transmission& tx,
   const size_t values = tx.ValueCount();
   core::Frame frame = node->MakeDataFrame(tx);
   nr->values_sent += values;
-  auto outcome = DeliverFrame(frame, OnAirValues(energy_.params(), values),
+  auto outcome = DeliverFrame(node, frame,
+                              OnAirValues(energy_.params(), values),
                               hops, hops_to_base, nr);
   if (!outcome.ok()) return outcome.status();
-  if (*outcome == DeliveryOutcome::kAccepted) return Status::Ok();
+  if (*outcome == DeliveryOutcome::kAccepted) {
+    node->MarkChunkDelivered();
+    return Status::Ok();
+  }
 
   if (link_.resync_enabled) {
     for (size_t round = 0; round < link_.max_resync_rounds; ++round) {

@@ -149,8 +149,10 @@ class NetworkSim {
   };
 
   /// Pushes one frame through the node's hop chain with retries and
-  /// exponential backoff, charging energy per copy per hop.
-  StatusOr<DeliveryOutcome> DeliverFrame(const core::Frame& frame,
+  /// exponential backoff (with the node's seeded jitter), charging energy
+  /// per copy per hop.
+  StatusOr<DeliveryOutcome> DeliverFrame(SensorNode* node,
+                                         const core::Frame& frame,
                                          size_t value_count,
                                          std::vector<FaultChannel>* hops,
                                          size_t hops_to_base, NodeReport* nr);

@@ -1,6 +1,16 @@
 #include "net/node.h"
 
+#include <algorithm>
+
+#include "util/serialize.h"
+
 namespace sbr::net {
+namespace {
+
+// Node-checkpoint blob format version (see SaveCheckpoint).
+constexpr uint8_t kCheckpointVersion = 1;
+
+}  // namespace
 
 SensorNode::SensorNode(uint32_t id, size_t num_signals, size_t chunk_len,
                        core::EncoderOptions encoder_options)
@@ -8,7 +18,9 @@ SensorNode::SensorNode(uint32_t id, size_t num_signals, size_t chunk_len,
       num_signals_(num_signals),
       chunk_len_(chunk_len),
       buffer_(num_signals * chunk_len, 0.0),
-      encoder_(std::move(encoder_options), &workspace_) {}
+      encoder_(std::move(encoder_options), &workspace_),
+      backoff_rng_(0x6a09e667f3bcc909ull ^ (uint64_t{id} * 0x100000001b3ull)) {
+}
 
 StatusOr<std::optional<core::Transmission>> SensorNode::AddSamples(
     std::span<const double> sample_per_signal) {
@@ -72,6 +84,7 @@ core::Frame SensorNode::BuildSnapshotFrame() {
       snap.base_kind = core::BaseKind::kStored;
       break;
   }
+  snap.timeline_chunks = delivered_chunks_ + lost_chunks_;
   if (snap.base_kind == core::BaseKind::kStored && base.w() > 0) {
     std::span<const double> flat = base.values();
     snap.slots.reserve(base.used_slots());
@@ -90,6 +103,99 @@ void SensorNode::RecordLostChunk() {
   ++unreported_lost_;
   ++lost_chunks_;
   needs_resync_ = true;
+}
+
+void SensorNode::RecordLostChunks(size_t n) {
+  if (n == 0) return;
+  unreported_lost_ += n;
+  lost_chunks_ += n;
+  needs_resync_ = true;
+}
+
+size_t SensorNode::NextBackoffSlots(size_t attempt) {
+  const size_t base = size_t{1} << std::min<size_t>(attempt, 10);
+  if (base <= 1) return 1;
+  // Jitter over the upper half of the exponential window: the mean stays
+  // ~3/4 of the deterministic schedule while any two nodes' retry trains
+  // decorrelate after the first collision.
+  const size_t half = base / 2;
+  return half + static_cast<size_t>(
+                    backoff_rng_.UniformInt(0, static_cast<int64_t>(half)));
+}
+
+void SensorNode::SetMemoryPressure(bool on) {
+  if (on == memory_pressure_) return;
+  const auto want = on ? core::BaseStrategy::kGetBaseLowMem
+                       : core::BaseStrategy::kGetBase;
+  if (!encoder_.SetBaseStrategy(want).ok()) return;  // non-stored base
+  memory_pressure_ = on;
+  ++pressure_transitions_;
+}
+
+std::vector<uint8_t> SensorNode::SaveCheckpoint() const {
+  BinaryWriter writer;
+  writer.PutU8(kCheckpointVersion);
+  writer.PutU64(seq_);
+  writer.PutU32(epoch_);
+  writer.PutU64(unreported_lost_);
+  writer.PutU64(lost_chunks_);
+  writer.PutU64(delivered_chunks_);
+  writer.PutU64(transmissions_);
+  writer.PutU64(resyncs_);
+  writer.PutU64(degraded_batches_);
+  writer.PutU8(needs_resync_ ? 1 : 0);
+  writer.PutU8(memory_pressure_ ? 1 : 0);
+  encoder_.SaveState(&writer);
+  return writer.TakeBuffer();
+}
+
+Status SensorNode::RestoreCheckpoint(std::span<const uint8_t> blob,
+                                     RestartMode mode) {
+  BinaryReader reader(blob);
+  uint8_t version = 0;
+  SBR_RETURN_IF_ERROR(reader.GetU8(&version));
+  if (version != kCheckpointVersion) {
+    return Status::DataLoss("unsupported node checkpoint version " +
+                            std::to_string(version));
+  }
+  uint64_t seq = 0, unreported = 0, lost = 0, delivered = 0;
+  uint64_t transmissions = 0, resyncs = 0, degraded = 0;
+  uint32_t epoch = 0;
+  uint8_t needs_resync = 0, pressure = 0;
+  SBR_RETURN_IF_ERROR(reader.GetU64(&seq));
+  SBR_RETURN_IF_ERROR(reader.GetU32(&epoch));
+  SBR_RETURN_IF_ERROR(reader.GetU64(&unreported));
+  SBR_RETURN_IF_ERROR(reader.GetU64(&lost));
+  SBR_RETURN_IF_ERROR(reader.GetU64(&delivered));
+  SBR_RETURN_IF_ERROR(reader.GetU64(&transmissions));
+  SBR_RETURN_IF_ERROR(reader.GetU64(&resyncs));
+  SBR_RETURN_IF_ERROR(reader.GetU64(&degraded));
+  SBR_RETURN_IF_ERROR(reader.GetU8(&needs_resync));
+  SBR_RETURN_IF_ERROR(reader.GetU8(&pressure));
+  SBR_RETURN_IF_ERROR(encoder_.RestoreState(&reader));
+  seq_ = seq;
+  epoch_ = epoch;
+  unreported_lost_ = unreported;
+  lost_chunks_ = lost;
+  delivered_chunks_ = delivered;
+  transmissions_ = transmissions;
+  resyncs_ = resyncs;
+  degraded_batches_ = degraded;
+  needs_resync_ = needs_resync != 0;
+  memory_pressure_ = pressure != 0;
+  filled_ = 0;
+  has_last_batch_ = false;
+  last_batch_.clear();
+  if (mode == RestartMode::kCrash) {
+    // The checkpoint may predate frames that already reached the station:
+    // reserve sequence headroom so nothing replayed lands inside the
+    // duplicate-suppression window, and epoch headroom so the recovery
+    // snapshot outranks any resync the station saw after the checkpoint.
+    seq_ += kSeqReserve;
+    epoch_ += kEpochReserve;
+    needs_resync_ = true;
+  }
+  return Status::Ok();
 }
 
 }  // namespace sbr::net

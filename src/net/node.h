@@ -18,6 +18,7 @@
 
 #include "core/encoder.h"
 #include "core/transmission.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace sbr::net {
@@ -79,6 +80,54 @@ class SensorNode {
   /// timeline aligned with explicit gaps.
   void RecordLostChunk();
 
+  /// Bulk form: `n` chunks written off at once (restart reconciliation).
+  void RecordLostChunks(size_t n);
+
+  /// Records that one encoded chunk was accepted by the base station (in
+  /// primary or degraded form). Together with lost_chunks() this gives the
+  /// node's resolved-timeline length, which snapshots carry so a station
+  /// whose log lost records can rebuild the gap count.
+  void MarkChunkDelivered() { ++delivered_chunks_; }
+
+  /// Retransmit backoff for `attempt` (0-based), in slots: exponential
+  /// base with per-node seeded jitter drawn uniformly from the upper half
+  /// of the window, so simultaneously restarted nodes do not produce
+  /// synchronized retry storms. Deterministic per (node id, call index).
+  size_t NextBackoffSlots(size_t attempt);
+
+  /// Memory-pressure degraded mode: on, the encoder drops to the
+  /// low-memory base construction (GetBaseLowMem); off restores the full
+  /// construction. No-op for non-stored base strategies.
+  void SetMemoryPressure(bool on);
+  bool memory_pressure() const { return memory_pressure_; }
+  size_t pressure_transitions() const { return pressure_transitions_; }
+
+  // ------------------------------------------------ lifecycle checkpoints
+
+  /// How a node is being brought back.
+  enum class RestartMode {
+    kCleanShutdown,  ///< checkpoint is current; resume byte-transparently
+    kCrash,  ///< checkpoint may be stale; reserve seq/epoch headroom and
+             ///< force a resync before the next data frame
+  };
+
+  /// Serializes the node's cross-chunk state (protocol counters, epoch,
+  /// seq, encoder base-signal state) as an opaque checkpoint blob for
+  /// ChunkLog::AppendCheckpoint. Checkpoints are meant to be taken at
+  /// chunk boundaries: the partially-filled sample buffer and the
+  /// last-batch retry copy are deliberately not part of the state.
+  std::vector<uint8_t> SaveCheckpoint() const;
+
+  /// Restores from SaveCheckpoint output. kCrash additionally advances
+  /// seq by kSeqReserve and epoch by kEpochReserve — frames sent after a
+  /// stale checkpoint must never collide with the station's
+  /// duplicate-suppression window or its epoch ordering — and marks the
+  /// node as needing resync.
+  Status RestoreCheckpoint(std::span<const uint8_t> blob, RestartMode mode);
+
+  static constexpr uint64_t kSeqReserve = 64;
+  static constexpr uint32_t kEpochReserve = 16;
+
   /// True if a previous failure left the base station desynchronized (or
   /// under-informed about lost chunks) and a resync must precede the next
   /// data frame.
@@ -90,6 +139,7 @@ class SensorNode {
   size_t resyncs() const { return resyncs_; }
   size_t degraded_batches() const { return degraded_batches_; }
   size_t lost_chunks() const { return lost_chunks_; }
+  size_t delivered_chunks() const { return delivered_chunks_; }
 
  private:
   uint32_t id_;
@@ -115,8 +165,14 @@ class SensorNode {
   bool needs_resync_ = false;
   size_t unreported_lost_ = 0;  ///< lost chunks not yet carried by a snapshot
   size_t lost_chunks_ = 0;
+  size_t delivered_chunks_ = 0;
   size_t resyncs_ = 0;
   size_t degraded_batches_ = 0;
+  bool memory_pressure_ = false;
+  size_t pressure_transitions_ = 0;
+  /// Private jitter stream for retransmit backoff, seeded from the node id
+  /// so every node decorrelates from its peers yet replays identically.
+  Rng backoff_rng_;
   /// Raw copy of the last fully-sampled batch, kept for degraded re-encode.
   std::vector<double> last_batch_;
   bool has_last_batch_ = false;

@@ -1,5 +1,6 @@
 #include "storage/chunk_log.h"
 
+#include <filesystem>
 #include <fstream>
 
 #include "util/crc32.h"
@@ -24,8 +25,17 @@ bool PayloadParses(RecordType type, std::span<const uint8_t> payload) {
     }
     case RecordType::kSnapshot:
       return core::BaseSnapshot::Deserialize(&check).ok();
+    case RecordType::kCheckpoint:
+      return true;  // opaque owner-defined blob; CRC is the only guard
   }
   return false;
+}
+
+// Payload of the gap marker a quarantined transmission is replaced with.
+std::vector<uint8_t> OneChunkGapPayload() {
+  BinaryWriter writer;
+  writer.PutU32(1);
+  return writer.TakeBuffer();
 }
 
 }  // namespace
@@ -45,6 +55,7 @@ StatusOr<ChunkLog> ChunkLog::Open(const std::string& path) {
     out.write(reinterpret_cast<const char*>(header.buffer().data()),
               static_cast<std::streamsize>(header.size()));
     if (!out) return Status::DataLoss("cannot write log header: " + path);
+    log.disk_end_ = header.size();
     return log;
   }
 
@@ -61,10 +72,21 @@ StatusOr<ChunkLog> ChunkLog::Open(const std::string& path) {
     return Status::DataLoss("unsupported log version " +
                             std::to_string(version));
   }
+  // Record framing: len u32 | type u8 | crc u32 | payload. A record whose
+  // framing cannot even be read is a torn tail (crash mid-write): it and
+  // anything after it are dropped and the file is truncated back so later
+  // appends land on a clean boundary. A record that is *complete* on disk
+  // but fails its CRC or does not parse is quarantined in place: replaced
+  // by a one-chunk gap if its type byte reads as a transmission (other
+  // types never occupied a chunk of the timeline, so emitting a slot for
+  // them could fabricate history), and because later transmissions may
+  // depend on base-signal updates the corrupt record carried, subsequent
+  // transmissions are also converted to gaps until a valid snapshot
+  // re-anchors the stream.
+  bool lineage_broken = false;
+  size_t valid_end = reader.position();
   while (!reader.AtEnd()) {
-    // Record framing: len u32 | type u8 | crc u32 | payload. A record that
-    // is truncated, fails its CRC or does not parse truncates the log here:
-    // everything after it is unusable (records are stateful in order).
+    const size_t record_offset = reader.position();
     uint32_t len = 0;
     uint8_t type = 0;
     uint32_t crc = 0;
@@ -74,51 +96,68 @@ StatusOr<ChunkLog> ChunkLog::Open(const std::string& path) {
       ++log.dropped_records_;
       break;  // torn tail
     }
+    const size_t framed_len = reader.position() - record_offset;
+    valid_end = reader.position();
     uint32_t state = Crc32Update(kCrc32Init, std::span(&type, 1));
     state = Crc32Update(state, payload);
-    if (crc != Crc32Finalize(state) ||
-        type > static_cast<uint8_t>(RecordType::kSnapshot) ||
-        !PayloadParses(static_cast<RecordType>(type), payload)) {
-      // Corrupted record: count it plus everything behind it, then stop.
-      ++log.dropped_records_;
-      while (!reader.AtEnd()) {
-        uint32_t skip_len = 0;
-        std::vector<uint8_t> skipped;
-        uint8_t t8;
-        uint32_t c32;
-        if (!reader.GetU32(&skip_len).ok() || !reader.GetU8(&t8).ok() ||
-            !reader.GetU32(&c32).ok() ||
-            !reader.GetRaw(skip_len, &skipped).ok()) {
-          break;
-        }
-        ++log.dropped_records_;
+    const bool type_ok = type <= static_cast<uint8_t>(RecordType::kCheckpoint);
+    const bool intact =
+        crc == Crc32Finalize(state) && type_ok &&
+        PayloadParses(static_cast<RecordType>(type), payload);
+    if (!intact) {
+      ++log.quarantined_records_;
+      lineage_broken = true;
+      if (type == static_cast<uint8_t>(RecordType::kTransmission)) {
+        log.records_.push_back(Record{RecordType::kGap, OneChunkGapPayload(),
+                                      record_offset, framed_len});
       }
-      break;
+      continue;
     }
-    log.records_.push_back(
-        Record{static_cast<RecordType>(type), std::move(payload)});
+    const auto record_type = static_cast<RecordType>(type);
+    if (lineage_broken && record_type == RecordType::kTransmission) {
+      // Valid on its own, but it may reference base slots whose updates
+      // were lost with the corrupt record — surfacing it could decode to
+      // garbage. One record == one chunk, so a one-chunk gap keeps the
+      // timeline aligned.
+      ++log.quarantined_records_;
+      log.records_.push_back(Record{RecordType::kGap, OneChunkGapPayload(),
+                                    record_offset, framed_len});
+      continue;
+    }
+    if (record_type == RecordType::kSnapshot) lineage_broken = false;
+    log.records_.push_back(Record{record_type, std::move(payload),
+                                  record_offset, framed_len});
+  }
+  log.recovered_lineage_broken_ = lineage_broken;
+  log.disk_end_ = valid_end;
+  if (log.dropped_records_ > 0 && valid_end < bytes.size()) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, valid_end, ec);
+    if (ec) return Status::DataLoss("cannot truncate torn tail: " + path);
   }
   return log;
 }
 
 Status ChunkLog::AppendRecord(RecordType type, std::vector<uint8_t> payload) {
+  BinaryWriter framed;
+  framed.PutU32(static_cast<uint32_t>(payload.size()));
+  const uint8_t type_byte = static_cast<uint8_t>(type);
+  framed.PutU8(type_byte);
+  uint32_t state = Crc32Update(kCrc32Init, std::span(&type_byte, 1));
+  state = Crc32Update(state, payload);
+  framed.PutU32(Crc32Finalize(state));
+  framed.PutRaw(payload);
   if (!path_.empty()) {
     std::ofstream out(path_, std::ios::binary | std::ios::app);
     if (!out) return Status::NotFound("cannot append to log: " + path_);
-    BinaryWriter framed;
-    framed.PutU32(static_cast<uint32_t>(payload.size()));
-    const uint8_t type_byte = static_cast<uint8_t>(type);
-    framed.PutU8(type_byte);
-    uint32_t state = Crc32Update(kCrc32Init, std::span(&type_byte, 1));
-    state = Crc32Update(state, payload);
-    framed.PutU32(Crc32Finalize(state));
-    framed.PutRaw(payload);
     out.write(reinterpret_cast<const char*>(framed.buffer().data()),
               static_cast<std::streamsize>(framed.size()));
     out.flush();
     if (!out) return Status::DataLoss("write failed: " + path_);
   }
-  records_.push_back(Record{type, std::move(payload)});
+  records_.push_back(Record{type, std::move(payload), disk_end_,
+                            framed.size()});
+  disk_end_ += framed.size();
   return Status::Ok();
 }
 
@@ -138,6 +177,10 @@ Status ChunkLog::AppendSnapshot(const core::BaseSnapshot& snapshot) {
   BinaryWriter writer;
   snapshot.Serialize(&writer);
   return AppendRecord(RecordType::kSnapshot, writer.TakeBuffer());
+}
+
+Status ChunkLog::AppendCheckpoint(std::vector<uint8_t> blob) {
+  return AppendRecord(RecordType::kCheckpoint, std::move(blob));
 }
 
 StatusOr<core::Transmission> ChunkLog::Read(size_t index) const {
@@ -179,6 +222,25 @@ StatusOr<core::BaseSnapshot> ChunkLog::ReadSnapshot(size_t index) const {
   }
   BinaryReader reader(records_[index].payload);
   return core::BaseSnapshot::Deserialize(&reader);
+}
+
+StatusOr<std::vector<uint8_t>> ChunkLog::ReadCheckpoint(size_t index) const {
+  if (index >= records_.size()) {
+    return Status::OutOfRange("record " + std::to_string(index) + " of " +
+                              std::to_string(records_.size()));
+  }
+  if (records_[index].type != RecordType::kCheckpoint) {
+    return Status::InvalidArgument("record " + std::to_string(index) +
+                                   " is not a checkpoint");
+  }
+  return records_[index].payload;
+}
+
+size_t ChunkLog::LastCheckpointIndex() const {
+  for (size_t i = records_.size(); i-- > 0;) {
+    if (records_[i].type == RecordType::kCheckpoint) return i;
+  }
+  return kNoCheckpoint;
 }
 
 size_t ChunkLog::TotalBytes() const {

@@ -2,9 +2,11 @@
 // received transmission — base-signal updates and interval records alike —
 // is appended as one length-prefixed, CRC32-protected binary record.
 // Besides data transmissions the log records DataLoss gaps (chunks that
-// never arrived) and base-signal resync snapshots, so reopening a log and
-// replaying it through a fresh decoder reconstructs the full approximate
-// history of the sensor, including which parts of it are missing.
+// never arrived), base-signal resync snapshots, and opaque state
+// checkpoints (node or base-station protocol state for crash recovery), so
+// reopening a log and replaying it through a fresh decoder reconstructs
+// the full approximate history of the sensor, including which parts of it
+// are missing.
 #ifndef SBR_STORAGE_CHUNK_LOG_H_
 #define SBR_STORAGE_CHUNK_LOG_H_
 
@@ -22,14 +24,28 @@ enum class RecordType : uint8_t {
   kTransmission = 0,  ///< one data chunk (serialized Transmission)
   kGap = 1,           ///< N chunks lost for good (payload: u32 count)
   kSnapshot = 2,      ///< base-signal resync (serialized BaseSnapshot)
+  kCheckpoint = 3,    ///< opaque recovery state blob (owner-defined format)
 };
 
 /// Append-only transmission log. With an empty path the log is purely
 /// in-memory; with a path every Append is also written through to disk and
 /// Open() recovers all records on restart. Every record is CRC-checked on
-/// reload: a torn final record (partial write at crash) or a corrupted
-/// record truncates the log at the last good record instead of failing the
-/// whole log; `dropped_records()` reports how much was sacrificed.
+/// reload, and recovery never surfaces corruption as data:
+///
+///  * A torn final record (partial write at crash / power loss) is dropped
+///    and the file is truncated back to the last complete record
+///    (`dropped_records()`), so later appends stay readable.
+///  * A corrupt record in the *middle* of the log is replaced by a
+///    one-chunk DataLoss gap marker when its type byte reads as a
+///    transmission (any other type is skipped without emitting a slot —
+///    snapshots and checkpoints never occupied a chunk of the timeline),
+///    and — because later transmissions may depend on base-signal updates
+///    the corrupt record carried — every subsequent transmission record is
+///    also converted to a gap until the next valid base-signal snapshot
+///    re-anchors the stream. Gap and checkpoint records are self-contained
+///    and pass through unconverted. `quarantined_records()` counts the
+///    conversions; the complete-but-corrupt on-disk bytes are left
+///    untouched, so reopening replays the identical recovery.
 class ChunkLog {
  public:
   /// In-memory log.
@@ -47,6 +63,10 @@ class ChunkLog {
   /// Records a base-signal resync snapshot.
   Status AppendSnapshot(const core::BaseSnapshot& snapshot);
 
+  /// Records an opaque recovery checkpoint (the log does not interpret the
+  /// payload; CRC framing still detects corruption on reload).
+  Status AppendCheckpoint(std::vector<uint8_t> blob);
+
   /// Number of records (all types).
   size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
@@ -54,7 +74,7 @@ class ChunkLog {
   RecordType record_type(size_t index) const { return records_[index].type; }
 
   /// Decodes record `index` (0-based, append order) as a transmission;
-  /// InvalidArgument if the record is a gap or snapshot.
+  /// InvalidArgument if the record is a gap, snapshot or checkpoint.
   StatusOr<core::Transmission> Read(size_t index) const;
 
   /// Decodes a kGap record's lost-chunk count.
@@ -63,9 +83,40 @@ class ChunkLog {
   /// Decodes a kSnapshot record.
   StatusOr<core::BaseSnapshot> ReadSnapshot(size_t index) const;
 
-  /// Records dropped at Open because of a CRC mismatch, parse failure or
-  /// torn tail (everything from the first bad record on is discarded).
+  /// Returns a kCheckpoint record's opaque payload.
+  StatusOr<std::vector<uint8_t>> ReadCheckpoint(size_t index) const;
+
+  /// Index of the last kCheckpoint record, or npos if none survived.
+  static constexpr size_t kNoCheckpoint = static_cast<size_t>(-1);
+  size_t LastCheckpointIndex() const;
+
+  /// Records dropped entirely at Open: the torn tail (truncated mid-write)
+  /// plus anything whose framing was unreadable.
   size_t dropped_records() const { return dropped_records_; }
+
+  /// Mid-log records converted to DataLoss gap markers at Open: the
+  /// CRC-corrupt record itself plus lineage-broken transmissions up to the
+  /// next valid snapshot.
+  size_t quarantined_records() const { return quarantined_records_; }
+
+  /// True when recovery ended inside a quarantine run: a corrupt record was
+  /// seen and no valid snapshot followed it, so the log's tail cannot carry
+  /// further transmissions until a resync snapshot re-anchors the stream.
+  bool recovered_lineage_broken() const { return recovered_lineage_broken_; }
+
+  /// Byte span a record occupies on disk, framing included. Offsets are
+  /// absolute file positions; for quarantined records the span covers the
+  /// original (corrupt) bytes. Meaningful only for durable logs.
+  struct DiskSpan {
+    size_t offset = 0;
+    size_t length = 0;
+  };
+  DiskSpan RecordDiskSpan(size_t index) const {
+    return DiskSpan{records_[index].disk_offset, records_[index].disk_len};
+  }
+
+  /// End-of-log file offset (where the next record's framing will land).
+  size_t DiskEnd() const { return disk_end_; }
 
   /// Total bytes across all serialized records (excluding framing).
   size_t TotalBytes() const;
@@ -76,6 +127,8 @@ class ChunkLog {
   struct Record {
     RecordType type;
     std::vector<uint8_t> payload;
+    size_t disk_offset = 0;
+    size_t disk_len = 0;
   };
 
   Status AppendRecord(RecordType type, std::vector<uint8_t> payload);
@@ -83,6 +136,9 @@ class ChunkLog {
   std::string path_;
   std::vector<Record> records_;
   size_t dropped_records_ = 0;
+  size_t quarantined_records_ = 0;
+  bool recovered_lineage_broken_ = false;
+  size_t disk_end_ = 0;
 };
 
 }  // namespace sbr::storage

@@ -25,6 +25,9 @@ StatusOr<HistoryStore> HistoryStore::FromLog(const ChunkLog& log,
         SBR_RETURN_IF_ERROR(store.ApplySnapshot(*snap));
         break;
       }
+      case RecordType::kCheckpoint:
+        // Recovery state for the log's owner; carries no history data.
+        break;
     }
   }
   return store;

@@ -191,6 +191,7 @@ TEST(Protocol, ResyncRecoversBitForBitAfterKilledTransmissions) {
                  auto ack = Deliver(&st_clean, node_clean.MakeDataFrame(tx));
                  ASSERT_TRUE(ack.ok());
                  ASSERT_EQ(ack->type, AckType::kAccept);
+                 node_clean.MarkChunkDelivered();
                });
 
   StreamChunks(&node_lossy, kChunks, kLen,
@@ -212,6 +213,7 @@ TEST(Protocol, ResyncRecoversBitForBitAfterKilledTransmissions) {
                  auto ack = Deliver(&st_lossy, node_lossy.MakeDataFrame(tx));
                  ASSERT_TRUE(ack.ok());
                  ASSERT_EQ(ack->type, AckType::kAccept);
+                 node_lossy.MarkChunkDelivered();
                });
 
   EXPECT_EQ(node_lossy.lost_chunks(), 2u);
@@ -246,9 +248,11 @@ TEST(Protocol, ResyncRecoversBitForBitAfterKilledTransmissions) {
 }
 
 TEST(Protocol, UnresyncedDesyncSurfacesAsDataLossNeverGarbage) {
-  // With resync unavailable, a hole wider than the reorder window must be
-  // declared a DataLoss gap and every later data frame rejected — the
-  // station must never decode frames whose base-signal lineage is broken.
+  // A hole wider than the reorder window desynchronises the stream. The
+  // station must never decode frames whose base-signal lineage is broken,
+  // and it must not guess at the hole's width either: gap declaration is
+  // deferred until the sender's snapshot reports an authoritative
+  // timeline. Until then the timeline simply stops growing.
   const size_t kLen = 32, kWindow = 8;
   BaseStation station(64, "", kWindow);
   SensorNode node(1, 1, kLen, SmallOptions());
@@ -261,6 +265,7 @@ TEST(Protocol, UnresyncedDesyncSurfacesAsDataLossNeverGarbage) {
   auto first = Deliver(&station, frames[0]);
   ASSERT_TRUE(first.ok());
   ASSERT_EQ(first->type, AckType::kAccept);
+  node.MarkChunkDelivered();
 
   // Frames 1..9 vanish; frame 10 arrives far beyond the window.
   auto late = Deliver(&station, frames[10]);
@@ -273,15 +278,35 @@ TEST(Protocol, UnresyncedDesyncSurfacesAsDataLossNeverGarbage) {
   ASSERT_TRUE(next.ok());
   EXPECT_EQ(next->type, AckType::kDesync);
 
+  {
+    const ProtocolStats stats = station.stats(1);
+    EXPECT_EQ(stats.frames_accepted, 1u);
+    EXPECT_EQ(stats.gap_chunks, 0u);  // no guessed gaps before the snapshot
+    EXPECT_GE(stats.resync_requests, 2u);
+
+    auto hist = station.History(1);
+    ASSERT_TRUE(hist.ok());
+    EXPECT_EQ((*hist)->num_chunks(), 1u);
+    EXPECT_EQ((*hist)->num_gaps(), 0u);
+    EXPECT_TRUE((*hist)->QueryRange(0, 0, kLen).ok());
+  }
+
+  // The sender finally reports: chunks 1..11 are gone for good. Its
+  // snapshot carries timeline_chunks = 12 and reconciliation back-fills
+  // the eleven missing slots as explicit DataLoss gaps.
+  node.RecordLostChunks(11);
+  auto snap_ack = Deliver(&station, node.BuildSnapshotFrame());
+  ASSERT_TRUE(snap_ack.ok());
+  ASSERT_EQ(snap_ack->type, AckType::kAccept);
+
   const ProtocolStats stats = station.stats(1);
-  EXPECT_EQ(stats.frames_accepted, 1u);
-  EXPECT_EQ(stats.gap_chunks, 10u);  // seqs 1..10, frame 10 included
-  EXPECT_GE(stats.resync_requests, 2u);
+  EXPECT_EQ(stats.gap_chunks, 11u);
+  EXPECT_EQ(stats.snapshots_applied, 1u);
 
   auto hist = station.History(1);
   ASSERT_TRUE(hist.ok());
-  EXPECT_EQ((*hist)->num_chunks(), 11u);
-  EXPECT_EQ((*hist)->num_gaps(), 10u);
+  EXPECT_EQ((*hist)->num_chunks(), 12u);
+  EXPECT_EQ((*hist)->num_gaps(), 11u);
   auto q = (*hist)->QueryRange(0, 0, (*hist)->history_len());
   ASSERT_FALSE(q.ok());
   EXPECT_EQ(q.status().code(), StatusCode::kDataLoss);
@@ -329,6 +354,7 @@ TEST(Protocol, EpochMismatchedDataFramesRejectedUntilSnapshotArrives) {
       auto ack = Deliver(&station, f);
       ASSERT_TRUE(ack.ok());
       ASSERT_EQ(ack->type, AckType::kAccept);
+      node.MarkChunkDelivered();
     } else {
       old_epoch_frames.push_back(f);  // epoch-0 frames that never arrived
     }
@@ -466,6 +492,34 @@ TEST(Protocol, FaultySimulationIsSeedReproducible) {
   // A different seed changes the fault realization.
   const SimulationReport c = MustRunFaultySim(0.10, 8);
   EXPECT_NE(a.total_energy_nj, c.total_energy_nj);
+}
+
+TEST(Protocol, RetransmitBackoffJitterSpreadsNodesApart) {
+  // The retry backoff is jittered per node so colliding nodes decorrelate,
+  // but stays deterministic per node id (seed reproducibility) and bounded
+  // within the exponential window [2^a / 2, 2^a].
+  SensorNode a1(1, 1, 32, SmallOptions());
+  SensorNode a2(1, 1, 32, SmallOptions());
+  SensorNode b(2, 1, 32, SmallOptions());
+
+  // Attempt 0 is always a single slot: the first retry happens promptly.
+  EXPECT_EQ(a1.NextBackoffSlots(0), 1u);
+  EXPECT_EQ(b.NextBackoffSlots(0), 1u);
+
+  std::vector<size_t> train_a1, train_a2, train_b;
+  for (size_t attempt = 1; attempt <= 12; ++attempt) {
+    const size_t base = size_t{1} << std::min<size_t>(attempt, 10);
+    const size_t sa = a1.NextBackoffSlots(attempt);
+    train_a1.push_back(sa);
+    train_a2.push_back(a2.NextBackoffSlots(attempt));
+    train_b.push_back(b.NextBackoffSlots(attempt));
+    EXPECT_GE(sa, base / 2) << "attempt " << attempt;
+    EXPECT_LE(sa, base) << "attempt " << attempt;
+  }
+  // Same id, fresh node: identical retry train (replay-stable).
+  EXPECT_EQ(train_a1, train_a2);
+  // Different ids draw from decorrelated streams: the trains diverge.
+  EXPECT_NE(train_a1, train_b);
 }
 
 TEST(Protocol, ResyncDisabledLossesBecomeStationGaps) {

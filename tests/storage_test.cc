@@ -91,7 +91,19 @@ TEST(ChunkLog, TornFinalRecordDropped) {
   std::filesystem::remove(path);
 }
 
-TEST(ChunkLog, CorruptMidLogRecordTruncatesAtLastGoodRecord) {
+// Flips one payload byte of the record starting at `offset` (past its
+// 9-byte len/type/crc framing) so its CRC fails on reload.
+void FlipPayloadByte(const std::string& path, size_t offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(offset + 10);
+  char b;
+  f.read(&b, 1);
+  b ^= 0x20;
+  f.seekp(offset + 10);
+  f.write(&b, 1);
+}
+
+TEST(ChunkLog, CorruptMidLogRecordQuarantinedAsGap) {
   const std::string path = TempPath("sbr_log_midcrc.log");
   std::filesystem::remove(path);
   size_t after_first = 0;
@@ -103,26 +115,131 @@ TEST(ChunkLog, CorruptMidLogRecordTruncatesAtLastGoodRecord) {
     ASSERT_TRUE(log->Append(MakeTransmission(2)).ok());
     ASSERT_TRUE(log->Append(MakeTransmission(3)).ok());
   }
-  // Flip one payload byte inside the second record (past its 9-byte
-  // len/type/crc framing): its CRC must fail on reload.
-  {
-    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
-    f.seekg(after_first + 10);
-    char b;
-    f.read(&b, 1);
-    b ^= 0x20;
-    f.seekp(after_first + 10);
-    f.write(&b, 1);
-  }
+  FlipPayloadByte(path, after_first);
   auto recovered = ChunkLog::Open(path);
   ASSERT_TRUE(recovered.ok());
-  // Everything from the first bad record on is sacrificed — an SBR stream
-  // cannot skip records, later ones depend on earlier base updates.
-  EXPECT_EQ(recovered->size(), 1u);
-  EXPECT_EQ(recovered->dropped_records(), 2u);
+  // The corrupt transmission becomes a one-chunk DataLoss gap, and — with
+  // no snapshot to re-anchor the base-signal lineage — so does the valid
+  // transmission after it. The timeline keeps its length; no record is
+  // silently decoded, none silently vanishes.
+  ASSERT_EQ(recovered->size(), 3u);
+  EXPECT_EQ(recovered->dropped_records(), 0u);
+  EXPECT_EQ(recovered->quarantined_records(), 2u);
+  EXPECT_TRUE(recovered->recovered_lineage_broken());
   auto t = recovered->Read(0);
   ASSERT_TRUE(t.ok());
   EXPECT_DOUBLE_EQ(t->base_updates[0].values[0], 2.0);
+  for (size_t i : {1u, 2u}) {
+    ASSERT_EQ(recovered->record_type(i), RecordType::kGap);
+    auto gap = recovered->ReadGap(i);
+    ASSERT_TRUE(gap.ok());
+    EXPECT_EQ(*gap, 1u);
+  }
+  // The corrupt on-disk bytes are left untouched: reopening replays the
+  // identical recovery instead of compounding it.
+  auto again = ChunkLog::Open(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), 3u);
+  EXPECT_EQ(again->quarantined_records(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(ChunkLog, SnapshotReanchorsLineageAfterQuarantine) {
+  const std::string path = TempPath("sbr_log_reanchor.log");
+  std::filesystem::remove(path);
+  size_t after_first = 0;
+  {
+    auto log = ChunkLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append(MakeTransmission(1)).ok());
+    after_first = std::filesystem::file_size(path);
+    ASSERT_TRUE(log->Append(MakeTransmission(2)).ok());
+    ASSERT_TRUE(log->Append(MakeTransmission(3)).ok());
+    core::BaseSnapshot snap;
+    snap.w = 4;
+    ASSERT_TRUE(log->AppendSnapshot(snap).ok());
+    ASSERT_TRUE(log->Append(MakeTransmission(4)).ok());
+  }
+  FlipPayloadByte(path, after_first);
+  auto recovered = ChunkLog::Open(path);
+  ASSERT_TRUE(recovered.ok());
+  // Records 1 and 2 are quarantined to gaps, but the valid snapshot
+  // re-establishes the base-signal state: the transmission after it is
+  // decodable again and survives verbatim.
+  ASSERT_EQ(recovered->size(), 5u);
+  EXPECT_EQ(recovered->quarantined_records(), 2u);
+  EXPECT_FALSE(recovered->recovered_lineage_broken());
+  EXPECT_EQ(recovered->record_type(1), RecordType::kGap);
+  EXPECT_EQ(recovered->record_type(2), RecordType::kGap);
+  EXPECT_EQ(recovered->record_type(3), RecordType::kSnapshot);
+  ASSERT_EQ(recovered->record_type(4), RecordType::kTransmission);
+  auto t = recovered->Read(4);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->base_updates[0].values[0], 5.0);
+  std::filesystem::remove(path);
+}
+
+TEST(ChunkLog, HalfWrittenFinalRecordDroppedAndTruncated) {
+  const std::string path = TempPath("sbr_log_halfwrite.log");
+  std::filesystem::remove(path);
+  {
+    auto log = ChunkLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append(MakeTransmission(1)).ok());
+    ASSERT_TRUE(log->Append(MakeTransmission(2)).ok());
+  }
+  const auto good_size = std::filesystem::file_size(path);
+  {
+    // Power loss mid-append: the length prefix landed but the payload did
+    // not — the record claims more bytes than the file holds.
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    const uint8_t garbage[] = {0x40, 0x00, 0x00, 0x00, 0x00, 0xAA, 0xBB};
+    f.write(reinterpret_cast<const char*>(garbage), sizeof(garbage));
+  }
+  auto recovered = ChunkLog::Open(path);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->size(), 2u);
+  EXPECT_EQ(recovered->dropped_records(), 1u);
+  // Recovery truncates the torn tail so later appends frame correctly.
+  EXPECT_EQ(std::filesystem::file_size(path), good_size);
+  ASSERT_TRUE(recovered->Append(MakeTransmission(3)).ok());
+  auto again = ChunkLog::Open(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), 3u);
+  EXPECT_EQ(again->dropped_records(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(ChunkLog, CheckpointRecordsRoundTripAndIndex) {
+  const std::string path = TempPath("sbr_log_ckpt.log");
+  std::filesystem::remove(path);
+  {
+    auto log = ChunkLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    EXPECT_EQ(log->LastCheckpointIndex(), ChunkLog::kNoCheckpoint);
+    ASSERT_TRUE(log->AppendCheckpoint({1, 2, 3}).ok());
+    core::Transmission t = MakeTransmission(1);
+    // Only one base slot is populated; route the second interval through
+    // the linear fall-back so the history replay below can decode it.
+    t.intervals[1].shift = -1;
+    ASSERT_TRUE(log->Append(t).ok());
+    ASSERT_TRUE(log->AppendCheckpoint({4, 5}).ok());
+  }
+  auto log = ChunkLog::Open(path);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->size(), 3u);
+  EXPECT_EQ(log->LastCheckpointIndex(), 2u);
+  auto blob = log->ReadCheckpoint(2);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(*blob, (std::vector<uint8_t>{4, 5}));
+  // Checkpoints are opaque to every non-checkpoint reader.
+  EXPECT_FALSE(log->Read(0).ok());
+  EXPECT_FALSE(log->ReadCheckpoint(1).ok());
+  // Replaying the log skips checkpoint records: they carry recovery
+  // state, not timeline content.
+  auto history = HistoryStore::FromLog(*log, 64);
+  ASSERT_TRUE(history.ok()) << history.status().ToString();
+  EXPECT_EQ(history->num_chunks(), 1u);
   std::filesystem::remove(path);
 }
 

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Seed sweep for the node-lifecycle chaos harness.
+#
+#   tools/chaos_sweep.sh [count] [base] [shard_size]
+#
+# Runs `count` seeded fault schedules (default 500) starting at seed
+# `base` (default 1) through chaos_test's ChaosSweep gate, sharded
+# `shard_size` seeds per process (default 50) so one bad seed fails a
+# small shard. Violating shards are re-run seed-by-seed and every
+# violating seed is printed at the end; replay one with
+#
+#   SBR_CHAOS_SEED_COUNT=1 SBR_CHAOS_SEED_BASE=<seed> \
+#     build/tests/chaos_test --gtest_filter='ChaosSweep.SeededFaultSchedulesHoldInvariants'
+set -uo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+COUNT="${1:-500}"
+BASE="${2:-1}"
+SHARD="${3:-50}"
+BIN="$REPO/build/tests/chaos_test"
+FILTER='ChaosSweep.SeededFaultSchedulesHoldInvariants'
+
+if [[ ! -x "$BIN" ]]; then
+  echo "chaos_sweep: $BIN not built; run: cmake --preset default && cmake --build --preset default" >&2
+  exit 2
+fi
+
+bad_seeds=()
+seed="$BASE"
+end=$((BASE + COUNT))
+while ((seed < end)); do
+  n=$((end - seed)); ((n > SHARD)) && n="$SHARD"
+  if ! SBR_CHAOS_SEED_COUNT="$n" SBR_CHAOS_SEED_BASE="$seed" \
+       "$BIN" --gtest_filter="$FILTER" --gtest_brief=1 >/dev/null 2>&1; then
+    # Bisect the shard: one process per seed pins the violators.
+    for ((s = seed; s < seed + n; ++s)); do
+      if ! SBR_CHAOS_SEED_COUNT=1 SBR_CHAOS_SEED_BASE="$s" \
+           "$BIN" --gtest_filter="$FILTER" --gtest_brief=1 >/dev/null 2>&1; then
+        bad_seeds+=("$s")
+      fi
+    done
+  fi
+  echo "chaos_sweep: seeds [$seed, $((seed + n))) done, ${#bad_seeds[@]} violating so far"
+  seed=$((seed + n))
+done
+
+if ((${#bad_seeds[@]} > 0)); then
+  echo "chaos_sweep: VIOLATING SEEDS: ${bad_seeds[*]}"
+  exit 1
+fi
+echo "chaos_sweep: $COUNT seeds clean (base $BASE)"

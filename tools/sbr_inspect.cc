@@ -30,6 +30,14 @@ int main(int argc, char** argv) {
     std::printf("warning: %zu corrupt/torn record(s) dropped on reload\n",
                 log->dropped_records());
   }
+  if (log->quarantined_records() > 0) {
+    std::printf(
+        "warning: %zu mid-log corrupt record(s) quarantined as DATA LOSS%s\n",
+        log->quarantined_records(),
+        log->recovered_lineage_broken()
+            ? " (base lineage broken until the next snapshot)"
+            : "");
+  }
 
   size_t total_values = 0, total_samples = 0, total_inserts = 0;
   size_t gap_chunks = 0, snapshots = 0, degraded = 0;
