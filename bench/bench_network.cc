@@ -52,6 +52,49 @@ int main() {
     std::fflush(stdout);
     report->PublishMetrics(&obs::MetricsRegistry::Global());
   }
+  // Routing-tree shapes: the same fleet re-routed through relays. Deep
+  // trees concentrate forwarding cost on the relays nearest the base —
+  // the hot-spot effect a flat star cannot express. relay_nj is the
+  // combined radio spend of the relay nodes (own traffic plus forwarding),
+  // max_node_nj the hottest single radio.
+  std::printf("\n== Routing topology: relay load by tree shape ==\n");
+  std::printf("%-8s %-7s %-11s %-13s %-13s %-13s\n", "shape", "depth",
+              "forwarded", "relay_nj", "max_node_nj", "total_nj");
+  for (net::TopologyShape shape :
+       {net::TopologyShape::kStar, net::TopologyShape::kChain,
+        net::TopologyShape::kBinary, net::TopologyShape::kRandom}) {
+    net::TopologyOptions topts;
+    topts.shape = shape;
+    topts.num_nodes = kNodes;
+    topts.seed = 42;
+    auto topo = net::Topology::Build(topts);
+    core::EncoderOptions opts;
+    opts.total_band = n / 10;
+    opts.m_base = 1024;
+    net::NetworkSim sim(topo, placements, opts, kChunkLen);
+    auto report = sim.Run(feeds);
+    if (!report.ok()) {
+      std::fprintf(stderr, "topology run failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    size_t forwarded = 0;
+    double relay_nj = 0.0;
+    double max_node_nj = 0.0;
+    double total_nj = 0.0;
+    for (size_t i = 0; i < report->nodes.size(); ++i) {
+      const auto& nr = report->nodes[i];
+      forwarded += nr.forwarded_copies;
+      const double nj = nr.energy.total_nj();
+      if (topo.is_relay(i)) relay_nj += nj;
+      if (nj > max_node_nj) max_node_nj = nj;
+      total_nj += nj;
+    }
+    std::printf("%-8s %-7zu %-11zu %-13.3g %-13.3g %-13.3g\n",
+                net::ToString(shape), topo.max_depth(), forwarded, relay_nj,
+                max_node_nj, total_nj);
+    std::fflush(stdout);
+  }
   // Lifecycle chaos: how much timeline survives when the *endpoints*
   // fail (crash/restart, power-loss log tears, stalls), and what the
   // crash-consistent recovery machinery costs in wall clock. Loss here is

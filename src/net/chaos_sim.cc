@@ -85,6 +85,14 @@ uint64_t ChaosReport::Digest() const {
     h = FnvMix(h, n.watchdog_restarts);
     h = FnvMix(h, n.pressure_toggles);
     h = FnvMix(h, n.backoff_slots);
+    h = FnvMix(h, n.depth);
+    h = FnvMix(h, n.relay_crashes);
+    h = FnvMix(h, n.partitioned_rounds);
+    h = FnvMix(h, n.retransmissions);
+    h = FnvMix(h, n.retries_shed);
+    h = FnvMix(h, n.forwarded_copies);
+    h = FnvMix(h, n.charged_values);
+    h = FnvMixDouble(h, n.energy.total_nj());
     h = FnvMix(h, n.station_chunks);
     h = FnvMix(h, n.station_gaps);
     h = FnvMix(h, n.history_digest);
@@ -107,6 +115,20 @@ Status ChaosSim::SetUp() {
   options_.faults.rounds = options_.rounds;
   options_.faults.node_ids.clear();
 
+  // Routing tree: node index i carries sensor id i + 1. Relays become
+  // eligible for kRelayCrash; a star has none, so its fault schedule (and
+  // the whole run) stays byte-identical to the pre-topology harness.
+  TopologyOptions topo;
+  topo.shape = options_.topology;
+  topo.num_nodes = options_.num_nodes;
+  topo.seed = options_.topology_seed;
+  topology_ = Topology::Build(topo);
+  energy_model_ = EnergyModel(options_.energy);
+  options_.faults.relay_ids.clear();
+  for (size_t relay : topology_.Relays()) {
+    options_.faults.relay_ids.push_back(static_cast<uint32_t>(relay + 1));
+  }
+
   nodes_.reserve(options_.num_nodes);
   for (size_t i = 0; i < options_.num_nodes; ++i) {
     const uint32_t id = static_cast<uint32_t>(i + 1);
@@ -121,9 +143,12 @@ Status ChaosSim::SetUp() {
     NodeCtx ctx(options_.encoder.m_base);
     ctx.id = id;
     ctx.report.id = id;
+    ctx.report.depth = topology_.depth(i);
     ctx.ckpt_path = ckpt_path;
     ctx.node = std::make_unique<SensorNode>(
         id, options_.num_signals, options_.chunk_len, options_.encoder);
+    ctx.node->SetEnergyBudget(options_.node_energy_budget_nj,
+                              options_.retry_energy_fraction);
     auto opened = storage::ChunkLog::Open(ckpt_path);
     if (!opened.ok()) return opened.status();
     ctx.ckpt = std::move(opened).value();
@@ -157,19 +182,56 @@ Status ChaosSim::ShadowAccept(NodeCtx* ctx, const core::Frame& frame) {
 }
 
 StatusOr<ChaosSim::Outcome> ChaosSim::Deliver(NodeCtx* ctx,
-                                              const core::Frame& frame) {
+                                              const core::Frame& frame,
+                                              size_t value_count) {
   BinaryWriter writer;
   frame.Serialize(&writer);
   const std::vector<uint8_t>& wire = writer.buffer();
+  // The uplink route: hop h crosses the edge channel owned by the h-th
+  // node on the path (the origin at h = 0, then its ancestors). A star
+  // path is just the origin's own edge, exactly the pre-topology harness.
+  const std::vector<size_t>& path =
+      topology_.path(static_cast<size_t>(ctx->id) - 1);
   // Stop-and-wait with bounded retries, mirroring NetworkSim::DeliverFrame,
   // but success is strictly an Accept for this frame's identity: the
   // shadow history must record exactly what the station ingested.
   for (size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      ctx->report.backoff_slots += ctx->node->NextBackoffSlots(attempt);
+      if (!ctx->node->RetryAllowed(ctx->report.energy.total_nj())) {
+        // Past the energy-aware retry budget: shed the retry and let the
+        // loss surface through the usual resync/gap machinery.
+        ++ctx->report.retries_shed;
+        break;
+      }
+      ++ctx->report.retransmissions;
+      const size_t slots = ctx->node->NextBackoffSlots(attempt);
+      ctx->report.backoff_slots += slots;
+      energy_model_.ChargeBackoff(slots, &ctx->report.energy);
     }
-    std::vector<std::vector<uint8_t>> copies =
-        ctx->channel.Transmit(std::vector<uint8_t>(wire));
+    std::vector<std::vector<uint8_t>> copies;
+    copies.push_back(wire);
+    for (size_t h = 0; h < path.size() && !copies.empty(); ++h) {
+      NodeCtx& hop = nodes_[path[h]];
+      if (h > 0 && IsDown(hop)) {
+        // Partition: the relay is dark, so copies reaching it vanish and
+        // its dead radio transmits (and is charged) nothing. The origin
+        // already paid for the hops the copies did cross.
+        copies.clear();
+        break;
+      }
+      std::vector<std::vector<uint8_t>> next;
+      for (auto& copy : copies) {
+        // Every copy entering a hop pays one hop of radio energy at the
+        // transmitting node, whether or not the hop delivers it.
+        energy_model_.ChargeTransmission(value_count, 1,
+                                         &hop.report.energy);
+        hop.report.charged_values += value_count;
+        if (h > 0) ++hop.report.forwarded_copies;
+        auto out = hop.channel.Transmit(std::move(copy));
+        for (auto& o : out) next.push_back(std::move(o));
+      }
+      copies = std::move(next);
+    }
     bool accepted = false;
     bool desync = false;
     for (const auto& copy : copies) {
@@ -183,6 +245,16 @@ StatusOr<ChaosSim::Outcome> ChaosSim::Deliver(NodeCtx* ctx,
       if (ack->type == AckType::kDesync) desync = true;
     }
     if (accepted) {
+      // I8: nothing may cross a downed ancestor. An accept here means the
+      // partition leaked a frame through a dead relay.
+      for (size_t h = 1; h < path.size(); ++h) {
+        if (IsDown(nodes_[path[h]])) {
+          report_.violations.push_back(
+              "node " + std::to_string(ctx->id) +
+              ": frame accepted while ancestor node " +
+              std::to_string(nodes_[path[h]].id) + " was down (I8)");
+        }
+      }
       SBR_RETURN_IF_ERROR(ShadowAccept(ctx, frame));
       return Outcome::kAccepted;
     }
@@ -193,7 +265,10 @@ StatusOr<ChaosSim::Outcome> ChaosSim::Deliver(NodeCtx* ctx,
 
 StatusOr<bool> ChaosSim::TryResync(NodeCtx* ctx) {
   core::Frame snap = ctx->node->BuildSnapshotFrame();
-  auto outcome = Deliver(ctx, snap);
+  auto outcome =
+      Deliver(ctx, snap,
+              OnAirValues(options_.energy,
+                          BytesToValues(snap.payload.size())));
   if (!outcome.ok()) return outcome.status();
   if (*outcome != Outcome::kAccepted) return false;
   ctx->node->MarkSnapshotDelivered();
@@ -239,7 +314,8 @@ Status ChaosSim::ResolveChunk(NodeCtx* ctx, size_t round) {
 
   if (!resolved) {
     core::Frame frame = node->MakeDataFrame(*tx);
-    auto outcome = Deliver(ctx, frame);
+    auto outcome =
+        Deliver(ctx, frame, OnAirValues(options_.energy, tx->ValueCount()));
     if (!outcome.ok()) return outcome.status();
     if (*outcome == Outcome::kAccepted) {
       node->MarkChunkDelivered();
@@ -258,7 +334,9 @@ Status ChaosSim::ResolveChunk(NodeCtx* ctx, size_t round) {
       auto degraded = node->EncodeSelfContained();
       if (!degraded.ok()) return degraded.status();
       core::Frame frame = node->MakeDataFrame(*degraded);
-      auto outcome = Deliver(ctx, frame);
+      auto outcome =
+          Deliver(ctx, frame,
+                  OnAirValues(options_.energy, degraded->ValueCount()));
       if (!outcome.ok()) return outcome.status();
       if (*outcome == Outcome::kAccepted) {
         node->MarkChunkDelivered();
@@ -302,6 +380,8 @@ Status ChaosSim::CrashRestartNode(NodeCtx* ctx) {
   }
   ctx->node = std::make_unique<SensorNode>(
       ctx->id, options_.num_signals, options_.chunk_len, options_.encoder);
+  ctx->node->SetEnergyBudget(options_.node_energy_budget_nj,
+                             options_.retry_energy_fraction);
   SBR_RETURN_IF_ERROR(ctx->node->RestoreCheckpoint(
       blob, SensorNode::RestartMode::kCrash));
   // The checkpoint may predate the latest resolutions: conservatively
@@ -323,6 +403,8 @@ Status ChaosSim::CleanRestartNode(NodeCtx* ctx) {
   SBR_RETURN_IF_ERROR(ctx->ckpt.AppendCheckpoint(blob));
   ctx->node = std::make_unique<SensorNode>(
       ctx->id, options_.num_signals, options_.chunk_len, options_.encoder);
+  ctx->node->SetEnergyBudget(options_.node_energy_budget_nj,
+                             options_.retry_energy_fraction);
   return ctx->node->RestoreCheckpoint(
       blob, SensorNode::RestartMode::kCleanShutdown);
 }
@@ -460,6 +542,17 @@ Status ChaosSim::ApplyEvent(const LifecycleEvent& e, size_t round) {
       ctx->node->SetMemoryPressure(!ctx->node->memory_pressure());
       ++ctx->report.pressure_toggles;
       break;
+    case LifecycleFault::kRelayCrash:
+      // The relay's process dies like a node crash, but the outage spans
+      // `duration` rounds: while dark it neither samples nor forwards, so
+      // its whole subtree is partitioned (Deliver drops descendant copies
+      // at the dead hop). Once the route heals, queued descendants come
+      // back through the usual snapshot resync.
+      SBR_RETURN_IF_ERROR(CrashRestartNode(ctx));
+      ++ctx->report.relay_crashes;
+      ctx->stall_until = std::max(
+          ctx->stall_until, round + std::max<size_t>(e.duration, 1));
+      break;
   }
   ++report_.events_applied;
   return Status::Ok();
@@ -478,6 +571,17 @@ Status ChaosSim::RunRound(size_t round) {
     if (round < ctx.stall_until) {
       ++ctx.report.stall_rounds;
       continue;
+    }
+    // A live node behind a downed ancestor is partitioned: it still
+    // samples and transmits (paying hop-0 energy), but nothing crosses
+    // the dead relay, so this round's chunk resolves through the
+    // abandonment path and resyncs once the route heals.
+    const std::vector<size_t>& path = topology_.path(ctx.id - 1);
+    for (size_t h = 1; h < path.size(); ++h) {
+      if (IsDown(nodes_[path[h]])) {
+        ++ctx.report.partitioned_rounds;
+        break;
+      }
     }
     SBR_RETURN_IF_ERROR(ResolveChunk(&ctx, round));
   }
@@ -533,6 +637,21 @@ void ChaosSim::CheckInvariants() {
       violate("accounting: delivered " + std::to_string(nr.delivered) +
               " + lost " + std::to_string(nr.lost) + " != fed " +
               std::to_string(nr.fed));
+    }
+
+    // I9: the energy account reconciles against the closed-form cost of
+    // exactly the values charged plus the backoff idle-listening. The
+    // tolerance only absorbs summation-order ulps under fractional
+    // EnergyParams; the defaults are integer-valued and match exactly.
+    EnergyAccount expect;
+    energy_model_.ChargeTransmission(nr.charged_values, 1, &expect);
+    energy_model_.ChargeBackoff(nr.backoff_slots, &expect);
+    const double scale = std::max(1.0, expect.total_nj());
+    if (std::abs(expect.total_nj() - nr.energy.total_nj()) >
+        1e-6 * scale) {
+      violate("energy: account " + std::to_string(nr.energy.total_nj()) +
+              " nJ diverges from the closed form " +
+              std::to_string(expect.total_nj()) + " nJ (I9)");
     }
     if (nr.fed == 0) continue;
 
@@ -639,12 +758,16 @@ StatusOr<ChaosReport> ChaosSim::Run() {
   const std::vector<LifecycleEvent>& events = scheduler.events();
   size_t next_event = 0;
   for (size_t round = 0; round < options_.rounds; ++round) {
+    round_ = round;
     while (next_event < events.size() && events[next_event].round == round) {
       SBR_RETURN_IF_ERROR(ApplyEvent(events[next_event], round));
       ++next_event;
     }
     SBR_RETURN_IF_ERROR(RunRound(round));
   }
+  // Every outage expires inside the fault window, so Finalize's resyncs
+  // run over fully healed routes.
+  round_ = options_.rounds;
   SBR_RETURN_IF_ERROR(Finalize());
   CheckInvariants();
 

@@ -23,6 +23,19 @@
 //   I5  the whole run is a pure function of its seeds (checked by the
 //       caller via ChaosReport::Digest()).
 //
+// With a tree topology (ChaosOptions::topology), frames travel the real
+// multi-hop route: each hop crosses that edge's fault channel, every copy
+// a relay forwards is charged to the relay's energy account, and a relay
+// that is down (kRelayCrash, or any crash/stall) partitions its whole
+// subtree — descendant copies reaching the dead relay vanish unpaid. Two
+// more invariants cover the routing layer:
+//
+//   I8  partition: no frame is accepted by the station while any ancestor
+//       of its origin is down;
+//   I9  energy: each node's account equals exactly the radio cost of the
+//       on-air values it was charged for plus its backoff idle-listening
+//       (same closed form NetworkSim obeys, so the reports are comparable).
+//
 // Violations are reported as strings, not assertions, so a sweep can
 // print every offending seed instead of dying on the first.
 #ifndef SBR_NET_CHAOS_SIM_H_
@@ -35,9 +48,11 @@
 
 #include "core/encoder.h"
 #include "net/base_station.h"
+#include "net/energy.h"
 #include "net/fault_channel.h"
 #include "net/fault_scheduler.h"
 #include "net/node.h"
+#include "net/topology.h"
 #include "storage/chunk_log.h"
 #include "storage/history_store.h"
 #include "util/status.h"
@@ -67,6 +82,21 @@ struct ChaosOptions {
   size_t max_attempts = 16;
   size_t max_resync_rounds = 3;
   size_t reorder_window = 8;
+  /// Routing tree over the nodes (node index i <-> sensor id i+1). kStar
+  /// reproduces the flat pre-topology harness byte for byte; the other
+  /// shapes route frames through relays, with relay crashes partitioning
+  /// whole subtrees. `topology_seed` is consumed by kRandom only.
+  TopologyShape topology = TopologyShape::kStar;
+  uint64_t topology_seed = 1;
+  /// Radio energy accounting (same model as NetworkSim). Every frame copy
+  /// pays per hop at whichever node transmits the hop; backoff slots pay
+  /// idle-listening at the origin.
+  EnergyParams energy;
+  /// Energy-aware retry budget, as in LinkOptions: a node past
+  /// `retry_energy_fraction * node_energy_budget_nj` of spend sheds
+  /// retransmissions before it sheds sensing. 0 disables.
+  double node_energy_budget_nj = 0.0;
+  double retry_energy_fraction = 0.75;
 };
 
 /// Per-node chaos outcome.
@@ -81,6 +111,18 @@ struct ChaosNodeReport {
   size_t stall_rounds = 0;
   size_t pressure_toggles = 0;
   size_t backoff_slots = 0;
+  size_t depth = 0;            ///< hops to the base station (>= 1)
+  size_t relay_crashes = 0;    ///< kRelayCrash faults applied to this node
+  /// Rounds this node spent cut off behind a downed ancestor (its own
+  /// stalls are counted in stall_rounds, not here).
+  size_t partitioned_rounds = 0;
+  size_t retransmissions = 0;  ///< delivery attempts beyond the first
+  size_t retries_shed = 0;     ///< retries suppressed by the energy budget
+  size_t forwarded_copies = 0; ///< frame copies relayed for descendants
+  /// On-air values charged to this node across every copy and hop it
+  /// transmitted; pins `energy` exactly (invariant I9).
+  size_t charged_values = 0;
+  EnergyAccount energy;
   size_t station_chunks = 0;  ///< final station timeline length
   size_t station_gaps = 0;
   /// FNV-1a over the station's final reconstructed history (values and gap
@@ -140,13 +182,20 @@ class ChaosSim {
   Status SetUp();
   Status ApplyEvent(const LifecycleEvent& e, size_t round);
   Status RunRound(size_t round);
+  /// True if the node is dark this round (crashed, stalled, or inside a
+  /// relay-crash outage): it neither samples nor forwards.
+  bool IsDown(const NodeCtx& ctx) const { return round_ < ctx.stall_until; }
   /// Feeds round `round`'s chunk into a node and drives it to a terminal
   /// outcome (accepted, recovered degraded, or written off).
   Status ResolveChunk(NodeCtx* ctx, size_t round);
-  /// One end-to-end frame delivery through the node's fault channel.
-  /// Success is strictly an Accept ack for this frame's identity.
+  /// One end-to-end frame delivery along the origin's uplink path: hop h
+  /// crosses the edge channel of the h-th node on the way up, each copy
+  /// pays `value_count` on-air values at that node, and copies reaching a
+  /// downed relay vanish (the partition). Success is strictly an Accept
+  /// ack for this frame's identity.
   enum class Outcome { kAccepted, kDesync, kAbandoned };
-  StatusOr<Outcome> Deliver(NodeCtx* ctx, const core::Frame& frame);
+  StatusOr<Outcome> Deliver(NodeCtx* ctx, const core::Frame& frame,
+                            size_t value_count);
   /// Snapshot handshake over the faulty channel; mirrors the accepted
   /// snapshot into the shadow history on success.
   StatusOr<bool> TryResync(NodeCtx* ctx);
@@ -165,6 +214,11 @@ class ChaosSim {
   ChaosOptions options_;
   std::unique_ptr<BaseStation> station_;
   std::vector<NodeCtx> nodes_;
+  Topology topology_;
+  EnergyModel energy_model_;
+  /// Current lockstep round; options_.rounds once the schedule is spent,
+  /// so Finalize sees every outage expired.
+  size_t round_ = 0;
   ChaosReport report_;
   bool any_station_tear_ = false;
 };

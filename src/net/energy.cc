@@ -1,6 +1,18 @@
 #include "net/energy.h"
 
+#include <cmath>
+
+#include "core/transmission.h"
+
 namespace sbr::net {
+
+size_t OnAirValues(const EnergyParams& params, size_t payload_values) {
+  const size_t header = static_cast<size_t>(std::ceil(
+      core::Frame::kHeaderBytes * 8.0 / params.bits_per_value));
+  return payload_values + header;
+}
+
+size_t BytesToValues(size_t bytes) { return (bytes + 3) / 4; }
 
 void EnergyModel::ChargeTransmission(size_t values, size_t hops,
                                      EnergyAccount* account) const {

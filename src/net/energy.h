@@ -38,6 +38,15 @@ struct EnergyAccount {
   double total_mj() const { return total_nj() * 1e-6; }
 };
 
+/// On-air size of a frame in paper-style "values" (32-bit words): the
+/// payload's semantic value count plus the fixed frame header. NetworkSim
+/// and ChaosSim both charge radio energy through this, so their energy
+/// reports stay comparable by construction.
+size_t OnAirValues(const EnergyParams& params, size_t payload_values);
+
+/// 32-bit words in an opaque payload (snapshots, flushed residual copies).
+size_t BytesToValues(size_t bytes);
+
 /// Stateless calculator charging an EnergyAccount for network events.
 class EnergyModel {
  public:

@@ -71,6 +71,30 @@ FaultScheduler::FaultScheduler(const FaultScheduleOptions& options) {
       events_.push_back(e);
       ++counts_[static_cast<size_t>(e.fault)];
     }
+    // Relay crashes draw after the per-node faults each round, one crash
+    // draw plus one duration draw per relay — both always consumed, so the
+    // schedule stays a pure function of the options. With no relays (every
+    // star topology) this loop is empty and the stream is untouched.
+    for (uint32_t id : options.relay_ids) {
+      const bool crash = Draw(&rng, options.relay_crash_probability);
+      const size_t down_rounds =
+          options.max_relay_down_rounds > 0
+              ? static_cast<size_t>(rng.UniformInt(
+                    1,
+                    static_cast<int64_t>(options.max_relay_down_rounds)))
+              : 1;
+      if (!crash) continue;
+      LifecycleEvent e;
+      e.round = round;
+      e.node_id = id;
+      e.fault = LifecycleFault::kRelayCrash;
+      // The outage must end inside the fault window so the convergence
+      // tail starts with every route healed.
+      e.duration = std::min(down_rounds, fault_rounds - round);
+      if (e.duration == 0) continue;
+      events_.push_back(e);
+      ++counts_[static_cast<size_t>(e.fault)];
+    }
   }
 }
 

@@ -27,8 +27,10 @@ enum class LifecycleFault : uint8_t {
   kPowerLoss,           ///< power cut mid-write: a log record is torn
   kNodeStall,           ///< node hangs; the watchdog power-cycles it later
   kMemoryPressure,      ///< toggles the encoder's low-memory degraded mode
+  kRelayCrash,          ///< a relay dies, partitioning its whole subtree
+                        ///< until it restarts (tree topologies only)
 };
-inline constexpr size_t kNumLifecycleFaults = 6;
+inline constexpr size_t kNumLifecycleFaults = 7;
 
 /// How a power-loss event damages the active log.
 enum class TearMode : uint8_t {
@@ -70,6 +72,12 @@ struct FaultScheduleOptions {
   double stall_probability = 0.02;
   double memory_pressure_probability = 0.03;
   size_t max_stall_rounds = 3;
+  /// Relay-crash faults (tree topologies). Empty `relay_ids` — every star
+  /// run — draws nothing from the stream, so star schedules stay
+  /// byte-identical to schedules built before relays existed.
+  std::vector<uint32_t> relay_ids;  ///< nodes that relay for a subtree
+  double relay_crash_probability = 0.0;
+  size_t max_relay_down_rounds = 2;  ///< outage length per relay crash
 };
 
 /// Deterministic fault schedule: built once, replayed read-only.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -13,17 +14,6 @@
 namespace sbr::net {
 namespace {
 
-/// On-air size of a frame in paper-style "values" (32-bit words): the
-/// payload's semantic value count plus the fixed frame header.
-size_t OnAirValues(const EnergyParams& params, size_t payload_values) {
-  const size_t header = static_cast<size_t>(std::ceil(
-      core::Frame::kHeaderBytes * 8.0 / params.bits_per_value));
-  return payload_values + header;
-}
-
-/// 32-bit words in an opaque payload (snapshots, flushed residual copies).
-size_t BytesToValues(size_t bytes) { return (bytes + 3) / 4; }
-
 FaultOptions ToFaultOptions(const LinkOptions& link) {
   FaultOptions f;
   f.drop_probability = link.loss_probability;
@@ -32,6 +22,13 @@ FaultOptions ToFaultOptions(const LinkOptions& link) {
   f.bit_flip_probability = link.bit_flip_probability;
   f.seed = link.seed;
   return f;
+}
+
+/// Gauge rounding that tolerates the NaN sentinel (and any other
+/// non-finite figure): llround on a NaN is undefined behaviour, and the
+/// registry view is a dashboard, so non-finite rounds to 0.
+int64_t RoundGauge(double v) {
+  return std::isfinite(v) ? static_cast<int64_t>(std::llround(v)) : 0;
 }
 
 }  // namespace
@@ -44,7 +41,10 @@ double SimulationReport::CompressionFactor() const {
 }
 
 double SimulationReport::EnergySavingFactor() const {
-  return total_energy_nj == 0.0 ? 0.0
+  // A run that spent nothing has no meaningful saving factor; 0.0 would
+  // claim "no saving" for the cheapest run possible. NaN is the documented
+  // sentinel (see network.h).
+  return total_energy_nj == 0.0 ? std::numeric_limits<double>::quiet_NaN()
                                 : total_raw_energy_nj / total_energy_nj;
 }
 
@@ -52,17 +52,19 @@ void SimulationReport::PublishMetrics(obs::MetricsRegistry* registry) const {
   if (!obs::Enabled() || registry == nullptr) return;
   // Dynamic names, so the cached-reference macros do not apply; this runs
   // once per report, far from any hot path. Doubles (energy, sse) are
-  // rounded — the registry view is a gauge dashboard, the report struct
-  // remains the exact figure.
+  // rounded through the non-finite-safe RoundGauge — the registry view is
+  // a gauge dashboard, the report struct remains the exact figure.
   auto set = [registry](const std::string& name, int64_t v) {
     registry->GetGauge(name).Set(v);
   };
   set("sim.values_sent", static_cast<int64_t>(total_values_sent));
   set("sim.values_raw", static_cast<int64_t>(total_values_raw));
-  set("sim.energy_nj", static_cast<int64_t>(std::llround(total_energy_nj)));
-  set("sim.raw_energy_nj",
-      static_cast<int64_t>(std::llround(total_raw_energy_nj)));
-  set("sim.sse", static_cast<int64_t>(std::llround(total_sse)));
+  set("sim.energy_nj", RoundGauge(total_energy_nj));
+  set("sim.raw_energy_nj", RoundGauge(total_raw_energy_nj));
+  set("sim.sse", RoundGauge(total_sse));
+  // x1000 fixed-point so the dashboard keeps sub-integer saving factors;
+  // the NaN sentinel (nothing spent) rounds to 0 rather than tripping UB.
+  set("sim.energy_saving_x1000", RoundGauge(EnergySavingFactor() * 1000.0));
   set("sim.chunks_lost", static_cast<int64_t>(total_chunks_lost));
   set("sim.corrupt_frames", static_cast<int64_t>(total_corrupt_frames));
   set("sim.duplicates_suppressed",
@@ -75,13 +77,13 @@ void SimulationReport::PublishMetrics(obs::MetricsRegistry* registry) const {
     set(p + "tx_values", static_cast<int64_t>(nr.values_sent));
     set(p + "raw_values", static_cast<int64_t>(nr.values_raw));
     set(p + "retries", static_cast<int64_t>(nr.retransmissions));
-    set(p + "energy_nj",
-        static_cast<int64_t>(std::llround(nr.energy.total_nj())));
+    set(p + "energy_nj", RoundGauge(nr.energy.total_nj()));
     set(p + "chunks_lost", static_cast<int64_t>(nr.chunks_lost));
     set(p + "corrupt_frames",
         static_cast<int64_t>(nr.corrupt_frames_detected));
     set(p + "resyncs", static_cast<int64_t>(nr.resyncs_triggered));
-    set(p + "sse", static_cast<int64_t>(std::llround(nr.sse)));
+    set(p + "forwarded_copies", static_cast<int64_t>(nr.forwarded_copies));
+    set(p + "sse", RoundGauge(nr.sse));
   }
 }
 
@@ -96,9 +98,23 @@ NetworkSim::NetworkSim(std::vector<NodePlacement> placements,
       link_(link),
       station_(encoder_options_.m_base, "", link.reorder_window) {}
 
+NetworkSim::NetworkSim(Topology topology,
+                       std::vector<NodePlacement> placements,
+                       core::EncoderOptions encoder_options,
+                       size_t chunk_len, EnergyParams energy,
+                       LinkOptions link)
+    : placements_(std::move(placements)),
+      topology_(std::move(topology)),
+      has_topology_(true),
+      encoder_options_(std::move(encoder_options)),
+      chunk_len_(chunk_len),
+      energy_(energy),
+      link_(link),
+      station_(encoder_options_.m_base, "", link.reorder_window) {}
+
 StatusOr<NetworkSim::DeliveryOutcome> NetworkSim::DeliverFrame(
     SensorNode* node, const core::Frame& frame, size_t value_count,
-    std::vector<FaultChannel>* hops, size_t hops_to_base, NodeReport* nr) {
+    Route* route, NodeReport* nr) {
   BinaryWriter writer;
   frame.Serialize(&writer);
   const std::vector<uint8_t>& wire = writer.buffer();
@@ -111,6 +127,14 @@ StatusOr<NetworkSim::DeliveryOutcome> NetworkSim::DeliverFrame(
   // exponentially and are charged to the node's energy account.
   for (size_t attempt = 0; attempt < link_.max_attempts; ++attempt) {
     if (attempt > 0) {
+      if (!node->RetryAllowed(nr->energy.total_nj())) {
+        // Past the energy-aware retry budget: shed the retry rather than
+        // the next sensing round. The frame falls through to abandonment
+        // and the loss surfaces through the usual resync/gap machinery.
+        ++nr->retries_shed;
+        SBR_OBS_COUNT("net.tx.retries_shed", 1);
+        break;
+      }
       ++nr->retransmissions;
       SBR_OBS_COUNT("net.tx.retries", 1);
       const size_t slots = node->NextBackoffSlots(attempt);
@@ -119,13 +143,24 @@ StatusOr<NetworkSim::DeliveryOutcome> NetworkSim::DeliverFrame(
     }
     std::vector<std::vector<uint8_t>> copies;
     copies.push_back(wire);
-    for (size_t h = 0; h < hops_to_base && !copies.empty(); ++h) {
+    for (size_t h = 0; h < route->hops.size() && !copies.empty(); ++h) {
+      const size_t payer = route->tx[h];
       std::vector<std::vector<uint8_t>> next;
       for (auto& copy : copies) {
         // Every copy entering a hop pays one hop of radio energy, whether
-        // or not the hop delivers it.
-        energy_.ChargeTransmission(value_count, 1, &nr->energy);
-        auto out = (*hops)[h].Transmit(std::move(copy));
+        // or not the hop delivers it — charged to whichever node transmits
+        // the hop: the origin for hop 0 (and every hop of a legacy private
+        // chain), the forwarding relay otherwise.
+        if (payer == route->origin) {
+          energy_.ChargeTransmission(value_count, 1, &nr->energy);
+          nr->charged_values += value_count;
+        } else {
+          energy_.ChargeTransmission(value_count, 1,
+                                     &(*route->relay_energy)[payer]);
+          (*route->relay_values)[payer] += value_count;
+          ++(*route->relay_copies)[payer];
+        }
+        auto out = route->hops[h].Transmit(std::move(copy));
         for (auto& o : out) next.push_back(std::move(o));
       }
       copies = std::move(next);
@@ -169,8 +204,7 @@ StatusOr<NetworkSim::DeliveryOutcome> NetworkSim::DeliverFrame(
 }
 
 StatusOr<bool> NetworkSim::TryResync(SensorNode* node, bool recover_batch,
-                                     std::vector<FaultChannel>* hops,
-                                     size_t hops_to_base, NodeReport* nr) {
+                                     Route* route, NodeReport* nr) {
   // The snapshot opens a new epoch and carries the node's report of chunks
   // lost for good, which the station turns into explicit DataLoss gaps.
   core::Frame snap = node->BuildSnapshotFrame();
@@ -178,7 +212,7 @@ StatusOr<bool> NetworkSim::TryResync(SensorNode* node, bool recover_batch,
   nr->values_sent += snap_values;
   auto delivered = DeliverFrame(node, snap,
                                 OnAirValues(energy_.params(), snap_values),
-                                hops, hops_to_base, nr);
+                                route, nr);
   if (!delivered.ok()) return delivered.status();
   if (*delivered != DeliveryOutcome::kAccepted) return false;
   node->MarkSnapshotDelivered();
@@ -195,7 +229,7 @@ StatusOr<bool> NetworkSim::TryResync(SensorNode* node, bool recover_batch,
   nr->values_sent += values;
   auto outcome = DeliverFrame(node, frame,
                               OnAirValues(energy_.params(), values),
-                              hops, hops_to_base, nr);
+                              route, nr);
   if (!outcome.ok()) return outcome.status();
   if (*outcome == DeliveryOutcome::kAccepted) {
     node->MarkChunkDelivered();
@@ -206,16 +240,14 @@ StatusOr<bool> NetworkSim::TryResync(SensorNode* node, bool recover_batch,
 }
 
 Status NetworkSim::DeliverChunk(SensorNode* node, const core::Transmission& tx,
-                                std::vector<FaultChannel>* hops,
-                                size_t hops_to_base, NodeReport* nr) {
+                                Route* route, NodeReport* nr) {
   // A pending resync (desynchronized station, or lost chunks not yet
   // reported) must be resolved first — the gap report travels in the
   // snapshot and keeps the station's timeline aligned.
   if (link_.resync_enabled && node->needs_resync()) {
     for (size_t round = 0;
          round < link_.max_resync_rounds && node->needs_resync(); ++round) {
-      auto ok = TryResync(node, /*recover_batch=*/false, hops, hops_to_base,
-                          nr);
+      auto ok = TryResync(node, /*recover_batch=*/false, route, nr);
       if (!ok.ok()) return ok.status();
     }
     if (node->needs_resync()) {
@@ -231,7 +263,7 @@ Status NetworkSim::DeliverChunk(SensorNode* node, const core::Transmission& tx,
   nr->values_sent += values;
   auto outcome = DeliverFrame(node, frame,
                               OnAirValues(energy_.params(), values),
-                              hops, hops_to_base, nr);
+                              route, nr);
   if (!outcome.ok()) return outcome.status();
   if (*outcome == DeliveryOutcome::kAccepted) {
     node->MarkChunkDelivered();
@@ -240,8 +272,7 @@ Status NetworkSim::DeliverChunk(SensorNode* node, const core::Transmission& tx,
 
   if (link_.resync_enabled) {
     for (size_t round = 0; round < link_.max_resync_rounds; ++round) {
-      auto recovered = TryResync(node, /*recover_batch=*/true, hops,
-                                 hops_to_base, nr);
+      auto recovered = TryResync(node, /*recover_batch=*/true, route, nr);
       if (!recovered.ok()) return recovered.status();
       if (*recovered) return Status::Ok();
     }
@@ -264,22 +295,42 @@ StatusOr<FrameAck> NetworkSim::StationReceive(std::span<const uint8_t> bytes,
 }
 
 Status NetworkSim::RunNode(size_t index, const datagen::Dataset& feed,
-                           NodeReport* nr_out) {
+                           NodeReport* nr_out,
+                           std::vector<EnergyAccount>* relay_energy,
+                           std::vector<size_t>* relay_copies,
+                           std::vector<size_t>* relay_values) {
   SBR_OBS_SPAN(node_span, "net.node");
   const NodePlacement& place = placements_[index];
   SensorNode node(place.id, feed.num_signals(), chunk_len_,
                   encoder_options_);
+  node.SetEnergyBudget(link_.node_energy_budget_nj,
+                       link_.retry_energy_fraction);
   NodeReport& nr = *nr_out;
   nr.id = place.id;
 
-  // One independent fault process per hop of this node's route, salted
-  // so every (node, hop) pair draws a decorrelated deterministic stream.
-  const size_t num_hops = place.hops_to_base == 0 ? 1 : place.hops_to_base;
-  std::vector<FaultChannel> hops;
-  hops.reserve(num_hops);
+  // Build the uplink route. With a topology it is the tree's real path —
+  // hop h is transmitted by the h-th node on the way up (the origin at
+  // h = 0, then its ancestors); otherwise it is the legacy private chain
+  // with the origin paying every hop. Either way the fault processes stay
+  // salted per (origin id, hop index), so a depth-1 star draws exactly the
+  // legacy constructor's deterministic streams.
+  Route route;
+  route.origin = index;
+  route.relay_energy = relay_energy;
+  route.relay_copies = relay_copies;
+  route.relay_values = relay_values;
+  if (has_topology_) {
+    route.tx = topology_.path(index);
+  } else {
+    const size_t legacy_hops =
+        place.hops_to_base == 0 ? 1 : place.hops_to_base;
+    route.tx.assign(legacy_hops, index);
+  }
+  const size_t num_hops = route.tx.size();
+  route.hops.reserve(num_hops);
   for (size_t h = 0; h < num_hops; ++h) {
-    hops.emplace_back(ToFaultOptions(link_),
-                      (static_cast<uint64_t>(place.id) << 16) | h);
+    route.hops.emplace_back(ToFaultOptions(link_),
+                            (static_cast<uint64_t>(place.id) << 16) | h);
   }
 
   std::vector<double> sample(feed.num_signals());
@@ -294,8 +345,7 @@ Status NetworkSim::RunNode(size_t index, const datagen::Dataset& feed,
     nr.values_raw += feed.num_signals() * chunk_len_;
     nr.raw_energy_nj += energy_.RawTransmissionNj(
         feed.num_signals() * chunk_len_, num_hops);
-    SBR_RETURN_IF_ERROR(
-        DeliverChunk(&node, **emitted, &hops, num_hops, &nr));
+    SBR_RETURN_IF_ERROR(DeliverChunk(&node, **emitted, &route, &nr));
   }
 
   // Trailing losses still deserve a gap report: resync once more if the
@@ -303,22 +353,31 @@ Status NetworkSim::RunNode(size_t index, const datagen::Dataset& feed,
   if (link_.resync_enabled && node.needs_resync()) {
     for (size_t round = 0;
          round < link_.max_resync_rounds && node.needs_resync(); ++round) {
-      auto ok = TryResync(&node, /*recover_batch=*/false, &hops, num_hops,
-                          &nr);
+      auto ok = TryResync(&node, /*recover_batch=*/false, &route, &nr);
       if (!ok.ok()) return ok.status();
     }
   }
 
   // Drain frames still held inside reordering hops; residual copies pay
-  // for the hops they have left to travel.
+  // for the hops they have left to travel, charged to whichever node
+  // transmits each remaining hop.
   for (size_t h = 0; h < num_hops; ++h) {
-    std::vector<std::vector<uint8_t>> copies = hops[h].Flush();
+    std::vector<std::vector<uint8_t>> copies = route.hops[h].Flush();
     for (size_t g = h + 1; g < num_hops && !copies.empty(); ++g) {
+      const size_t payer = route.tx[g];
       std::vector<std::vector<uint8_t>> next;
       for (auto& copy : copies) {
-        energy_.ChargeTransmission(BytesToValues(copy.size()), 1,
-                                   &nr.energy);
-        auto out = hops[g].Transmit(std::move(copy));
+        const size_t flush_values = BytesToValues(copy.size());
+        if (payer == route.origin) {
+          energy_.ChargeTransmission(flush_values, 1, &nr.energy);
+          nr.charged_values += flush_values;
+        } else {
+          energy_.ChargeTransmission(flush_values, 1,
+                                     &(*relay_energy)[payer]);
+          (*relay_values)[payer] += flush_values;
+          ++(*relay_copies)[payer];
+        }
+        auto out = route.hops[g].Transmit(std::move(copy));
         for (auto& o : out) next.push_back(std::move(o));
       }
       copies = std::move(next);
@@ -378,6 +437,11 @@ StatusOr<SimulationReport> NetworkSim::Run(
         "got " + std::to_string(feeds.size()) + " feeds for " +
         std::to_string(placements_.size()) + " nodes");
   }
+  if (has_topology_ && topology_.num_nodes() != placements_.size()) {
+    return Status::InvalidArgument(
+        "topology has " + std::to_string(topology_.num_nodes()) +
+        " nodes for " + std::to_string(placements_.size()) + " placements");
+  }
 
   // Nodes are mutually independent (own encoder, fault channels, energy
   // account; station serialized behind its mutex), so the per-node
@@ -388,13 +452,43 @@ StatusOr<SimulationReport> NetworkSim::Run(
   const size_t n = placements_.size();
   std::vector<NodeReport> reports(n);
   std::vector<Status> statuses(n, Status::Ok());
+  // Relay charges accumulate per origin (row i is private to node i's
+  // simulation) and merge below in a fixed origin-major order, so relayed
+  // energy totals are bitwise identical at any thread count too.
+  std::vector<std::vector<EnergyAccount>> relay_energy;
+  std::vector<std::vector<size_t>> relay_copies;
+  std::vector<std::vector<size_t>> relay_values;
+  if (has_topology_) {
+    relay_energy.assign(n, std::vector<EnergyAccount>(n));
+    relay_copies.assign(n, std::vector<size_t>(n, 0));
+    relay_values.assign(n, std::vector<size_t>(n, 0));
+  }
   util::ParallelFor(threads, n, [&](size_t, size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      statuses[i] = RunNode(i, feeds[i], &reports[i]);
+      statuses[i] = RunNode(i, feeds[i], &reports[i],
+                            has_topology_ ? &relay_energy[i] : nullptr,
+                            has_topology_ ? &relay_copies[i] : nullptr,
+                            has_topology_ ? &relay_values[i] : nullptr);
     }
   });
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
+  }
+
+  if (has_topology_) {
+    for (size_t origin = 0; origin < n; ++origin) {
+      for (size_t relay = 0; relay < n; ++relay) {
+        const EnergyAccount& a = relay_energy[origin][relay];
+        NodeReport& rr = reports[relay];
+        rr.energy.tx_nj += a.tx_nj;
+        rr.energy.rx_nj += a.rx_nj;
+        rr.energy.overhear_nj += a.overhear_nj;
+        rr.energy.cpu_nj += a.cpu_nj;
+        rr.energy.backoff_nj += a.backoff_nj;
+        rr.forwarded_copies += relay_copies[origin][relay];
+        rr.charged_values += relay_values[origin][relay];
+      }
+    }
   }
 
   SimulationReport report;

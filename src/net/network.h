@@ -22,6 +22,7 @@
 #include "net/energy.h"
 #include "net/fault_channel.h"
 #include "net/node.h"
+#include "net/topology.h"
 
 namespace sbr::obs {
 class MetricsRegistry;
@@ -29,7 +30,10 @@ class MetricsRegistry;
 
 namespace sbr::net {
 
-/// Static description of one sensor's place in the routing tree.
+/// Static description of one sensor's place in the routing tree. With the
+/// legacy (placement-only) constructor, `hops_to_base` models the node's
+/// route as a private chain of that many lossy hops; with a Topology the
+/// route is the tree's real uplink path and `hops_to_base` is ignored.
 struct NodePlacement {
   uint32_t id = 0;
   size_t hops_to_base = 1;
@@ -61,6 +65,14 @@ struct LinkOptions {
   bool resync_enabled = true;
   /// Seed for the deterministic per-hop fault processes.
   uint64_t seed = 17;
+  /// Energy-aware retry budget: when > 0, a node whose EnergyAccount has
+  /// already spent `retry_energy_fraction` of this budget (in nJ) stops
+  /// retransmitting — the frame is abandoned after its first attempt — but
+  /// keeps sensing, encoding and first-attempt delivery. A draining node
+  /// sheds retries before it sheds sensing. 0 disables the budget.
+  double node_energy_budget_nj = 0.0;
+  /// Fraction of the budget beyond which retries are shed (see above).
+  double retry_energy_fraction = 0.75;
 };
 
 /// Per-node simulation outcome.
@@ -81,6 +93,17 @@ struct NodeReport {
   size_t degraded_batches = 0;       ///< chunks re-encoded self-contained
   size_t chunks_lost = 0;            ///< chunks recorded as DataLoss gaps
   size_t frames_abandoned = 0;       ///< frames given up after max_attempts
+  /// Retry attempts suppressed by the energy-aware budget
+  /// (LinkOptions::node_energy_budget_nj).
+  size_t retries_shed = 0;
+  /// Frame copies this node relayed for its descendants (topology runs
+  /// only; the matching radio energy is charged to this node's account).
+  size_t forwarded_copies = 0;
+  /// On-air values charged to this node's account across every copy and
+  /// hop it transmitted (own traffic, relayed traffic, residual flushes).
+  /// Pins the energy account: energy == EnergyModel charge of
+  /// (charged_values, 1 hop) + backoff(backoff_slots), exactly.
+  size_t charged_values = 0;
   EnergyAccount energy;
   double raw_energy_nj = 0.0;
   /// Sum-squared error of the reconstructed history vs the true feed,
@@ -104,7 +127,10 @@ struct SimulationReport {
 
   /// values_raw / values_sent.
   double CompressionFactor() const;
-  /// raw energy / actual energy.
+  /// raw energy / actual energy. NaN when total_energy_nj == 0: a run that
+  /// spent nothing has no meaningful saving factor, and reporting 0.0
+  /// ("no saving") there was a bug. Callers that need a number should
+  /// std::isfinite-guard; PublishMetrics already does.
   double EnergySavingFactor() const;
 
   /// Mirrors the report into `registry` as gauges: run totals under
@@ -122,7 +148,22 @@ class NetworkSim {
  public:
   /// All nodes share the encoder configuration; each node `i` samples
   /// dataset `feeds[i]` (one feed per placement, same signal count each).
+  /// Legacy routing: node `i`'s route is a private chain of
+  /// `placements[i].hops_to_base` lossy hops (a star — no shared relays).
   NetworkSim(std::vector<NodePlacement> placements,
+             core::EncoderOptions encoder_options, size_t chunk_len,
+             EnergyParams energy = EnergyParams(),
+             LinkOptions link = LinkOptions());
+
+  /// Tree routing: node `i` occupies `topology` index `i` and its frames
+  /// travel the tree's uplink path, relayed by its ancestors. Every copy
+  /// entering a relay pays that relay's radio energy (charged to the
+  /// relay's NodeReport, merged deterministically in placement order), so
+  /// deep subtrees drain their relays — the routing-structure effect the
+  /// star model could not express. A depth-1 star topology reproduces the
+  /// legacy constructor's report byte for byte. `placements[i].hops_to_base`
+  /// is ignored; depth comes from the topology.
+  NetworkSim(Topology topology, std::vector<NodePlacement> placements,
              core::EncoderOptions encoder_options, size_t chunk_len,
              EnergyParams energy = EnergyParams(),
              LinkOptions link = LinkOptions());
@@ -148,31 +189,49 @@ class NetworkSim {
     kAbandoned,  ///< undeliverable within max_attempts
   };
 
-  /// Pushes one frame through the node's hop chain with retries and
-  /// exponential backoff (with the node's seeded jitter), charging energy
-  /// per copy per hop.
+  /// One node's uplink route: the per-hop fault processes plus, for
+  /// topology runs, which node pays each hop and where relay charges
+  /// accumulate. Relay charges land in per-origin accumulators (private to
+  /// the running node, merged in placement order after the parallel
+  /// section) so reports stay bitwise identical at any thread count.
+  struct Route {
+    std::vector<FaultChannel> hops;
+    /// Placement index transmitting hop h; tx[0] is the origin. Legacy
+    /// routes repeat the origin (a private chain).
+    std::vector<size_t> tx;
+    size_t origin = 0;
+    // Topology runs only (nullptr otherwise), all indexed by placement.
+    std::vector<EnergyAccount>* relay_energy = nullptr;
+    std::vector<size_t>* relay_copies = nullptr;
+    std::vector<size_t>* relay_values = nullptr;
+  };
+
+  /// Pushes one frame along the route with retries and exponential backoff
+  /// (with the node's seeded jitter), charging energy per copy per hop to
+  /// whichever node transmits that hop. A node past its energy-aware retry
+  /// budget sheds retries: the frame is abandoned after one attempt.
   StatusOr<DeliveryOutcome> DeliverFrame(SensorNode* node,
                                          const core::Frame& frame,
-                                         size_t value_count,
-                                         std::vector<FaultChannel>* hops,
-                                         size_t hops_to_base, NodeReport* nr);
+                                         size_t value_count, Route* route,
+                                         NodeReport* nr);
 
   /// Delivers one encoded chunk, falling back to resync + self-contained
   /// re-encode when the protocol demands it.
   Status DeliverChunk(SensorNode* node, const core::Transmission& tx,
-                      std::vector<FaultChannel>* hops, size_t hops_to_base,
-                      NodeReport* nr);
+                      Route* route, NodeReport* nr);
 
   /// One resync round: snapshot frame, then (optionally) the affected
   /// batch re-encoded self-contained. Returns true once the batch is safe.
   StatusOr<bool> TryResync(SensorNode* node, bool recover_batch,
-                           std::vector<FaultChannel>* hops,
-                           size_t hops_to_base, NodeReport* nr);
+                           Route* route, NodeReport* nr);
 
   /// The entire lifetime of one node: sampling, encoding, delivery,
   /// trailing resync, hop flush and history scoring. Touches only per-node
   /// state plus the mutex-guarded station, so nodes may run concurrently.
-  Status RunNode(size_t index, const datagen::Dataset& feed, NodeReport* nr);
+  Status RunNode(size_t index, const datagen::Dataset& feed, NodeReport* nr,
+                 std::vector<EnergyAccount>* relay_energy,
+                 std::vector<size_t>* relay_copies,
+                 std::vector<size_t>* relay_values);
 
   /// Serialized station ingest. Attributes the corrupt-frame delta of the
   /// call to `nr` under the same lock, which keeps per-node attribution
@@ -183,6 +242,8 @@ class NetworkSim {
                                     NodeReport* nr);
 
   std::vector<NodePlacement> placements_;
+  Topology topology_;
+  bool has_topology_ = false;
   core::EncoderOptions encoder_options_;
   size_t chunk_len_;
   EnergyModel energy_;

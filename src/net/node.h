@@ -95,6 +95,25 @@ class SensorNode {
   /// synchronized retry storms. Deterministic per (node id, call index).
   size_t NextBackoffSlots(size_t attempt);
 
+  /// Energy-aware retry budget. With `budget_nj` > 0, RetryAllowed()
+  /// reports false once the node's spent energy reaches
+  /// `retry_fraction * budget_nj`: a draining node sheds retransmissions
+  /// (each costing radio energy plus backoff idle-listening) before it
+  /// sheds sensing, so the remaining charge buys first-attempt deliveries
+  /// of fresh data instead of retries of old frames. Configuration, not
+  /// state: deliberately outside the lifecycle checkpoint.
+  void SetEnergyBudget(double budget_nj, double retry_fraction) {
+    energy_budget_nj_ = budget_nj;
+    retry_energy_fraction_ = retry_fraction;
+  }
+
+  /// True if a retransmission is still within the energy budget given the
+  /// node has already spent `spent_nj`. Always true with no budget set.
+  bool RetryAllowed(double spent_nj) const {
+    return energy_budget_nj_ <= 0.0 ||
+           spent_nj < retry_energy_fraction_ * energy_budget_nj_;
+  }
+
   /// Memory-pressure degraded mode: on, the encoder drops to the
   /// low-memory base construction (GetBaseLowMem); off restores the full
   /// construction. No-op for non-stored base strategies.
@@ -170,6 +189,8 @@ class SensorNode {
   size_t degraded_batches_ = 0;
   bool memory_pressure_ = false;
   size_t pressure_transitions_ = 0;
+  double energy_budget_nj_ = 0.0;  ///< 0 disables the retry budget
+  double retry_energy_fraction_ = 0.75;
   /// Private jitter stream for retransmit backoff, seeded from the node id
   /// so every node decorrelates from its peers yet replays identically.
   Rng backoff_rng_;

@@ -1,0 +1,106 @@
+#include "net/topology.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace sbr::net {
+
+const char* ToString(TopologyShape shape) {
+  switch (shape) {
+    case TopologyShape::kStar:
+      return "star";
+    case TopologyShape::kChain:
+      return "chain";
+    case TopologyShape::kBinary:
+      return "binary";
+    case TopologyShape::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+StatusOr<TopologyShape> ParseTopologyShape(std::string_view name) {
+  if (name == "star") return TopologyShape::kStar;
+  if (name == "chain") return TopologyShape::kChain;
+  if (name == "binary") return TopologyShape::kBinary;
+  if (name == "random") return TopologyShape::kRandom;
+  return Status::InvalidArgument("unknown topology shape '" +
+                                 std::string(name) + "'");
+}
+
+Topology Topology::Build(const TopologyOptions& options) {
+  Topology t;
+  t.shape_ = options.shape;
+  t.seed_ = options.seed;
+  const size_t n = options.num_nodes;
+  t.parent_.assign(n, kBase);
+
+  switch (options.shape) {
+    case TopologyShape::kStar:
+      break;  // every parent stays kBase
+    case TopologyShape::kChain:
+      for (size_t i = 1; i < n; ++i) t.parent_[i] = i - 1;
+      break;
+    case TopologyShape::kBinary:
+      for (size_t i = 1; i < n; ++i) t.parent_[i] = (i - 1) / 2;
+      break;
+    case TopologyShape::kRandom: {
+      // Random recursive forest: node i attaches uniformly to one of the
+      // i earlier nodes or directly to the base (weight 1 each), so base-
+      // adjacent nodes stay plausible at every size and the expected depth
+      // grows logarithmically. One draw per node keeps the tree a pure
+      // function of (num_nodes, seed).
+      Rng rng(options.seed ^ 0x7061746877617973ull);
+      for (size_t i = 1; i < n; ++i) {
+        const int64_t pick = rng.UniformInt(0, static_cast<int64_t>(i));
+        if (pick < static_cast<int64_t>(i)) {
+          t.parent_[i] = static_cast<size_t>(pick);
+        }
+      }
+      break;
+    }
+  }
+
+  t.depth_.assign(n, 0);
+  t.children_.assign(n, {});
+  t.path_.assign(n, {});
+  for (size_t i = 0; i < n; ++i) {
+    // Parents always precede children (every shape attaches node i to a
+    // node < i or to the base), so one forward pass settles depths.
+    t.depth_[i] = t.parent_[i] == kBase ? 1 : t.depth_[t.parent_[i]] + 1;
+    t.max_depth_ = std::max(t.max_depth_, t.depth_[i]);
+    if (t.parent_[i] != kBase) t.children_[t.parent_[i]].push_back(i);
+    std::vector<size_t>& path = t.path_[i];
+    path.reserve(t.depth_[i]);
+    for (size_t hop = i; hop != kBase; hop = t.parent_[hop]) {
+      path.push_back(hop);
+    }
+  }
+  return t;
+}
+
+std::vector<size_t> Topology::Relays() const {
+  std::vector<size_t> relays;
+  for (size_t i = 0; i < num_nodes(); ++i) {
+    if (is_relay(i)) relays.push_back(i);
+  }
+  return relays;
+}
+
+std::vector<size_t> Topology::Descendants(size_t node) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < num_nodes(); ++i) {
+    if (i != node && IsAncestor(node, i)) out.push_back(i);
+  }
+  return out;
+}
+
+bool Topology::IsAncestor(size_t ancestor, size_t node) const {
+  for (size_t hop = parent_[node]; hop != kBase; hop = parent_[hop]) {
+    if (hop == ancestor) return true;
+  }
+  return false;
+}
+
+}  // namespace sbr::net

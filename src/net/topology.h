@@ -1,0 +1,103 @@
+// Topology: the routing tree of the sensor network. The paper's SBR
+// protocol assumes sensors reach the base station over multi-hop routes;
+// this class makes the route structure explicit — parent pointers toward
+// the base station, per-node depth, and uplink paths — so relay nodes can
+// forward frames hop-by-hop, pay the radio energy for every copy they
+// relay, and partition their whole subtree when they crash.
+//
+// Construction is a pure function of (shape, num_nodes, seed): the same
+// options always build the same tree, which is what lets a failing chaos
+// run on a random topology be reproduced from nothing but its seed.
+#ifndef SBR_NET_TOPOLOGY_H_
+#define SBR_NET_TOPOLOGY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sbr::net {
+
+/// Supported routing-tree shapes over `num_nodes` sensors (node indices
+/// 0..n-1; the base station is the implicit root of every tree).
+enum class TopologyShape : uint8_t {
+  kStar = 0,  ///< every node one hop from the base; no relays (the legacy
+              ///< NetworkSim model, kept byte-identical)
+  kChain,     ///< node 0 adjacent to the base, node i relays for node i+1
+  kBinary,    ///< heap-shaped binary tree rooted at node 0
+  kRandom,    ///< seeded random recursive tree (possibly a forest: each
+              ///< node attaches to an earlier node or to the base)
+};
+
+/// Shape name for reports and CLI flags ("star", "chain", ...).
+const char* ToString(TopologyShape shape);
+
+/// Parses a shape name; InvalidArgument on anything unrecognized.
+StatusOr<TopologyShape> ParseTopologyShape(std::string_view name);
+
+/// Deterministic construction knobs.
+struct TopologyOptions {
+  TopologyShape shape = TopologyShape::kStar;
+  size_t num_nodes = 0;
+  uint64_t seed = 1;  ///< consumed by kRandom only
+};
+
+/// An immutable routing tree. Node indices are dense 0..num_nodes()-1 and
+/// it is the caller's job to map them onto sensor ids.
+class Topology {
+ public:
+  /// parent() value meaning "the uplink exits straight into the base".
+  static constexpr size_t kBase = static_cast<size_t>(-1);
+
+  Topology() = default;
+  static Topology Build(const TopologyOptions& options);
+
+  TopologyShape shape() const { return shape_; }
+  uint64_t seed() const { return seed_; }
+  size_t num_nodes() const { return parent_.size(); }
+
+  /// Next hop toward the base station, or kBase for base-adjacent nodes.
+  size_t parent(size_t node) const { return parent_[node]; }
+
+  /// Edges between `node` and the base station (always >= 1).
+  size_t depth(size_t node) const { return depth_[node]; }
+  size_t max_depth() const { return max_depth_; }
+
+  /// Direct children (nodes whose uplink enters this node).
+  const std::vector<size_t>& children(size_t node) const {
+    return children_[node];
+  }
+
+  /// True if any other node routes through this one.
+  bool is_relay(size_t node) const { return !children_[node].empty(); }
+
+  /// Uplink route: path(i)[0] == i, path(i)[h+1] == parent(path(i)[h]);
+  /// the final element is base-adjacent, so path(i).size() == depth(i)
+  /// and hop h of a frame from node i is transmitted by path(i)[h].
+  const std::vector<size_t>& path(size_t node) const { return path_[node]; }
+
+  /// All relay node indices, ascending.
+  std::vector<size_t> Relays() const;
+
+  /// Strict descendants of `node` (every node whose uplink path crosses
+  /// it), ascending.
+  std::vector<size_t> Descendants(size_t node) const;
+
+  /// True if `ancestor` lies strictly on `node`'s path to the base.
+  bool IsAncestor(size_t ancestor, size_t node) const;
+
+ private:
+  TopologyShape shape_ = TopologyShape::kStar;
+  uint64_t seed_ = 1;
+  size_t max_depth_ = 0;
+  std::vector<size_t> parent_;
+  std::vector<size_t> depth_;
+  std::vector<std::vector<size_t>> children_;
+  std::vector<std::vector<size_t>> path_;
+};
+
+}  // namespace sbr::net
+
+#endif  // SBR_NET_TOPOLOGY_H_

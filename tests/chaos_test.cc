@@ -107,8 +107,6 @@ TEST(ChaosSweep, EncoderThreadCountDoesNotChangeOutcome) {
   EXPECT_EQ(run(1), run(4));
 }
 
-// ------------------------------------------------- targeted fault drills
-
 /// Options with the link perfect and every fault disarmed; tests arm one.
 ChaosOptions QuietOptions(const std::string& dir_tag, uint64_t seed) {
   ChaosOptions opts = BaseOptions(dir_tag, seed);
@@ -121,6 +119,155 @@ ChaosOptions QuietOptions(const std::string& dir_tag, uint64_t seed) {
   opts.faults.memory_pressure_probability = 0.0;
   return opts;
 }
+
+// --------------------------------------------- multi-hop routing chaos
+
+/// Tree-shape chaos options: the base fault mix plus relay crashes armed,
+/// on a 5-node tree deep enough for shared relays on every shape.
+ChaosOptions TreeOptions(const std::string& dir_tag, uint64_t seed,
+                         TopologyShape shape) {
+  ChaosOptions opts = BaseOptions(dir_tag, seed);
+  opts.num_nodes = 5;
+  opts.rounds = 14;
+  opts.topology = shape;
+  opts.topology_seed = seed;
+  opts.faults.relay_crash_probability = 0.15;
+  return opts;
+}
+
+// The routing acceptance gate: seeded relay-crash schedules over every
+// tree shape, zero violations (I1-I7 plus the partition invariant I8 and
+// the energy reconciliation I9, all checked inside the sim).
+// SBR_CHAOS_TOPOLOGY=chain|binary|random restricts the sweep to one shape
+// so tools/chaos_sweep.sh --topology can shard and replay it.
+TEST(ChaosSweep, RelayCrashTreeTopologiesHoldInvariants) {
+  const size_t count = EnvCount("SBR_CHAOS_SEED_COUNT", 50);
+  const size_t base = EnvCount("SBR_CHAOS_SEED_BASE", 1);
+  const char* only = std::getenv("SBR_CHAOS_TOPOLOGY");
+  size_t failures = 0;
+  size_t relay_crashes = 0;
+  size_t partitioned = 0;
+  size_t forwarded = 0;
+  for (TopologyShape shape : {TopologyShape::kChain, TopologyShape::kBinary,
+                              TopologyShape::kRandom}) {
+    if (only != nullptr && *only != '\0' &&
+        std::string(only) != ToString(shape)) {
+      continue;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t seed = base + i;
+      ChaosSim sim(TreeOptions(std::string("tree_") + ToString(shape), seed,
+                               shape));
+      auto report = sim.Run();
+      ASSERT_TRUE(report.ok()) << ToString(shape) << " seed " << seed << ": "
+                               << report.status().ToString();
+      if (!report->clean()) {
+        ++failures;
+        for (const std::string& v : report->violations) {
+          ADD_FAILURE() << ToString(shape) << " seed " << seed << ": " << v;
+        }
+      }
+      for (const auto& n : report->nodes) {
+        relay_crashes += n.relay_crashes;
+        partitioned += n.partitioned_rounds;
+        forwarded += n.forwarded_copies;
+      }
+    }
+  }
+  EXPECT_EQ(failures, 0u) << failures << " tree runs violated invariants";
+  // The sweep must actually exercise the machinery it gates.
+  EXPECT_GT(relay_crashes, 0u);
+  EXPECT_GT(partitioned, 0u);
+  EXPECT_GT(forwarded, 0u);
+}
+
+// Relay-partition lifecycle pin, isolated on a clean link: a relay crash
+// blacks out exactly its subtree — descendants lose precisely the rounds
+// they spent behind the dead relay, nothing more, and resync via snapshot
+// once the route heals. The base-adjacent node has no ancestors and is
+// never partitioned.
+TEST(ChaosLifecycle, RelayCrashPartitionsSubtreeUntilRestart) {
+  ChaosOptions opts = QuietOptions("relay_crash", 77);
+  opts.num_nodes = 4;
+  opts.rounds = 14;
+  opts.topology = TopologyShape::kChain;
+  opts.faults.relay_crash_probability = 0.25;
+  ChaosSim sim(std::move(opts));
+  auto report = sim.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const std::string& v : report->violations) ADD_FAILURE() << v;
+  size_t crashes = 0;
+  size_t partitioned = 0;
+  for (const auto& n : report->nodes) {
+    crashes += n.relay_crashes;
+    partitioned += n.partitioned_rounds;
+    EXPECT_EQ(n.delivered + n.lost, n.fed) << "node " << n.id;
+    // On a clean link the only way to lose a chunk is the partition: each
+    // partitioned round costs exactly the round's chunk, recovered as an
+    // explicit gap by the post-heal snapshot resync.
+    EXPECT_EQ(n.lost, n.partitioned_rounds) << "node " << n.id;
+  }
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(partitioned, 0u);
+  EXPECT_EQ(report->nodes[0].partitioned_rounds, 0u)
+      << "the base-adjacent node has no ancestors to lose";
+  // Depths follow the chain.
+  for (size_t i = 0; i < report->nodes.size(); ++i) {
+    EXPECT_EQ(report->nodes[i].depth, i + 1);
+  }
+}
+
+// Regression for the backoff-accounting bug: ChaosSim counted backoff
+// slots but never charged their energy (or any radio energy at all). Now
+// every node's account must reconcile exactly against the closed form of
+// its charged values plus backoff slots — the same paired-report pin
+// NetworkSim obeys, with the default integer-valued EnergyParams making
+// the equality exact, not approximate.
+TEST(ChaosEnergy, AccountMatchesClosedFormExactly) {
+  ChaosOptions opts = BaseOptions("energy_pin", 31);
+  ChaosSim sim(std::move(opts));
+  auto report = sim.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const std::string& v : report->violations) ADD_FAILURE() << v;
+  EnergyModel model;
+  size_t backoffs = 0;
+  double backoff_nj = 0.0;
+  for (const auto& n : report->nodes) {
+    EnergyAccount expect;
+    model.ChargeTransmission(n.charged_values, 1, &expect);
+    model.ChargeBackoff(n.backoff_slots, &expect);
+    EXPECT_EQ(n.energy.total_nj(), expect.total_nj()) << "node " << n.id;
+    EXPECT_GT(n.energy.total_nj(), 0.0) << "node " << n.id;
+    backoffs += n.backoff_slots;
+    backoff_nj += n.energy.backoff_nj;
+  }
+  // The lossy link forced retries, and their backoff is now paid for.
+  ASSERT_GT(backoffs, 0u);
+  EXPECT_GT(backoff_nj, 0.0);
+}
+
+// The energy-aware retry budget under chaos: draining nodes shed
+// retransmissions, keep sensing, and every invariant still holds.
+TEST(ChaosEnergy, RetryBudgetShedsRetriesAndKeepsInvariants) {
+  ChaosOptions opts = BaseOptions("budget", 13);
+  opts.num_nodes = 4;
+  opts.topology = TopologyShape::kChain;
+  opts.link.drop_probability = 0.3;
+  opts.node_energy_budget_nj = 4.0e7;
+  opts.retry_energy_fraction = 0.5;
+  ChaosSim sim(std::move(opts));
+  auto report = sim.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const std::string& v : report->violations) ADD_FAILURE() << v;
+  size_t shed = 0;
+  for (const auto& n : report->nodes) {
+    shed += n.retries_shed;
+    EXPECT_EQ(n.delivered + n.lost, n.fed) << "node " << n.id;
+  }
+  EXPECT_GT(shed, 0u);
+}
+
+// ------------------------------------------------- targeted fault drills
 
 uint64_t FaultFreeDigest(uint64_t seed) {
   ChaosSim sim(QuietOptions("quiet", seed));
@@ -275,6 +422,51 @@ TEST(FaultScheduler, DeterministicAndTailFree) {
     }
   }
   EXPECT_GT(a.total_events(), 0u);
+}
+
+// Arming relay crashes with no relays must not perturb star schedules:
+// the relay draw loop is empty, so the stream of node draws is untouched
+// and the schedule stays byte-identical to the pre-topology one.
+TEST(FaultScheduler, RelayCrashDrawsDoNotPerturbStarSchedules) {
+  FaultScheduleOptions opts;
+  opts.rounds = 40;
+  opts.node_ids = {1, 2, 3, 4};
+  opts.seed = 7;
+  opts.fault_free_tail = 10;
+  FaultScheduler before(opts);
+  opts.relay_crash_probability = 0.9;  // armed, but relay_ids stays empty
+  FaultScheduler after(opts);
+  ASSERT_EQ(before.total_events(), after.total_events());
+  for (size_t i = 0; i < before.total_events(); ++i) {
+    EXPECT_EQ(before.events()[i].round, after.events()[i].round);
+    EXPECT_EQ(before.events()[i].fault, after.events()[i].fault);
+    EXPECT_EQ(before.events()[i].node_id, after.events()[i].node_id);
+    EXPECT_EQ(before.events()[i].duration, after.events()[i].duration);
+  }
+  EXPECT_EQ(after.count(LifecycleFault::kRelayCrash), 0u);
+}
+
+TEST(FaultScheduler, RelayCrashesScheduledInsideFaultWindow) {
+  FaultScheduleOptions opts;
+  opts.rounds = 40;
+  opts.node_ids = {1, 2, 3, 4};
+  opts.relay_ids = {2, 3};
+  opts.relay_crash_probability = 0.5;
+  opts.max_relay_down_rounds = 3;
+  opts.seed = 7;
+  opts.fault_free_tail = 10;
+  FaultScheduler sched(opts);
+  size_t crashes = 0;
+  for (const LifecycleEvent& e : sched.events()) {
+    if (e.fault != LifecycleFault::kRelayCrash) continue;
+    ++crashes;
+    EXPECT_TRUE(e.node_id == 2 || e.node_id == 3);
+    EXPECT_GT(e.duration, 0u);
+    EXPECT_LE(e.duration, opts.max_relay_down_rounds);
+    EXPECT_LE(e.round + e.duration, opts.rounds - opts.fault_free_tail);
+  }
+  EXPECT_GT(crashes, 0u);
+  EXPECT_EQ(crashes, sched.count(LifecycleFault::kRelayCrash));
 }
 
 TEST(FaultScheduler, DifferentSeedsDiverge) {

@@ -110,6 +110,9 @@ void ExpectNodeReportsEqual(const net::NodeReport& a, const net::NodeReport& b,
   EXPECT_EQ(a.degraded_batches, b.degraded_batches) << "threads=" << threads;
   EXPECT_EQ(a.chunks_lost, b.chunks_lost) << "threads=" << threads;
   EXPECT_EQ(a.frames_abandoned, b.frames_abandoned) << "threads=" << threads;
+  EXPECT_EQ(a.retries_shed, b.retries_shed) << "threads=" << threads;
+  EXPECT_EQ(a.forwarded_copies, b.forwarded_copies) << "threads=" << threads;
+  EXPECT_EQ(a.charged_values, b.charged_values) << "threads=" << threads;
   EXPECT_EQ(a.energy.total_nj(), b.energy.total_nj()) << "threads=" << threads;
   EXPECT_EQ(a.raw_energy_nj, b.raw_energy_nj) << "threads=" << threads;
   EXPECT_EQ(a.sse, b.sse) << "threads=" << threads;
@@ -165,6 +168,56 @@ TEST(Determinism, NetworkReportIdenticalAcrossThreadCounts) {
     EXPECT_EQ(r.total_duplicates_suppressed, serial.total_duplicates_suppressed);
     EXPECT_EQ(r.total_resyncs, serial.total_resyncs);
     EXPECT_EQ(r.total_degraded_batches, serial.total_degraded_batches);
+  }
+}
+
+TEST(Determinism, TreeTopologyReportIdenticalAcrossThreadCounts) {
+  // Tree routing shares relays between concurrently simulated nodes, so
+  // relay energy lands in per-origin accumulators merged in a fixed order
+  // after the parallel phase. The merged report must still be bitwise
+  // identical at any thread count.
+  datagen::WeatherOptions wopts;
+  wopts.length = 512;
+  std::vector<datagen::Dataset> feeds;
+  std::vector<net::NodePlacement> placements;
+  for (uint32_t id = 0; id < 4; ++id) {
+    wopts.seed = 400 + id;
+    feeds.push_back(datagen::GenerateWeather(wopts));
+    placements.push_back({id, 1});
+  }
+  net::TopologyOptions topts;
+  topts.shape = net::TopologyShape::kChain;
+  topts.num_nodes = 4;
+  net::LinkOptions link;
+  link.loss_probability = 0.1;
+  link.duplicate_probability = 0.05;
+  link.bit_flip_probability = 0.02;
+
+  auto run = [&](size_t threads) {
+    core::EncoderOptions opts;
+    opts.total_band = 300;
+    opts.m_base = 256;
+    opts.threads = threads;
+    net::NetworkSim sim(net::Topology::Build(topts), placements,
+                        opts, /*chunk_len=*/256, net::EnergyParams(), link);
+    auto report = sim.Run(feeds);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(report).value();
+  };
+
+  const auto serial = run(1);
+  ASSERT_EQ(serial.nodes.size(), 4u);
+  size_t forwarded = 0;
+  for (const auto& n : serial.nodes) forwarded += n.forwarded_copies;
+  EXPECT_GT(forwarded, 0u) << "chain must route through relays";
+  for (size_t threads : {2u, 4u, 8u}) {
+    const auto r = run(threads);
+    ASSERT_EQ(r.nodes.size(), serial.nodes.size());
+    for (size_t i = 0; i < r.nodes.size(); ++i) {
+      ExpectNodeReportsEqual(r.nodes[i], serial.nodes[i], threads);
+    }
+    EXPECT_EQ(r.total_energy_nj, serial.total_energy_nj);
+    EXPECT_EQ(r.total_sse, serial.total_sse);
   }
 }
 

@@ -1,5 +1,6 @@
 // Unit tests for the sensor-network substrate: the energy model, the
-// batching sensor node, the base station and the end-to-end simulation.
+// batching sensor node, the base station, the routing topology and the
+// end-to-end simulation.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -9,6 +10,7 @@
 #include "net/energy.h"
 #include "net/network.h"
 #include "net/node.h"
+#include "net/topology.h"
 #include "util/rng.h"
 
 namespace sbr::net {
@@ -107,6 +109,88 @@ TEST(SensorNode, MultipleBatchesReuseBuffer) {
   }
   EXPECT_EQ(emitted, 3u);  // 100 / 32
   EXPECT_EQ(node.buffered(), 4u);
+}
+
+// -------------------------------------------------------------- Topology
+
+TEST(Topology, ShapesAreWellFormed) {
+  {
+    Topology t = Topology::Build({TopologyShape::kChain, 5, 1});
+    EXPECT_EQ(t.parent(0), Topology::kBase);
+    for (size_t i = 1; i < 5; ++i) EXPECT_EQ(t.parent(i), i - 1);
+    EXPECT_EQ(t.depth(0), 1u);
+    EXPECT_EQ(t.depth(4), 5u);
+    EXPECT_EQ(t.max_depth(), 5u);
+    EXPECT_TRUE(t.is_relay(0));
+    EXPECT_FALSE(t.is_relay(4));
+  }
+  {
+    Topology t = Topology::Build({TopologyShape::kBinary, 7, 1});
+    for (size_t i = 1; i < 7; ++i) EXPECT_EQ(t.parent(i), (i - 1) / 2);
+    EXPECT_EQ(t.max_depth(), 3u);
+    EXPECT_EQ(t.children(0).size(), 2u);
+  }
+  {
+    Topology t = Topology::Build({TopologyShape::kStar, 4, 1});
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(t.parent(i), Topology::kBase);
+      EXPECT_EQ(t.depth(i), 1u);
+      EXPECT_FALSE(t.is_relay(i));
+    }
+    EXPECT_TRUE(t.Relays().empty());
+    EXPECT_EQ(t.max_depth(), 1u);
+  }
+}
+
+TEST(Topology, RandomTreesAreSeedDeterministic) {
+  TopologyOptions o;
+  o.shape = TopologyShape::kRandom;
+  o.num_nodes = 32;
+  o.seed = 9;
+  const Topology a = Topology::Build(o);
+  const Topology b = Topology::Build(o);
+  for (size_t i = 0; i < o.num_nodes; ++i) {
+    EXPECT_EQ(a.parent(i), b.parent(i)) << "node " << i;
+    // Every parent precedes its child (or is the base): the forward-pass
+    // construction and the uplink paths rely on it.
+    EXPECT_TRUE(a.parent(i) == Topology::kBase || a.parent(i) < i)
+        << "node " << i;
+  }
+  o.seed = 10;
+  const Topology c = Topology::Build(o);
+  bool differs = false;
+  for (size_t i = 0; i < o.num_nodes && !differs; ++i) {
+    differs = a.parent(i) != c.parent(i);
+  }
+  EXPECT_TRUE(differs) << "seed change did not move any edge";
+}
+
+TEST(Topology, PathsRelaysAndDescendantsAgree) {
+  const Topology t = Topology::Build({TopologyShape::kBinary, 7, 1});
+  const std::vector<size_t>& path = t.path(6);  // 6 -> 2 -> 0 -> base
+  ASSERT_EQ(path.size(), t.depth(6));
+  EXPECT_EQ(path[0], 6u);
+  EXPECT_EQ(path[1], 2u);
+  EXPECT_EQ(path[2], 0u);
+  EXPECT_TRUE(t.IsAncestor(0, 6));
+  EXPECT_TRUE(t.IsAncestor(2, 6));
+  EXPECT_FALSE(t.IsAncestor(1, 6));
+  EXPECT_FALSE(t.IsAncestor(6, 6));
+  EXPECT_EQ(t.Relays(), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(t.Descendants(2), (std::vector<size_t>{5, 6}));
+  EXPECT_EQ(t.Descendants(0).size(), 6u);
+  EXPECT_TRUE(t.Descendants(3).empty());
+}
+
+TEST(Topology, ShapeNamesRoundTrip) {
+  for (TopologyShape shape :
+       {TopologyShape::kStar, TopologyShape::kChain, TopologyShape::kBinary,
+        TopologyShape::kRandom}) {
+    auto parsed = ParseTopologyShape(ToString(shape));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, shape);
+  }
+  EXPECT_FALSE(ParseTopologyShape("ring").ok());
 }
 
 // ----------------------------------------------------------- BaseStation
@@ -301,6 +385,166 @@ TEST(NetworkSim, UndeliverableLinkDegradesToExplicitLoss) {
   // Nothing ever reached the station.
   EXPECT_FALSE(sim.base_station().HasSensor(0));
   EXPECT_DOUBLE_EQ(report->total_sse, 0.0);
+}
+
+// ------------------------------------------------- NetworkSim + Topology
+
+std::vector<datagen::Dataset> TreeFeeds(size_t n, uint64_t seed_base,
+                                        size_t length = 512) {
+  datagen::WeatherOptions wopts;
+  wopts.length = length;
+  std::vector<datagen::Dataset> feeds;
+  for (size_t i = 0; i < n; ++i) {
+    wopts.seed = seed_base + i;
+    feeds.push_back(datagen::GenerateWeather(wopts));
+  }
+  return feeds;
+}
+
+// The golden-compat pin of the refactor: a depth-1 star topology must
+// reproduce the legacy flat constructor's report bit for bit — same fault
+// draws, same energy, same reconstruction.
+TEST(NetworkSim, StarTopologyMatchesLegacyReportBitwise) {
+  const auto feeds = TreeFeeds(3, 500);
+  std::vector<NodePlacement> placements;
+  for (uint32_t id = 0; id < 3; ++id) placements.push_back({id, 1});
+  core::EncoderOptions opts;
+  opts.total_band = 300;
+  opts.m_base = 256;
+  LinkOptions link;
+  link.loss_probability = 0.1;
+  link.duplicate_probability = 0.05;
+  link.reorder_probability = 0.05;
+  link.bit_flip_probability = 0.02;
+
+  NetworkSim legacy(placements, opts, 256, EnergyParams(), link);
+  auto a = legacy.Run(feeds);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+
+  Topology star = Topology::Build({TopologyShape::kStar, 3, 1});
+  NetworkSim tree(std::move(star), placements, opts, 256, EnergyParams(),
+                  link);
+  auto b = tree.Run(feeds);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  ASSERT_EQ(a->nodes.size(), b->nodes.size());
+  for (size_t i = 0; i < a->nodes.size(); ++i) {
+    const NodeReport& x = a->nodes[i];
+    const NodeReport& y = b->nodes[i];
+    EXPECT_EQ(x.values_sent, y.values_sent) << "node " << i;
+    EXPECT_EQ(x.retransmissions, y.retransmissions) << "node " << i;
+    EXPECT_EQ(x.backoff_slots, y.backoff_slots) << "node " << i;
+    EXPECT_EQ(x.chunks_lost, y.chunks_lost) << "node " << i;
+    EXPECT_EQ(x.charged_values, y.charged_values) << "node " << i;
+    EXPECT_EQ(y.forwarded_copies, 0u) << "a star has no relays";
+    EXPECT_EQ(x.energy.total_nj(), y.energy.total_nj()) << "node " << i;
+    EXPECT_EQ(x.raw_energy_nj, y.raw_energy_nj) << "node " << i;
+    EXPECT_EQ(x.sse, y.sse) << "node " << i;
+  }
+  EXPECT_EQ(a->total_energy_nj, b->total_energy_nj);
+  EXPECT_EQ(a->total_sse, b->total_sse);
+  EXPECT_EQ(a->total_chunks_lost, b->total_chunks_lost);
+}
+
+// The tentpole behavior: on a chain, every copy a relay forwards is
+// charged to the relay's account, and each node's account reconciles
+// *exactly* against the closed form (the default EnergyParams are
+// integer-valued, so no tolerance is needed) — the paired-report pin
+// shared with ChaosSim's I9.
+TEST(NetworkSim, RelaysPayForForwardedTrafficExactly) {
+  // Identical feeds so the per-node traffic is comparable by construction.
+  const auto one = TreeFeeds(1, 700);
+  const std::vector<datagen::Dataset> same{one[0], one[0], one[0]};
+  std::vector<NodePlacement> placements;
+  for (uint32_t id = 0; id < 3; ++id) placements.push_back({id, 1});
+  core::EncoderOptions opts;
+  opts.total_band = 300;
+  opts.m_base = 256;
+  LinkOptions link;
+  link.loss_probability = 0.15;
+  link.bit_flip_probability = 0.03;
+
+  Topology chain = Topology::Build({TopologyShape::kChain, 3, 1});
+  NetworkSim sim(std::move(chain), placements, opts, 256, EnergyParams(),
+                 link);
+  auto report = sim.Run(same);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EnergyModel model;
+  for (const NodeReport& nr : report->nodes) {
+    EnergyAccount expect;
+    model.ChargeTransmission(nr.charged_values, 1, &expect);
+    model.ChargeBackoff(nr.backoff_slots, &expect);
+    EXPECT_EQ(nr.energy.total_nj(), expect.total_nj())
+        << "node " << nr.id << ": account diverges from the closed form";
+  }
+  // Nodes 0 and 1 relay for their subtrees; the leaf forwards nothing.
+  EXPECT_GT(report->nodes[0].forwarded_copies, 0u);
+  EXPECT_GT(report->nodes[1].forwarded_copies, 0u);
+  EXPECT_EQ(report->nodes[2].forwarded_copies, 0u);
+  // With identical feeds, the base-adjacent relay carries everyone's
+  // traffic and must outspend the leaf.
+  EXPECT_GT(report->nodes[0].energy.total_nj(),
+            report->nodes[2].energy.total_nj());
+  // The raw-feed counterfactual scales with tree depth: the leaf is three
+  // hops out, the root one.
+  EXPECT_DOUBLE_EQ(report->nodes[2].raw_energy_nj,
+                   3.0 * report->nodes[0].raw_energy_nj);
+}
+
+// Regression: EnergySavingFactor() returned 0.0 ("no saving") for a run
+// that spent nothing; the documented sentinel is NaN, and PublishMetrics
+// must survive rounding it.
+TEST(SimulationReport, EnergySavingFactorIsNaNWhenNothingSpent) {
+  SimulationReport empty;
+  EXPECT_TRUE(std::isnan(empty.EnergySavingFactor()));
+  SimulationReport spent;
+  spent.total_energy_nj = 2.0;
+  spent.total_raw_energy_nj = 5.0;
+  EXPECT_DOUBLE_EQ(spent.EnergySavingFactor(), 2.5);
+  // A zero-length feed produces a real zero-spend report end to end.
+  datagen::WeatherOptions wopts;
+  wopts.length = 0;
+  core::EncoderOptions opts;
+  opts.total_band = 100;
+  opts.m_base = 64;
+  NetworkSim sim({{0, 1}}, opts, 64);
+  auto report = sim.Run({datagen::GenerateWeather(wopts)});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_DOUBLE_EQ(report->total_energy_nj, 0.0);
+  EXPECT_TRUE(std::isnan(report->EnergySavingFactor()));
+}
+
+// The energy-aware retry budget sheds retransmissions before sensing: a
+// draining node keeps encoding and attempting first deliveries but stops
+// paying for retries.
+TEST(NetworkSim, EnergyBudgetShedsRetriesBeforeSensing) {
+  const auto feeds = TreeFeeds(1, 3);
+  core::EncoderOptions opts;
+  opts.total_band = 300;
+  opts.m_base = 256;
+  LinkOptions lossy;
+  lossy.loss_probability = 0.4;
+
+  NetworkSim unbounded({{0, 2}}, opts, 256, EnergyParams(), lossy);
+  auto base = unbounded.Run(feeds);
+  ASSERT_TRUE(base.ok());
+  ASSERT_GT(base->nodes[0].retransmissions, 0u);
+  EXPECT_EQ(base->nodes[0].retries_shed, 0u);
+
+  LinkOptions budgeted = lossy;
+  budgeted.node_energy_budget_nj = 6.0e7;
+  budgeted.retry_energy_fraction = 0.5;
+  NetworkSim draining({{0, 2}}, opts, 256, EnergyParams(), budgeted);
+  auto shed = draining.Run(feeds);
+  ASSERT_TRUE(shed.ok());
+  EXPECT_GT(shed->nodes[0].retries_shed, 0u);
+  // Sensing and encoding continue: same chunks encoded either way.
+  EXPECT_EQ(shed->nodes[0].transmissions, base->nodes[0].transmissions);
+  EXPECT_LE(shed->nodes[0].retransmissions,
+            base->nodes[0].retransmissions);
+  EXPECT_LT(shed->nodes[0].energy.total_nj(),
+            base->nodes[0].energy.total_nj());
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Seed sweep for the node-lifecycle chaos harness.
 #
-#   tools/chaos_sweep.sh [count] [base] [shard_size]
+#   tools/chaos_sweep.sh [--topology SHAPE] [count] [base] [shard_size]
 #
 # Runs `count` seeded fault schedules (default 500) starting at seed
 # `base` (default 1) through chaos_test's ChaosSweep gate, sharded
@@ -11,14 +11,31 @@
 #
 #   SBR_CHAOS_SEED_COUNT=1 SBR_CHAOS_SEED_BASE=<seed> \
 #     build/tests/chaos_test --gtest_filter='ChaosSweep.SeededFaultSchedulesHoldInvariants'
+#
+# --topology switches the sweep to the multi-hop relay-crash gate over
+# routing trees. SHAPE is chain, binary, random, or all (every shape per
+# seed). Replay a violating tree seed with the same envs plus
+# SBR_CHAOS_TOPOLOGY=<shape> and the RelayCrashTreeTopologiesHoldInvariants
+# filter the script prints.
 set -uo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
+TOPOLOGY=""
+if [[ "${1:-}" == "--topology" ]]; then
+  TOPOLOGY="${2:?chaos_sweep: --topology needs a shape (chain|binary|random|all)}"
+  shift 2
+fi
 COUNT="${1:-500}"
 BASE="${2:-1}"
 SHARD="${3:-50}"
 BIN="$REPO/build/tests/chaos_test"
 FILTER='ChaosSweep.SeededFaultSchedulesHoldInvariants'
+if [[ -n "$TOPOLOGY" ]]; then
+  FILTER='ChaosSweep.RelayCrashTreeTopologiesHoldInvariants'
+  # "all" sweeps every shape in one process: the test's default.
+  [[ "$TOPOLOGY" == "all" ]] && TOPOLOGY=""
+  export SBR_CHAOS_TOPOLOGY="$TOPOLOGY"
+fi
 
 if [[ ! -x "$BIN" ]]; then
   echo "chaos_sweep: $BIN not built; run: cmake --preset default && cmake --build --preset default" >&2
@@ -45,7 +62,7 @@ while ((seed < end)); do
 done
 
 if ((${#bad_seeds[@]} > 0)); then
-  echo "chaos_sweep: VIOLATING SEEDS: ${bad_seeds[*]}"
+  echo "chaos_sweep: VIOLATING SEEDS (filter $FILTER): ${bad_seeds[*]}"
   exit 1
 fi
-echo "chaos_sweep: $COUNT seeds clean (base $BASE)"
+echo "chaos_sweep: $COUNT seeds clean (base $BASE, filter $FILTER)"
