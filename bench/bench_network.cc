@@ -58,8 +58,14 @@ int main() {
   // combined radio spend of the relay nodes (own traffic plus forwarding),
   // max_node_nj the hottest single radio.
   std::printf("\n== Routing topology: relay load by tree shape ==\n");
-  std::printf("%-8s %-7s %-11s %-13s %-13s %-13s\n", "shape", "depth",
-              "forwarded", "relay_nj", "max_node_nj", "total_nj");
+  std::printf("%-8s %-7s %-11s %-11s %-13s %-13s %-13s\n", "shape", "depth",
+              "rounds/s", "forwarded", "relay_nj", "max_node_nj",
+              "total_nj");
+  // Machine-readable perf trajectory for future PRs: one record per
+  // topology shape in BENCH_network.json.
+  FILE* json = std::fopen("BENCH_network.json", "w");
+  if (json != nullptr) std::fprintf(json, "[\n");
+  bool first_record = true;
   for (net::TopologyShape shape :
        {net::TopologyShape::kStar, net::TopologyShape::kChain,
         net::TopologyShape::kBinary, net::TopologyShape::kRandom}) {
@@ -72,7 +78,10 @@ int main() {
     opts.total_band = n / 10;
     opts.m_base = 1024;
     net::NetworkSim sim(topo, placements, opts, kChunkLen);
+    const auto start = std::chrono::steady_clock::now();
     auto report = sim.Run(feeds);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
     if (!report.ok()) {
       std::fprintf(stderr, "topology run failed: %s\n",
                    report.status().ToString().c_str());
@@ -90,10 +99,36 @@ int main() {
       if (nj > max_node_nj) max_node_nj = nj;
       total_nj += nj;
     }
-    std::printf("%-8s %-7zu %-11zu %-13.3g %-13.3g %-13.3g\n",
-                net::ToString(shape), topo.max_depth(), forwarded, relay_nj,
-                max_node_nj, total_nj);
+    // One "round" = one chunk interval across the fleet (every node feeds
+    // the same number of whole chunks).
+    const size_t rounds = feeds[0].length() / kChunkLen;
+    const double seconds = elapsed.count();
+    const double rounds_per_sec = seconds > 0.0 ? rounds / seconds : 0.0;
+    const size_t frames_accepted =
+        sim.base_station().total_stats().frames_accepted;
+    std::printf("%-8s %-7zu %-11.1f %-11zu %-13.3g %-13.3g %-13.3g\n",
+                net::ToString(shape), topo.max_depth(), rounds_per_sec,
+                forwarded, relay_nj, max_node_nj, total_nj);
     std::fflush(stdout);
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "%s  {\"shape\": \"%s\", \"depth\": %zu, "
+                   "\"rounds\": %zu, \"seconds\": %.6f, "
+                   "\"rounds_per_sec\": %.3f, \"frames_accepted\": %zu, "
+                   "\"forwarded_copies\": %zu, \"values_sent\": %zu, "
+                   "\"total_energy_nj\": %.3f, \"relay_energy_nj\": %.3f, "
+                   "\"max_node_energy_nj\": %.3f}",
+                   first_record ? "" : ",\n", net::ToString(shape),
+                   topo.max_depth(), rounds, seconds, rounds_per_sec,
+                   frames_accepted, forwarded, report->total_values_sent,
+                   total_nj, relay_nj, max_node_nj);
+      first_record = false;
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n]\n");
+    std::fclose(json);
+    std::printf("perf records written to BENCH_network.json\n");
   }
   // Lifecycle chaos: how much timeline survives when the *endpoints*
   // fail (crash/restart, power-loss log tears, stalls), and what the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/frame_check.h"
 #include "obs/metrics.h"
 
 namespace sbr::net {
@@ -188,7 +189,10 @@ StatusOr<FrameAck> BaseStation::ReceiveBytes(
     std::span<const uint8_t> bytes) {
   SBR_OBS_COUNT("net.rx.frames", 1);
   SBR_OBS_COUNT("net.rx.bytes", bytes.size());
-  auto frame = core::Frame::Parse(bytes);
+  // The shared envelope check (frame_check.h) — the same classification a
+  // relay applies on the forwarding path, so a malformed frame gets the
+  // identical verdict at every hop.
+  auto frame = CheckFrameEnvelope(bytes);
   if (!frame.ok()) {
     // Corruption is detected, counted and NACKed — never decoded. The
     // sensor id cannot be trusted on a frame that failed its CRC, so the

@@ -123,7 +123,6 @@ Status ChaosSim::SetUp() {
   topo.num_nodes = options_.num_nodes;
   topo.seed = options_.topology_seed;
   topology_ = Topology::Build(topo);
-  energy_model_ = EnergyModel(options_.energy);
   options_.faults.relay_ids.clear();
   for (size_t relay : topology_.Relays()) {
     options_.faults.relay_ids.push_back(static_cast<uint32_t>(relay + 1));
@@ -163,10 +162,82 @@ Status ChaosSim::SetUp() {
     nodes_.push_back(std::move(ctx));
   }
 
+  // Routes are built only after every NodeCtx exists: hop h of node i's
+  // uplink points straight at the h-th path node's edge channel and report
+  // row. Those addresses survive restarts (only ctx.node is replaced), so
+  // each route is resolved exactly once.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    NodeCtx& ctx = nodes_[i];
+    const std::vector<size_t>& path = topology_.path(i);
+    ctx.route.hops.reserve(path.size());
+    for (size_t h = 0; h < path.size(); ++h) {
+      NodeCtx& hop = nodes_[path[h]];
+      EngineHop eh;
+      eh.channel = &hop.channel;
+      eh.account = &hop.report.energy;
+      eh.charged_values = &hop.report.charged_values;
+      eh.forwarded_copies = h == 0 ? nullptr : &hop.report.forwarded_copies;
+      eh.node = path[h];
+      ctx.route.hops.push_back(eh);
+    }
+  }
+
   station_ = std::make_unique<BaseStation>(
       options_.encoder.m_base, options_.log_dir, options_.reorder_window,
       /*persist_protocol_state=*/true);
+
+  // The engine under the chaos configuration: strict acceptance (the
+  // shadow history must record exactly what the station ingested),
+  // obs-silent (the harness is an oracle, not a workload), lifecycle
+  // policy plugged in for partitions and shadow feeding.
+  hooks_.sim = this;
+  EngineOptions eopts;
+  eopts.max_attempts = options_.max_attempts;
+  eopts.max_resync_rounds = options_.max_resync_rounds;
+  eopts.resync_enabled = true;
+  eopts.strict_accept = true;
+  eopts.emit_obs = false;
+  engine_ = std::make_unique<SimEngine>(
+      station_.get(), EnergyModel(options_.energy), eopts, &hooks_);
   return Status::Ok();
+}
+
+bool ChaosSim::Lifecycle::HopDown(size_t node) {
+  // The relay-partition rule: a forwarding hop inside its outage window
+  // (crash, stall, relay crash) is dark — copies reaching it vanish.
+  return sim->round_ < sim->nodes_[node].stall_until;
+}
+
+Status ChaosSim::Lifecycle::OnFrameAccepted(const core::Frame& frame,
+                                            const EngineRoute& route) {
+  NodeCtx* ctx = &sim->nodes_[frame.sensor_id - 1];
+  // I8: nothing may cross a downed ancestor. An accept here means the
+  // partition leaked a frame through a dead relay.
+  for (size_t h = 1; h < route.hops.size(); ++h) {
+    const NodeCtx& hop = sim->nodes_[route.hops[h].node];
+    if (sim->IsDown(hop)) {
+      sim->report_.violations.push_back(
+          "node " + std::to_string(ctx->id) +
+          ": frame accepted while ancestor node " + std::to_string(hop.id) +
+          " was down (I8)");
+    }
+  }
+  return sim->ShadowAccept(ctx, frame);
+}
+
+DeliverySink ChaosSim::SinkFor(NodeCtx* ctx) {
+  DeliverySink sink;
+  sink.node = ctx->node.get();
+  // The budget check reads the full account — including relay charges from
+  // other nodes' traffic — matching what a real mote's battery sees.
+  sink.energy = &ctx->report.energy;
+  sink.retransmissions = &ctx->report.retransmissions;
+  sink.backoff_slots = &ctx->report.backoff_slots;
+  sink.retries_shed = &ctx->report.retries_shed;
+  sink.chunks_delivered = &ctx->report.delivered;
+  sink.chunks_lost = &ctx->report.lost;
+  sink.malformed_relayed = &ctx->report.malformed_relayed;
+  return sink;
 }
 
 Status ChaosSim::ShadowAccept(NodeCtx* ctx, const core::Frame& frame) {
@@ -179,101 +250,6 @@ Status ChaosSim::ShadowAccept(NodeCtx* ctx, const core::Frame& frame) {
   auto t = core::Transmission::Deserialize(&reader);
   if (!t.ok()) return t.status();
   return ctx->shadow.Ingest(*t);
-}
-
-StatusOr<ChaosSim::Outcome> ChaosSim::Deliver(NodeCtx* ctx,
-                                              const core::Frame& frame,
-                                              size_t value_count) {
-  BinaryWriter writer;
-  frame.Serialize(&writer);
-  const std::vector<uint8_t>& wire = writer.buffer();
-  // The uplink route: hop h crosses the edge channel owned by the h-th
-  // node on the path (the origin at h = 0, then its ancestors). A star
-  // path is just the origin's own edge, exactly the pre-topology harness.
-  const std::vector<size_t>& path =
-      topology_.path(static_cast<size_t>(ctx->id) - 1);
-  // Stop-and-wait with bounded retries, mirroring NetworkSim::DeliverFrame,
-  // but success is strictly an Accept for this frame's identity: the
-  // shadow history must record exactly what the station ingested.
-  for (size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
-    if (attempt > 0) {
-      if (!ctx->node->RetryAllowed(ctx->report.energy.total_nj())) {
-        // Past the energy-aware retry budget: shed the retry and let the
-        // loss surface through the usual resync/gap machinery.
-        ++ctx->report.retries_shed;
-        break;
-      }
-      ++ctx->report.retransmissions;
-      const size_t slots = ctx->node->NextBackoffSlots(attempt);
-      ctx->report.backoff_slots += slots;
-      energy_model_.ChargeBackoff(slots, &ctx->report.energy);
-    }
-    std::vector<std::vector<uint8_t>> copies;
-    copies.push_back(wire);
-    for (size_t h = 0; h < path.size() && !copies.empty(); ++h) {
-      NodeCtx& hop = nodes_[path[h]];
-      if (h > 0 && IsDown(hop)) {
-        // Partition: the relay is dark, so copies reaching it vanish and
-        // its dead radio transmits (and is charged) nothing. The origin
-        // already paid for the hops the copies did cross.
-        copies.clear();
-        break;
-      }
-      std::vector<std::vector<uint8_t>> next;
-      for (auto& copy : copies) {
-        // Every copy entering a hop pays one hop of radio energy at the
-        // transmitting node, whether or not the hop delivers it.
-        energy_model_.ChargeTransmission(value_count, 1,
-                                         &hop.report.energy);
-        hop.report.charged_values += value_count;
-        if (h > 0) ++hop.report.forwarded_copies;
-        auto out = hop.channel.Transmit(std::move(copy));
-        for (auto& o : out) next.push_back(std::move(o));
-      }
-      copies = std::move(next);
-    }
-    bool accepted = false;
-    bool desync = false;
-    for (const auto& copy : copies) {
-      auto ack = station_->ReceiveBytes(copy);
-      if (!ack.ok()) return ack.status();
-      if (ack->type == AckType::kCorrupt) continue;
-      if (ack->sensor_id != frame.sensor_id || ack->seq != frame.seq) {
-        continue;
-      }
-      if (ack->type == AckType::kAccept) accepted = true;
-      if (ack->type == AckType::kDesync) desync = true;
-    }
-    if (accepted) {
-      // I8: nothing may cross a downed ancestor. An accept here means the
-      // partition leaked a frame through a dead relay.
-      for (size_t h = 1; h < path.size(); ++h) {
-        if (IsDown(nodes_[path[h]])) {
-          report_.violations.push_back(
-              "node " + std::to_string(ctx->id) +
-              ": frame accepted while ancestor node " +
-              std::to_string(nodes_[path[h]].id) + " was down (I8)");
-        }
-      }
-      SBR_RETURN_IF_ERROR(ShadowAccept(ctx, frame));
-      return Outcome::kAccepted;
-    }
-    if (desync) return Outcome::kDesync;
-  }
-  return Outcome::kAbandoned;
-}
-
-StatusOr<bool> ChaosSim::TryResync(NodeCtx* ctx) {
-  core::Frame snap = ctx->node->BuildSnapshotFrame();
-  auto outcome =
-      Deliver(ctx, snap,
-              OnAirValues(options_.energy,
-                          BytesToValues(snap.payload.size())));
-  if (!outcome.ok()) return outcome.status();
-  if (*outcome != Outcome::kAccepted) return false;
-  ctx->node->MarkSnapshotDelivered();
-  ctx->node->set_needs_resync(false);
-  return true;
 }
 
 Status ChaosSim::ResolveChunk(NodeCtx* ctx, size_t round) {
@@ -294,66 +270,13 @@ Status ChaosSim::ResolveChunk(NodeCtx* ctx, size_t round) {
   }
   ++ctx->report.fed;
 
-  SensorNode* node = ctx->node.get();
-  bool resolved = false;
-
-  // A pending resync (crash recovery, unreported losses, prior desync)
-  // must complete before the station will trust new data.
-  if (node->needs_resync()) {
-    for (size_t r = 0;
-         r < options_.max_resync_rounds && node->needs_resync(); ++r) {
-      auto ok = TryResync(ctx);
-      if (!ok.ok()) return ok.status();
-    }
-    if (node->needs_resync()) {
-      node->RecordLostChunk();
-      ++ctx->report.lost;
-      resolved = true;
-    }
-  }
-
-  if (!resolved) {
-    core::Frame frame = node->MakeDataFrame(*tx);
-    auto outcome =
-        Deliver(ctx, frame, OnAirValues(options_.energy, tx->ValueCount()));
-    if (!outcome.ok()) return outcome.status();
-    if (*outcome == Outcome::kAccepted) {
-      node->MarkChunkDelivered();
-      ++ctx->report.delivered;
-      resolved = true;
-    }
-  }
-
-  if (!resolved) {
-    // Recovery rounds: snapshot handshake, then the batch re-encoded
-    // self-contained so it decodes against any base-signal state.
-    for (size_t r = 0; r < options_.max_resync_rounds && !resolved; ++r) {
-      auto synced = TryResync(ctx);
-      if (!synced.ok()) return synced.status();
-      if (!*synced) continue;
-      auto degraded = node->EncodeSelfContained();
-      if (!degraded.ok()) return degraded.status();
-      core::Frame frame = node->MakeDataFrame(*degraded);
-      auto outcome =
-          Deliver(ctx, frame,
-                  OnAirValues(options_.energy, degraded->ValueCount()));
-      if (!outcome.ok()) return outcome.status();
-      if (*outcome == Outcome::kAccepted) {
-        node->MarkChunkDelivered();
-        ++ctx->report.delivered;
-        resolved = true;
-      } else if (*outcome == Outcome::kDesync) {
-        node->set_needs_resync(true);
-      }
-    }
-    if (!resolved) {
-      node->RecordLostChunk();
-      ++ctx->report.lost;
-    }
-  }
+  // The engine drives the chunk to a terminal outcome — pending-resync
+  // drain, primary delivery, snapshot + self-contained recovery, or the
+  // DataLoss write-off — counting delivered/lost through the sink.
+  SBR_RETURN_IF_ERROR(engine_->ResolveChunk(*tx, &ctx->route, SinkFor(ctx)));
 
   // Chunk-boundary checkpoint: the durable state a crash will restore.
-  return ctx->ckpt.AppendCheckpoint(node->SaveCheckpoint());
+  return ctx->ckpt.AppendCheckpoint(ctx->node->SaveCheckpoint());
 }
 
 Status ChaosSim::CrashRestartNode(NodeCtx* ctx) {
@@ -413,6 +336,7 @@ Status ChaosSim::RestartStation() {
   station_ = std::make_unique<BaseStation>(
       options_.encoder.m_base, options_.log_dir, options_.reorder_window,
       /*persist_protocol_state=*/true);
+  engine_->set_station(station_.get());
   ++report_.station_restarts;
   return Status::Ok();
 }
@@ -592,11 +516,7 @@ Status ChaosSim::Finalize() {
   for (NodeCtx& ctx : nodes_) {
     if (ctx.report.fed == 0) continue;
     // Drain pending loss reports over the (still faulty) channel first.
-    for (size_t r = 0;
-         r < options_.max_resync_rounds && ctx.node->needs_resync(); ++r) {
-      auto ok = TryResync(&ctx);
-      if (!ok.ok()) return ok.status();
-    }
+    SBR_RETURN_IF_ERROR(engine_->DrainResyncs(&ctx.route, SinkFor(&ctx)));
     // Guaranteed convergence: a direct, channel-bypassing handshake, as
     // if the operator walked the last hop. Each attempt opens a fresh
     // epoch, so acceptance is reached within a bounded number of tries.
@@ -644,8 +564,8 @@ void ChaosSim::CheckInvariants() {
     // tolerance only absorbs summation-order ulps under fractional
     // EnergyParams; the defaults are integer-valued and match exactly.
     EnergyAccount expect;
-    energy_model_.ChargeTransmission(nr.charged_values, 1, &expect);
-    energy_model_.ChargeBackoff(nr.backoff_slots, &expect);
+    engine_->energy().ChargeTransmission(nr.charged_values, 1, &expect);
+    engine_->energy().ChargeBackoff(nr.backoff_slots, &expect);
     const double scale = std::max(1.0, expect.total_nj());
     if (std::abs(expect.total_nj() - nr.energy.total_nj()) >
         1e-6 * scale) {

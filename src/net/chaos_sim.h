@@ -7,6 +7,15 @@
 // by a watchdog, and memory pressure flips encoders into the low-memory
 // base construction.
 //
+// The delivery machinery itself — routing, retries/backoff, energy
+// charging — is the shared net::SimEngine (sim_engine.h). ChaosSim is the
+// engine's lifecycle configuration: it plugs in a LifecycleHooks policy
+// whose HopDown() partitions subtrees behind downed relays and whose
+// OnFrameAccepted() feeds the shadow oracles and checks invariant I8, and
+// it runs the engine under strict acceptance (only a kAccept settles a
+// frame, because the shadow history must record exactly what the station
+// ingested).
+//
 // The harness keeps a per-node *shadow history*: an oracle HistoryStore
 // fed exactly the transmissions and snapshots the station accepted, but
 // living outside the blast radius of every fault. After the run it checks
@@ -52,6 +61,7 @@
 #include "net/fault_channel.h"
 #include "net/fault_scheduler.h"
 #include "net/node.h"
+#include "net/sim_engine.h"
 #include "net/topology.h"
 #include "storage/chunk_log.h"
 #include "storage/history_store.h"
@@ -119,6 +129,11 @@ struct ChaosNodeReport {
   size_t retransmissions = 0;  ///< delivery attempts beyond the first
   size_t retries_shed = 0;     ///< retries suppressed by the energy budget
   size_t forwarded_copies = 0; ///< frame copies relayed for descendants
+  /// Copies of this node's frames that a forwarding relay classified as
+  /// failing the shared envelope check (CheckFrameEnvelope; relays
+  /// classify but never drop — the station stays the enforcement point).
+  /// Not part of Digest(): purely diagnostic.
+  size_t malformed_relayed = 0;
   /// On-air values charged to this node across every copy and hop it
   /// transmitted; pins `energy` exactly (invariant I9).
   size_t charged_values = 0;
@@ -175,8 +190,24 @@ class ChaosSim {
     FaultChannel channel;
     storage::HistoryStore shadow;
     ChaosNodeReport report;
+    /// Engine route up the tree: hop h crosses the edge channel owned by
+    /// the h-th node on the path and charges that node's report. Built
+    /// once in SetUp (channel/report addresses survive restarts — only
+    /// `node` is replaced).
+    EngineRoute route;
     size_t stall_until = 0;      ///< rounds < stall_until are silent
     bool watchdog_pending = false;
+  };
+
+  /// The lifecycle policy plugged into the engine: HopDown() is the
+  /// relay-partition rule (a forwarding hop inside its outage window is
+  /// dark), OnFrameAccepted() runs the I8 partition check and mirrors the
+  /// accepted frame into the origin's shadow history.
+  struct Lifecycle final : LifecycleHooks {
+    ChaosSim* sim = nullptr;
+    bool HopDown(size_t node) override;
+    Status OnFrameAccepted(const core::Frame& frame,
+                           const EngineRoute& route) override;
   };
 
   Status SetUp();
@@ -185,20 +216,13 @@ class ChaosSim {
   /// True if the node is dark this round (crashed, stalled, or inside a
   /// relay-crash outage): it neither samples nor forwards.
   bool IsDown(const NodeCtx& ctx) const { return round_ < ctx.stall_until; }
-  /// Feeds round `round`'s chunk into a node and drives it to a terminal
-  /// outcome (accepted, recovered degraded, or written off).
+  /// Points a DeliverySink at the node's current SensorNode and its report
+  /// row. Rebuilt per use: restarts replace ctx->node.
+  DeliverySink SinkFor(NodeCtx* ctx);
+  /// Feeds round `round`'s chunk into a node and hands it to the engine to
+  /// drive to a terminal outcome (accepted, recovered degraded, or written
+  /// off), then checkpoints at the chunk boundary.
   Status ResolveChunk(NodeCtx* ctx, size_t round);
-  /// One end-to-end frame delivery along the origin's uplink path: hop h
-  /// crosses the edge channel of the h-th node on the way up, each copy
-  /// pays `value_count` on-air values at that node, and copies reaching a
-  /// downed relay vanish (the partition). Success is strictly an Accept
-  /// ack for this frame's identity.
-  enum class Outcome { kAccepted, kDesync, kAbandoned };
-  StatusOr<Outcome> Deliver(NodeCtx* ctx, const core::Frame& frame,
-                            size_t value_count);
-  /// Snapshot handshake over the faulty channel; mirrors the accepted
-  /// snapshot into the shadow history on success.
-  StatusOr<bool> TryResync(NodeCtx* ctx);
   /// Applies an accepted frame to the node's shadow history.
   Status ShadowAccept(NodeCtx* ctx, const core::Frame& frame);
   Status CrashRestartNode(NodeCtx* ctx);
@@ -215,7 +239,10 @@ class ChaosSim {
   std::unique_ptr<BaseStation> station_;
   std::vector<NodeCtx> nodes_;
   Topology topology_;
-  EnergyModel energy_model_;
+  Lifecycle hooks_;
+  /// The shared delivery engine, configured strict-accept + obs-silent.
+  /// Built in SetUp once the station exists.
+  std::unique_ptr<SimEngine> engine_;
   /// Current lockstep round; options_.rounds once the schedule is spent,
   /// so Finalize sees every outage expired.
   size_t round_ = 0;

@@ -1,8 +1,10 @@
 #include "net/energy.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/transmission.h"
+#include "util/rng.h"
 
 namespace sbr::net {
 
@@ -13,6 +15,19 @@ size_t OnAirValues(const EnergyParams& params, size_t payload_values) {
 }
 
 size_t BytesToValues(size_t bytes) { return (bytes + 3) / 4; }
+
+size_t BackoffSlots(size_t attempt, Rng* jitter) {
+  const size_t base = size_t{1} << std::min<size_t>(attempt, 10);
+  // base <= 1 returns without touching the jitter stream: the stream must
+  // advance exactly once per real backoff window or replay breaks.
+  if (base <= 1) return 1;
+  // Jitter over the upper half of the exponential window: the mean stays
+  // ~3/4 of the deterministic schedule while any two nodes' retry trains
+  // decorrelate after the first collision.
+  const size_t half = base / 2;
+  return half + static_cast<size_t>(
+                    jitter->UniformInt(0, static_cast<int64_t>(half)));
+}
 
 void EnergyModel::ChargeTransmission(size_t values, size_t hops,
                                      EnergyAccount* account) const {

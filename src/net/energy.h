@@ -8,6 +8,10 @@
 
 #include <cstddef>
 
+namespace sbr {
+class Rng;
+}  // namespace sbr
+
 namespace sbr::net {
 
 /// Radio/CPU energy parameters. Defaults approximate a MICA-class mote.
@@ -46,6 +50,15 @@ size_t OnAirValues(const EnergyParams& params, size_t payload_values);
 
 /// 32-bit words in an opaque payload (snapshots, flushed residual copies).
 size_t BytesToValues(size_t bytes);
+
+/// Retransmit backoff for `attempt` (0-based), in slots: exponential base
+/// (capped at 2^10) with jitter drawn from `jitter` uniformly over the
+/// upper half of the window, so simultaneously restarted nodes do not
+/// produce synchronized retry storms. Attempt 0 (and 1) returns 1 slot
+/// without consuming a draw — callers that never retry leave their jitter
+/// stream untouched. This is the one backoff formula both simulators
+/// charge through (SensorNode::NextBackoffSlots delegates here).
+size_t BackoffSlots(size_t attempt, Rng* jitter);
 
 /// Stateless calculator charging an EnergyAccount for network events.
 class EnergyModel {

@@ -1,0 +1,13 @@
+#include "net/frame_check.h"
+
+namespace sbr::net {
+
+StatusOr<core::Frame> CheckFrameEnvelope(std::span<const uint8_t> bytes) {
+  return core::Frame::Parse(bytes);
+}
+
+bool FrameEnvelopeOk(std::span<const uint8_t> bytes) {
+  return CheckFrameEnvelope(bytes).ok();
+}
+
+}  // namespace sbr::net

@@ -1,0 +1,26 @@
+#ifndef SBR_NET_FRAME_CHECK_H_
+#define SBR_NET_FRAME_CHECK_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/transmission.h"
+#include "util/status.h"
+
+namespace sbr::net {
+
+/// The single frame CRC/envelope classification shared by every hop.
+///
+/// Relays classifying a forwarded copy and `BaseStation::ReceiveBytes`
+/// validating an arriving frame both route through this check, so a
+/// malformed frame gets the identical verdict at every point in the
+/// network. Wraps `core::Frame::Parse` (magic, header bounds, CRC32).
+StatusOr<core::Frame> CheckFrameEnvelope(std::span<const uint8_t> bytes);
+
+/// Convenience predicate for call sites that only classify (relay
+/// forwarding) and never consume the parsed frame.
+bool FrameEnvelopeOk(std::span<const uint8_t> bytes);
+
+}  // namespace sbr::net
+
+#endif  // SBR_NET_FRAME_CHECK_H_

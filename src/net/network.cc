@@ -1,13 +1,11 @@
 #include "net/network.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
+#include <mutex>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "util/serialize.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -24,68 +22,17 @@ FaultOptions ToFaultOptions(const LinkOptions& link) {
   return f;
 }
 
-/// Gauge rounding that tolerates the NaN sentinel (and any other
-/// non-finite figure): llround on a NaN is undefined behaviour, and the
-/// registry view is a dashboard, so non-finite rounds to 0.
-int64_t RoundGauge(double v) {
-  return std::isfinite(v) ? static_cast<int64_t>(std::llround(v)) : 0;
+EngineOptions ToEngineOptions(const LinkOptions& link) {
+  EngineOptions e;
+  e.max_attempts = link.max_attempts;
+  e.max_resync_rounds = link.max_resync_rounds;
+  e.resync_enabled = link.resync_enabled;
+  e.strict_accept = false;
+  e.emit_obs = true;
+  return e;
 }
 
 }  // namespace
-
-double SimulationReport::CompressionFactor() const {
-  return total_values_sent == 0
-             ? 0.0
-             : static_cast<double>(total_values_raw) /
-                   static_cast<double>(total_values_sent);
-}
-
-double SimulationReport::EnergySavingFactor() const {
-  // A run that spent nothing has no meaningful saving factor; 0.0 would
-  // claim "no saving" for the cheapest run possible. NaN is the documented
-  // sentinel (see network.h).
-  return total_energy_nj == 0.0 ? std::numeric_limits<double>::quiet_NaN()
-                                : total_raw_energy_nj / total_energy_nj;
-}
-
-void SimulationReport::PublishMetrics(obs::MetricsRegistry* registry) const {
-  if (!obs::Enabled() || registry == nullptr) return;
-  // Dynamic names, so the cached-reference macros do not apply; this runs
-  // once per report, far from any hot path. Doubles (energy, sse) are
-  // rounded through the non-finite-safe RoundGauge — the registry view is
-  // a gauge dashboard, the report struct remains the exact figure.
-  auto set = [registry](const std::string& name, int64_t v) {
-    registry->GetGauge(name).Set(v);
-  };
-  set("sim.values_sent", static_cast<int64_t>(total_values_sent));
-  set("sim.values_raw", static_cast<int64_t>(total_values_raw));
-  set("sim.energy_nj", RoundGauge(total_energy_nj));
-  set("sim.raw_energy_nj", RoundGauge(total_raw_energy_nj));
-  set("sim.sse", RoundGauge(total_sse));
-  // x1000 fixed-point so the dashboard keeps sub-integer saving factors;
-  // the NaN sentinel (nothing spent) rounds to 0 rather than tripping UB.
-  set("sim.energy_saving_x1000", RoundGauge(EnergySavingFactor() * 1000.0));
-  set("sim.chunks_lost", static_cast<int64_t>(total_chunks_lost));
-  set("sim.corrupt_frames", static_cast<int64_t>(total_corrupt_frames));
-  set("sim.duplicates_suppressed",
-      static_cast<int64_t>(total_duplicates_suppressed));
-  set("sim.resyncs", static_cast<int64_t>(total_resyncs));
-  set("sim.degraded_batches", static_cast<int64_t>(total_degraded_batches));
-  set("sim.nodes", static_cast<int64_t>(nodes.size()));
-  for (const NodeReport& nr : nodes) {
-    const std::string p = "node." + std::to_string(nr.id) + ".";
-    set(p + "tx_values", static_cast<int64_t>(nr.values_sent));
-    set(p + "raw_values", static_cast<int64_t>(nr.values_raw));
-    set(p + "retries", static_cast<int64_t>(nr.retransmissions));
-    set(p + "energy_nj", RoundGauge(nr.energy.total_nj()));
-    set(p + "chunks_lost", static_cast<int64_t>(nr.chunks_lost));
-    set(p + "corrupt_frames",
-        static_cast<int64_t>(nr.corrupt_frames_detected));
-    set(p + "resyncs", static_cast<int64_t>(nr.resyncs_triggered));
-    set(p + "forwarded_copies", static_cast<int64_t>(nr.forwarded_copies));
-    set(p + "sse", RoundGauge(nr.sse));
-  }
-}
 
 NetworkSim::NetworkSim(std::vector<NodePlacement> placements,
                        core::EncoderOptions encoder_options,
@@ -94,9 +41,9 @@ NetworkSim::NetworkSim(std::vector<NodePlacement> placements,
     : placements_(std::move(placements)),
       encoder_options_(std::move(encoder_options)),
       chunk_len_(chunk_len),
-      energy_(energy),
       link_(link),
-      station_(encoder_options_.m_base, "", link.reorder_window) {}
+      station_(encoder_options_.m_base, "", link.reorder_window),
+      engine_(&station_, EnergyModel(energy), ToEngineOptions(link)) {}
 
 NetworkSim::NetworkSim(Topology topology,
                        std::vector<NodePlacement> placements,
@@ -108,197 +55,12 @@ NetworkSim::NetworkSim(Topology topology,
       has_topology_(true),
       encoder_options_(std::move(encoder_options)),
       chunk_len_(chunk_len),
-      energy_(energy),
       link_(link),
-      station_(encoder_options_.m_base, "", link.reorder_window) {}
-
-StatusOr<NetworkSim::DeliveryOutcome> NetworkSim::DeliverFrame(
-    SensorNode* node, const core::Frame& frame, size_t value_count,
-    Route* route, NodeReport* nr) {
-  BinaryWriter writer;
-  frame.Serialize(&writer);
-  const std::vector<uint8_t>& wire = writer.buffer();
-  SBR_OBS_COUNT("net.tx.frames", 1);
-  SBR_OBS_COUNT("net.tx.bytes", wire.size());
-  SBR_OBS_HIST("net.tx.frame_bytes", wire.size());
-
-  // Stop-and-wait with end-to-end acknowledgement: each attempt pushes one
-  // fresh copy through every hop's fault process; retries back off
-  // exponentially and are charged to the node's energy account.
-  for (size_t attempt = 0; attempt < link_.max_attempts; ++attempt) {
-    if (attempt > 0) {
-      if (!node->RetryAllowed(nr->energy.total_nj())) {
-        // Past the energy-aware retry budget: shed the retry rather than
-        // the next sensing round. The frame falls through to abandonment
-        // and the loss surfaces through the usual resync/gap machinery.
-        ++nr->retries_shed;
-        SBR_OBS_COUNT("net.tx.retries_shed", 1);
-        break;
-      }
-      ++nr->retransmissions;
-      SBR_OBS_COUNT("net.tx.retries", 1);
-      const size_t slots = node->NextBackoffSlots(attempt);
-      nr->backoff_slots += slots;
-      energy_.ChargeBackoff(slots, &nr->energy);
-    }
-    std::vector<std::vector<uint8_t>> copies;
-    copies.push_back(wire);
-    for (size_t h = 0; h < route->hops.size() && !copies.empty(); ++h) {
-      const size_t payer = route->tx[h];
-      std::vector<std::vector<uint8_t>> next;
-      for (auto& copy : copies) {
-        // Every copy entering a hop pays one hop of radio energy, whether
-        // or not the hop delivers it — charged to whichever node transmits
-        // the hop: the origin for hop 0 (and every hop of a legacy private
-        // chain), the forwarding relay otherwise.
-        if (payer == route->origin) {
-          energy_.ChargeTransmission(value_count, 1, &nr->energy);
-          nr->charged_values += value_count;
-        } else {
-          energy_.ChargeTransmission(value_count, 1,
-                                     &(*route->relay_energy)[payer]);
-          (*route->relay_values)[payer] += value_count;
-          ++(*route->relay_copies)[payer];
-        }
-        auto out = route->hops[h].Transmit(std::move(copy));
-        for (auto& o : out) next.push_back(std::move(o));
-      }
-      copies = std::move(next);
-    }
-
-    bool accepted = false;
-    bool desync = false;
-    for (auto& copy : copies) {
-      auto ack = StationReceive(copy, nr);
-      if (!ack.ok()) return ack.status();
-      // Only a CRC-clean ack for this frame's identity settles its fate;
-      // acks for held frames released from earlier transmits, and corrupt
-      // NACKs (which carry no trustworthy identity), do not.
-      if (ack->type == AckType::kCorrupt) continue;
-      if (ack->sensor_id != frame.sensor_id || ack->seq != frame.seq) {
-        continue;
-      }
-      switch (ack->type) {
-        case AckType::kAccept:
-        case AckType::kDuplicate:  // an earlier copy already made it
-        case AckType::kBuffered:   // held in the reorder window: delivered
-          accepted = true;
-          break;
-        case AckType::kDesync:
-          desync = true;
-          break;
-        default:
-          break;
-      }
-    }
-    if (accepted) return DeliveryOutcome::kAccepted;
-    // Retrying the same frame cannot cure a desync; the caller must resync.
-    if (desync) {
-      SBR_OBS_COUNT("net.tx.desyncs", 1);
-      return DeliveryOutcome::kDesync;
-    }
-  }
-  ++nr->frames_abandoned;
-  SBR_OBS_COUNT("net.tx.abandoned", 1);
-  return DeliveryOutcome::kAbandoned;
-}
-
-StatusOr<bool> NetworkSim::TryResync(SensorNode* node, bool recover_batch,
-                                     Route* route, NodeReport* nr) {
-  // The snapshot opens a new epoch and carries the node's report of chunks
-  // lost for good, which the station turns into explicit DataLoss gaps.
-  core::Frame snap = node->BuildSnapshotFrame();
-  const size_t snap_values = BytesToValues(snap.payload.size());
-  nr->values_sent += snap_values;
-  auto delivered = DeliverFrame(node, snap,
-                                OnAirValues(energy_.params(), snap_values),
-                                route, nr);
-  if (!delivered.ok()) return delivered.status();
-  if (*delivered != DeliveryOutcome::kAccepted) return false;
-  node->MarkSnapshotDelivered();
-  node->set_needs_resync(false);
-  if (!recover_batch) return true;
-
-  // Ship the affected batch re-encoded self-contained: plain linear
-  // models, no base-signal references, decodable regardless of how much
-  // base state the station missed.
-  auto degraded = node->EncodeSelfContained();
-  if (!degraded.ok()) return degraded.status();
-  const size_t values = degraded->ValueCount();
-  core::Frame frame = node->MakeDataFrame(*degraded);
-  nr->values_sent += values;
-  auto outcome = DeliverFrame(node, frame,
-                              OnAirValues(energy_.params(), values),
-                              route, nr);
-  if (!outcome.ok()) return outcome.status();
-  if (*outcome == DeliveryOutcome::kAccepted) {
-    node->MarkChunkDelivered();
-    return true;
-  }
-  if (*outcome == DeliveryOutcome::kDesync) node->set_needs_resync(true);
-  return false;
-}
-
-Status NetworkSim::DeliverChunk(SensorNode* node, const core::Transmission& tx,
-                                Route* route, NodeReport* nr) {
-  // A pending resync (desynchronized station, or lost chunks not yet
-  // reported) must be resolved first — the gap report travels in the
-  // snapshot and keeps the station's timeline aligned.
-  if (link_.resync_enabled && node->needs_resync()) {
-    for (size_t round = 0;
-         round < link_.max_resync_rounds && node->needs_resync(); ++round) {
-      auto ok = TryResync(node, /*recover_batch=*/false, route, nr);
-      if (!ok.ok()) return ok.status();
-    }
-    if (node->needs_resync()) {
-      // Still desynchronized: this chunk cannot reach the station in a
-      // decodable form. It joins the next successful snapshot's report.
-      node->RecordLostChunk();
-      return Status::Ok();
-    }
-  }
-
-  const size_t values = tx.ValueCount();
-  core::Frame frame = node->MakeDataFrame(tx);
-  nr->values_sent += values;
-  auto outcome = DeliverFrame(node, frame,
-                              OnAirValues(energy_.params(), values),
-                              route, nr);
-  if (!outcome.ok()) return outcome.status();
-  if (*outcome == DeliveryOutcome::kAccepted) {
-    node->MarkChunkDelivered();
-    return Status::Ok();
-  }
-
-  if (link_.resync_enabled) {
-    for (size_t round = 0; round < link_.max_resync_rounds; ++round) {
-      auto recovered = TryResync(node, /*recover_batch=*/true, route, nr);
-      if (!recovered.ok()) return recovered.status();
-      if (*recovered) return Status::Ok();
-    }
-  }
-  // The chunk is gone for good. Record it loudly; with resync enabled the
-  // loss surfaces as a DataLoss gap via the next snapshot, and with resync
-  // disabled the station's own gap declaration covers it.
-  node->RecordLostChunk();
-  return Status::Ok();
-}
-
-StatusOr<FrameAck> NetworkSim::StationReceive(std::span<const uint8_t> bytes,
-                                              NodeReport* nr) {
-  std::lock_guard<std::mutex> lock(station_mu_);
-  const size_t corrupt_before = station_.total_stats().corrupt_frames;
-  auto ack = station_.ReceiveBytes(bytes);
-  nr->corrupt_frames_detected +=
-      station_.total_stats().corrupt_frames - corrupt_before;
-  return ack;
-}
+      station_(encoder_options_.m_base, "", link.reorder_window),
+      engine_(&station_, EnergyModel(energy), ToEngineOptions(link)) {}
 
 Status NetworkSim::RunNode(size_t index, const datagen::Dataset& feed,
-                           NodeReport* nr_out,
-                           std::vector<EnergyAccount>* relay_energy,
-                           std::vector<size_t>* relay_copies,
-                           std::vector<size_t>* relay_values) {
+                           NodeReport* nr_out, RelayCharges* charges) {
   SBR_OBS_SPAN(node_span, "net.node");
   const NodePlacement& place = placements_[index];
   SensorNode node(place.id, feed.num_signals(), chunk_len_,
@@ -313,25 +75,51 @@ Status NetworkSim::RunNode(size_t index, const datagen::Dataset& feed,
   // h = 0, then its ancestors); otherwise it is the legacy private chain
   // with the origin paying every hop. Either way the fault processes stay
   // salted per (origin id, hop index), so a depth-1 star draws exactly the
-  // legacy constructor's deterministic streams.
-  Route route;
-  route.origin = index;
-  route.relay_energy = relay_energy;
-  route.relay_copies = relay_copies;
-  route.relay_values = relay_values;
+  // legacy constructor's deterministic streams. Charge targets resolve
+  // here, once: hops the origin transmits point into its own report, hops
+  // a relay transmits point into this origin's private relay-charge row
+  // (merged origin-major after the parallel section).
+  std::vector<size_t> tx;
   if (has_topology_) {
-    route.tx = topology_.path(index);
+    tx = topology_.path(index);
   } else {
     const size_t legacy_hops =
         place.hops_to_base == 0 ? 1 : place.hops_to_base;
-    route.tx.assign(legacy_hops, index);
+    tx.assign(legacy_hops, index);
   }
-  const size_t num_hops = route.tx.size();
+  const size_t num_hops = tx.size();
+  std::vector<FaultChannel> channels;
+  channels.reserve(num_hops);
+  EngineRoute route;
   route.hops.reserve(num_hops);
   for (size_t h = 0; h < num_hops; ++h) {
-    route.hops.emplace_back(ToFaultOptions(link_),
-                            (static_cast<uint64_t>(place.id) << 16) | h);
+    channels.emplace_back(ToFaultOptions(link_),
+                          (static_cast<uint64_t>(place.id) << 16) | h);
+    EngineHop hop;
+    hop.channel = &channels[h];
+    hop.node = tx[h];
+    if (tx[h] == index) {
+      hop.account = &nr.energy;
+      hop.charged_values = &nr.charged_values;
+      hop.forwarded_copies = nullptr;
+    } else {
+      hop.account = &charges->energy[index][tx[h]];
+      hop.charged_values = &charges->values[index][tx[h]];
+      hop.forwarded_copies = &charges->copies[index][tx[h]];
+    }
+    route.hops.push_back(hop);
   }
+
+  DeliverySink sink;
+  sink.node = &node;
+  sink.energy = &nr.energy;
+  sink.retransmissions = &nr.retransmissions;
+  sink.backoff_slots = &nr.backoff_slots;
+  sink.retries_shed = &nr.retries_shed;
+  sink.frames_abandoned = &nr.frames_abandoned;
+  sink.corrupt_frames = &nr.corrupt_frames_detected;
+  sink.values_sent = &nr.values_sent;
+  sink.malformed_relayed = &nr.malformed_relayed;
 
   std::vector<double> sample(feed.num_signals());
   for (size_t t = 0; t < feed.length(); ++t) {
@@ -343,50 +131,18 @@ Status NetworkSim::RunNode(size_t index, const datagen::Dataset& feed,
     if (!emitted->has_value()) continue;
 
     nr.values_raw += feed.num_signals() * chunk_len_;
-    nr.raw_energy_nj += energy_.RawTransmissionNj(
+    nr.raw_energy_nj += engine_.energy().RawTransmissionNj(
         feed.num_signals() * chunk_len_, num_hops);
-    SBR_RETURN_IF_ERROR(DeliverChunk(&node, **emitted, &route, &nr));
+    SBR_RETURN_IF_ERROR(engine_.ResolveChunk(**emitted, &route, sink));
   }
 
   // Trailing losses still deserve a gap report: resync once more if the
   // node knows of chunks the station has not accounted for.
-  if (link_.resync_enabled && node.needs_resync()) {
-    for (size_t round = 0;
-         round < link_.max_resync_rounds && node.needs_resync(); ++round) {
-      auto ok = TryResync(&node, /*recover_batch=*/false, &route, &nr);
-      if (!ok.ok()) return ok.status();
-    }
-  }
+  SBR_RETURN_IF_ERROR(engine_.DrainResyncs(&route, sink));
 
-  // Drain frames still held inside reordering hops; residual copies pay
-  // for the hops they have left to travel, charged to whichever node
-  // transmits each remaining hop.
-  for (size_t h = 0; h < num_hops; ++h) {
-    std::vector<std::vector<uint8_t>> copies = route.hops[h].Flush();
-    for (size_t g = h + 1; g < num_hops && !copies.empty(); ++g) {
-      const size_t payer = route.tx[g];
-      std::vector<std::vector<uint8_t>> next;
-      for (auto& copy : copies) {
-        const size_t flush_values = BytesToValues(copy.size());
-        if (payer == route.origin) {
-          energy_.ChargeTransmission(flush_values, 1, &nr.energy);
-          nr.charged_values += flush_values;
-        } else {
-          energy_.ChargeTransmission(flush_values, 1,
-                                     &(*relay_energy)[payer]);
-          (*relay_values)[payer] += flush_values;
-          ++(*relay_copies)[payer];
-        }
-        auto out = route.hops[g].Transmit(std::move(copy));
-        for (auto& o : out) next.push_back(std::move(o));
-      }
-      copies = std::move(next);
-    }
-    for (auto& copy : copies) {
-      auto ack = StationReceive(copy, &nr);
-      if (!ack.ok()) return ack.status();
-    }
-  }
+  // Drain frames still held inside reordering hops (residual copies pay
+  // for the hops they have left to travel).
+  SBR_RETURN_IF_ERROR(engine_.FlushRoute(&route, sink));
 
   nr.transmissions = node.transmissions();
   nr.resyncs_triggered = node.resyncs();
@@ -401,7 +157,7 @@ Status NetworkSim::RunNode(size_t index, const datagen::Dataset& feed,
   // unlocked.
   const storage::HistoryStore* history = nullptr;
   {
-    std::lock_guard<std::mutex> lock(station_mu_);
+    std::lock_guard<std::mutex> lock(engine_.station_mutex());
     nr.duplicates_suppressed =
         station_.stats(place.id).duplicates_suppressed;
     if (station_.HasSensor(place.id)) {
@@ -444,68 +200,29 @@ StatusOr<SimulationReport> NetworkSim::Run(
   }
 
   // Nodes are mutually independent (own encoder, fault channels, energy
-  // account; station serialized behind its mutex), so the per-node
-  // simulations fan out over the pool. Each node writes its own report
-  // slot; the totals are then reduced serially in placement order, which
-  // keeps the report bitwise identical at any thread count.
+  // account; station serialized behind the engine's mutex), so the
+  // per-node simulations fan out over the pool. Each node writes its own
+  // report slot; relay charges accumulate per origin (row i is private to
+  // node i's simulation) and MergeRelayCharges folds them origin-major, so
+  // the report is bitwise identical at any thread count.
   const size_t threads = std::max<size_t>(encoder_options_.threads, 1);
   const size_t n = placements_.size();
   std::vector<NodeReport> reports(n);
   std::vector<Status> statuses(n, Status::Ok());
-  // Relay charges accumulate per origin (row i is private to node i's
-  // simulation) and merge below in a fixed origin-major order, so relayed
-  // energy totals are bitwise identical at any thread count too.
-  std::vector<std::vector<EnergyAccount>> relay_energy;
-  std::vector<std::vector<size_t>> relay_copies;
-  std::vector<std::vector<size_t>> relay_values;
-  if (has_topology_) {
-    relay_energy.assign(n, std::vector<EnergyAccount>(n));
-    relay_copies.assign(n, std::vector<size_t>(n, 0));
-    relay_values.assign(n, std::vector<size_t>(n, 0));
-  }
+  RelayCharges charges;
+  if (has_topology_) charges.Reset(n);
   util::ParallelFor(threads, n, [&](size_t, size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       statuses[i] = RunNode(i, feeds[i], &reports[i],
-                            has_topology_ ? &relay_energy[i] : nullptr,
-                            has_topology_ ? &relay_copies[i] : nullptr,
-                            has_topology_ ? &relay_values[i] : nullptr);
+                            has_topology_ ? &charges : nullptr);
     }
   });
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }
 
-  if (has_topology_) {
-    for (size_t origin = 0; origin < n; ++origin) {
-      for (size_t relay = 0; relay < n; ++relay) {
-        const EnergyAccount& a = relay_energy[origin][relay];
-        NodeReport& rr = reports[relay];
-        rr.energy.tx_nj += a.tx_nj;
-        rr.energy.rx_nj += a.rx_nj;
-        rr.energy.overhear_nj += a.overhear_nj;
-        rr.energy.cpu_nj += a.cpu_nj;
-        rr.energy.backoff_nj += a.backoff_nj;
-        rr.forwarded_copies += relay_copies[origin][relay];
-        rr.charged_values += relay_values[origin][relay];
-      }
-    }
-  }
-
-  SimulationReport report;
-  for (NodeReport& nr : reports) {
-    report.total_values_sent += nr.values_sent;
-    report.total_values_raw += nr.values_raw;
-    report.total_energy_nj += nr.energy.total_nj();
-    report.total_raw_energy_nj += nr.raw_energy_nj;
-    report.total_sse += nr.sse;
-    report.total_chunks_lost += nr.chunks_lost;
-    report.total_corrupt_frames += nr.corrupt_frames_detected;
-    report.total_duplicates_suppressed += nr.duplicates_suppressed;
-    report.total_resyncs += nr.resyncs_triggered;
-    report.total_degraded_batches += nr.degraded_batches;
-    report.nodes.push_back(std::move(nr));
-  }
-  return report;
+  SimEngine::MergeRelayCharges(charges, &reports);
+  return SimEngine::BuildReport(std::move(reports));
 }
 
 }  // namespace sbr::net

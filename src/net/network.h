@@ -10,23 +10,23 @@
 // detects corruption by CRC, suppresses duplicates, recovers from
 // desynchronization with base-signal snapshots plus self-contained
 // re-encodes, and records irrecoverable chunks as explicit DataLoss gaps.
+//
+// All of the delivery machinery — routing, retries/backoff, energy
+// charging, report merging — lives in the shared net::SimEngine
+// (sim_engine.h); NetworkSim is the engine's null-lifecycle configuration:
+// it builds routes and feeds, points a DeliverySink at its NodeReport rows
+// and lets the engine drive each chunk to a terminal outcome.
 #ifndef SBR_NET_NETWORK_H_
 #define SBR_NET_NETWORK_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "datagen/dataset.h"
 #include "net/base_station.h"
 #include "net/energy.h"
-#include "net/fault_channel.h"
-#include "net/node.h"
+#include "net/sim_engine.h"
 #include "net/topology.h"
-
-namespace sbr::obs {
-class MetricsRegistry;
-}  // namespace sbr::obs
 
 namespace sbr::net {
 
@@ -75,74 +75,6 @@ struct LinkOptions {
   double retry_energy_fraction = 0.75;
 };
 
-/// Per-node simulation outcome.
-struct NodeReport {
-  uint32_t id = 0;
-  size_t transmissions = 0;
-  size_t values_sent = 0;
-  size_t values_raw = 0;  ///< what a full-resolution feed would have sent
-  /// Extra end-to-end frame deliveries forced by faults (retries beyond
-  /// the first attempt of each frame).
-  size_t retransmissions = 0;
-  /// Exponential-backoff slots spent waiting between retries.
-  size_t backoff_slots = 0;
-  // Protocol counters (same seed => identical values, run to run).
-  size_t corrupt_frames_detected = 0;  ///< CRC failures at the station
-  size_t duplicates_suppressed = 0;
-  size_t resyncs_triggered = 0;      ///< snapshot rounds initiated
-  size_t degraded_batches = 0;       ///< chunks re-encoded self-contained
-  size_t chunks_lost = 0;            ///< chunks recorded as DataLoss gaps
-  size_t frames_abandoned = 0;       ///< frames given up after max_attempts
-  /// Retry attempts suppressed by the energy-aware budget
-  /// (LinkOptions::node_energy_budget_nj).
-  size_t retries_shed = 0;
-  /// Frame copies this node relayed for its descendants (topology runs
-  /// only; the matching radio energy is charged to this node's account).
-  size_t forwarded_copies = 0;
-  /// On-air values charged to this node's account across every copy and
-  /// hop it transmitted (own traffic, relayed traffic, residual flushes).
-  /// Pins the energy account: energy == EnergyModel charge of
-  /// (charged_values, 1 hop) + backoff(backoff_slots), exactly.
-  size_t charged_values = 0;
-  EnergyAccount energy;
-  double raw_energy_nj = 0.0;
-  /// Sum-squared error of the reconstructed history vs the true feed,
-  /// over non-gap chunks only.
-  double sse = 0.0;
-};
-
-/// Whole-run outcome.
-struct SimulationReport {
-  std::vector<NodeReport> nodes;
-  size_t total_values_sent = 0;
-  size_t total_values_raw = 0;
-  double total_energy_nj = 0.0;
-  double total_raw_energy_nj = 0.0;
-  double total_sse = 0.0;
-  size_t total_chunks_lost = 0;
-  size_t total_corrupt_frames = 0;
-  size_t total_duplicates_suppressed = 0;
-  size_t total_resyncs = 0;
-  size_t total_degraded_batches = 0;
-
-  /// values_raw / values_sent.
-  double CompressionFactor() const;
-  /// raw energy / actual energy. NaN when total_energy_nj == 0: a run that
-  /// spent nothing has no meaningful saving factor, and reporting 0.0
-  /// ("no saving") there was a bug. Callers that need a number should
-  /// std::isfinite-guard; PublishMetrics already does.
-  double EnergySavingFactor() const;
-
-  /// Mirrors the report into `registry` as gauges: run totals under
-  /// `sim.*` and per-node breakdowns under `node.<id>.*` (tx_values,
-  /// retries, energy_nj, chunks_lost, corrupt_frames, resyncs, sse — see
-  /// obs/export.h for the emitted schema). The report structs stay the
-  /// canonical deterministic result; the registry view exists so bench and
-  /// tooling exports see the simulation next to the encode-stage metrics.
-  /// No-op unless observability is compiled in and enabled.
-  void PublishMetrics(obs::MetricsRegistry* registry) const;
-};
-
 /// Multi-sensor, single-base-station simulation.
 class NetworkSim {
  public:
@@ -174,84 +106,32 @@ class NetworkSim {
   /// When encoder_options.threads > 1, nodes are simulated concurrently on
   /// the shared pool: each node's sampling, encoding, fault channels and
   /// energy account are private, and the shared base station is serialized
-  /// behind a mutex. Per-node reports are computed independently and
-  /// aggregated in placement order, so the report is bitwise identical at
-  /// any thread count.
+  /// behind the engine's mutex. Per-node reports are computed independently
+  /// and aggregated in placement order, so the report is bitwise identical
+  /// at any thread count.
   StatusOr<SimulationReport> Run(const std::vector<datagen::Dataset>& feeds);
 
   const BaseStation& base_station() const { return station_; }
 
  private:
-  /// Outcome of delivering one frame end-to-end with bounded retries.
-  enum class DeliveryOutcome {
-    kAccepted,   ///< station ingested it (or a duplicate of it)
-    kDesync,     ///< station demands a resync before accepting data
-    kAbandoned,  ///< undeliverable within max_attempts
-  };
-
-  /// One node's uplink route: the per-hop fault processes plus, for
-  /// topology runs, which node pays each hop and where relay charges
-  /// accumulate. Relay charges land in per-origin accumulators (private to
-  /// the running node, merged in placement order after the parallel
-  /// section) so reports stay bitwise identical at any thread count.
-  struct Route {
-    std::vector<FaultChannel> hops;
-    /// Placement index transmitting hop h; tx[0] is the origin. Legacy
-    /// routes repeat the origin (a private chain).
-    std::vector<size_t> tx;
-    size_t origin = 0;
-    // Topology runs only (nullptr otherwise), all indexed by placement.
-    std::vector<EnergyAccount>* relay_energy = nullptr;
-    std::vector<size_t>* relay_copies = nullptr;
-    std::vector<size_t>* relay_values = nullptr;
-  };
-
-  /// Pushes one frame along the route with retries and exponential backoff
-  /// (with the node's seeded jitter), charging energy per copy per hop to
-  /// whichever node transmits that hop. A node past its energy-aware retry
-  /// budget sheds retries: the frame is abandoned after one attempt.
-  StatusOr<DeliveryOutcome> DeliverFrame(SensorNode* node,
-                                         const core::Frame& frame,
-                                         size_t value_count, Route* route,
-                                         NodeReport* nr);
-
-  /// Delivers one encoded chunk, falling back to resync + self-contained
-  /// re-encode when the protocol demands it.
-  Status DeliverChunk(SensorNode* node, const core::Transmission& tx,
-                      Route* route, NodeReport* nr);
-
-  /// One resync round: snapshot frame, then (optionally) the affected
-  /// batch re-encoded self-contained. Returns true once the batch is safe.
-  StatusOr<bool> TryResync(SensorNode* node, bool recover_batch,
-                           Route* route, NodeReport* nr);
-
-  /// The entire lifetime of one node: sampling, encoding, delivery,
-  /// trailing resync, hop flush and history scoring. Touches only per-node
-  /// state plus the mutex-guarded station, so nodes may run concurrently.
+  /// The entire lifetime of one node: sampling, encoding, delivery (via
+  /// the engine), trailing resync, hop flush and history scoring. Touches
+  /// only per-node state plus the engine-serialized station, so nodes may
+  /// run concurrently. `charges` is this origin's private relay-charge row
+  /// block (nullptr for legacy star runs).
   Status RunNode(size_t index, const datagen::Dataset& feed, NodeReport* nr,
-                 std::vector<EnergyAccount>* relay_energy,
-                 std::vector<size_t>* relay_copies,
-                 std::vector<size_t>* relay_values);
-
-  /// Serialized station ingest. Attributes the corrupt-frame delta of the
-  /// call to `nr` under the same lock, which keeps per-node attribution
-  /// exact even when other nodes interleave (a corrupt frame drained from
-  /// the reorder window is counted on the aggregate but not acked, so the
-  /// delta — not the ack type — is the reliable signal).
-  StatusOr<FrameAck> StationReceive(std::span<const uint8_t> bytes,
-                                    NodeReport* nr);
+                 RelayCharges* charges);
 
   std::vector<NodePlacement> placements_;
   Topology topology_;
   bool has_topology_ = false;
   core::EncoderOptions encoder_options_;
   size_t chunk_len_;
-  EnergyModel energy_;
   LinkOptions link_;
   BaseStation station_;
-  /// Serializes every access to station_ (ingest, stats, history lookup)
-  /// during a threaded Run.
-  std::mutex station_mu_;
+  /// The shared delivery engine, running the null lifecycle policy.
+  /// Declared after station_: the engine holds a pointer to it.
+  SimEngine engine_;
 };
 
 }  // namespace sbr::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/energy.h"
 #include "util/serialize.h"
 
 namespace sbr::net {
@@ -113,14 +114,7 @@ void SensorNode::RecordLostChunks(size_t n) {
 }
 
 size_t SensorNode::NextBackoffSlots(size_t attempt) {
-  const size_t base = size_t{1} << std::min<size_t>(attempt, 10);
-  if (base <= 1) return 1;
-  // Jitter over the upper half of the exponential window: the mean stays
-  // ~3/4 of the deterministic schedule while any two nodes' retry trains
-  // decorrelate after the first collision.
-  const size_t half = base / 2;
-  return half + static_cast<size_t>(
-                    backoff_rng_.UniformInt(0, static_cast<int64_t>(half)));
+  return BackoffSlots(attempt, &backoff_rng_);
 }
 
 void SensorNode::SetMemoryPressure(bool on) {

@@ -182,6 +182,79 @@ TEST(Topology, PathsRelaysAndDescendantsAgree) {
   EXPECT_TRUE(t.Descendants(3).empty());
 }
 
+TEST(Topology, SingleNodeForestIsWellFormed) {
+  // Every shape degenerates to the same one-node forest: the node is
+  // base-adjacent, relays nothing and has a one-element uplink path.
+  for (TopologyShape shape :
+       {TopologyShape::kStar, TopologyShape::kChain, TopologyShape::kBinary,
+        TopologyShape::kRandom}) {
+    const Topology t = Topology::Build({shape, 1, 3});
+    ASSERT_EQ(t.num_nodes(), 1u) << ToString(shape);
+    EXPECT_EQ(t.parent(0), Topology::kBase) << ToString(shape);
+    EXPECT_EQ(t.depth(0), 1u) << ToString(shape);
+    EXPECT_EQ(t.max_depth(), 1u) << ToString(shape);
+    EXPECT_FALSE(t.is_relay(0)) << ToString(shape);
+    EXPECT_TRUE(t.Relays().empty()) << ToString(shape);
+    EXPECT_TRUE(t.Descendants(0).empty()) << ToString(shape);
+    EXPECT_FALSE(t.IsAncestor(0, 0)) << ToString(shape);
+    ASSERT_EQ(t.path(0).size(), 1u) << ToString(shape);
+    EXPECT_EQ(t.path(0)[0], 0u) << ToString(shape);
+  }
+}
+
+TEST(Topology, AncestryAndDescendantsAtLeavesAndRoot) {
+  // Chain of 4: 3 -> 2 -> 1 -> 0 -> base. The root (node 0) is an ancestor
+  // of everything below it and a descendant of nothing; the deepest leaf
+  // (node 3) is the reverse. IsAncestor is strict: no node is its own
+  // ancestor, and it is direction-sensitive.
+  const Topology t = Topology::Build({TopologyShape::kChain, 4, 1});
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_TRUE(t.IsAncestor(0, i)) << "node " << i;
+    EXPECT_FALSE(t.IsAncestor(i, 0)) << "node " << i;
+  }
+  for (size_t i = 0; i < 4; ++i) EXPECT_FALSE(t.IsAncestor(i, i));
+  EXPECT_TRUE(t.Descendants(3).empty());
+  EXPECT_EQ(t.Descendants(0), (std::vector<size_t>{1, 2, 3}));
+  EXPECT_FALSE(t.is_relay(3));
+  EXPECT_TRUE(t.is_relay(0));
+
+  // Binary tree leaves: no descendants, every path node above them is a
+  // strict ancestor.
+  const Topology b = Topology::Build({TopologyShape::kBinary, 7, 1});
+  for (size_t leaf : {3u, 4u, 5u, 6u}) {
+    EXPECT_TRUE(b.Descendants(leaf).empty()) << "leaf " << leaf;
+    const std::vector<size_t>& path = b.path(leaf);
+    for (size_t h = 1; h < path.size(); ++h) {
+      EXPECT_TRUE(b.IsAncestor(path[h], leaf))
+          << "leaf " << leaf << " hop " << h;
+    }
+  }
+}
+
+TEST(Topology, RandomTreeStableAcrossRepeatedConstruction) {
+  // Build the same random tree many times: every derived structure (paths,
+  // children, descendants, relay set), not just the parent array, must come
+  // out identical — reproducing a chaos seed depends on it.
+  TopologyOptions o;
+  o.shape = TopologyShape::kRandom;
+  o.num_nodes = 24;
+  o.seed = 77;
+  const Topology first = Topology::Build(o);
+  for (int rebuild = 0; rebuild < 3; ++rebuild) {
+    const Topology again = Topology::Build(o);
+    ASSERT_EQ(again.num_nodes(), first.num_nodes());
+    EXPECT_EQ(again.max_depth(), first.max_depth());
+    EXPECT_EQ(again.Relays(), first.Relays());
+    for (size_t i = 0; i < o.num_nodes; ++i) {
+      EXPECT_EQ(again.parent(i), first.parent(i)) << "node " << i;
+      EXPECT_EQ(again.depth(i), first.depth(i)) << "node " << i;
+      EXPECT_EQ(again.path(i), first.path(i)) << "node " << i;
+      EXPECT_EQ(again.children(i), first.children(i)) << "node " << i;
+      EXPECT_EQ(again.Descendants(i), first.Descendants(i)) << "node " << i;
+    }
+  }
+}
+
 TEST(Topology, ShapeNamesRoundTrip) {
   for (TopologyShape shape :
        {TopologyShape::kStar, TopologyShape::kChain, TopologyShape::kBinary,

@@ -522,6 +522,28 @@ TEST(Protocol, RetransmitBackoffJitterSpreadsNodesApart) {
   EXPECT_NE(train_a1, train_b);
 }
 
+TEST(Protocol, BackoffSlotSequencePinnedForFixedSeed) {
+  // Pin the jittered slot train of the shared BackoffSlots helper
+  // (net/energy.h) for node id 7's seed. Both simulators charge backoff
+  // energy through this exact sequence, so a change here silently shifts
+  // every energy figure — this pin makes that loud.
+  Rng rng(0x6a09e667f3bcc909ull ^ (uint64_t{7} * 0x100000001b3ull));
+  const std::vector<size_t> expect = {1, 1, 3, 8, 14, 22, 55, 111, 227};
+  std::vector<size_t> got;
+  for (size_t attempt = 0; attempt < expect.size(); ++attempt) {
+    got.push_back(BackoffSlots(attempt, &rng));
+  }
+  EXPECT_EQ(got, expect);
+
+  // SensorNode::NextBackoffSlots is a thin delegate: a node with the same
+  // id must replay the identical train.
+  SensorNode node(7, 1, 32, SmallOptions());
+  for (size_t attempt = 0; attempt < expect.size(); ++attempt) {
+    EXPECT_EQ(node.NextBackoffSlots(attempt), expect[attempt])
+        << "attempt " << attempt;
+  }
+}
+
 TEST(Protocol, ResyncDisabledLossesBecomeStationGaps) {
   // Heavy loss, no resync, few retries: some chunks must die, and their
   // death must be visible at the base station as DataLoss gaps (or as the
