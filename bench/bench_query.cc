@@ -1,0 +1,174 @@
+// Query-service throughput bench: concurrent readers against published
+// epoch snapshots. A weather stream is encoded through SBR and ingested
+// into a storage::QueryService; reader fleets of increasing size then
+// drive three query mixes against it and the bench reports aggregate
+// throughput, per-mix scaling and cache effectiveness. One record per
+// (threads, mix) cell lands in BENCH_query.json for future PRs to diff.
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/encoder.h"
+#include "datagen/weather.h"
+#include "storage/query_service.h"
+
+namespace {
+
+using namespace sbr;
+
+constexpr size_t kChunkLen = 512;
+constexpr size_t kChunks = 24;
+constexpr size_t kQueriesPerThread = 8000;
+/// Reconstruction ranges are capped so the scan mix measures the snapshot
+/// path, not memcpy of the whole history.
+constexpr size_t kMaxScanLen = 2048;
+
+struct MixResult {
+  double seconds = 0.0;
+  uint64_t queries = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+/// Runs `threads` readers of one mix against the service. `mix` is
+/// "aggregate" (pure compressed-domain aggregates), "mixed"
+/// (aggregate/point/reconstruct round-robin) or "scan" (pure range
+/// reconstruction).
+MixResult RunMix(const storage::QueryService& service, const std::string& mix,
+                 size_t threads, size_t len, size_t num_signals) {
+  const storage::QueryServiceCounters before = service.counters();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      std::mt19937_64 rng(1234 + w);
+      std::uniform_int_distribution<size_t> pick_t(0, len - 1);
+      std::uniform_int_distribution<size_t> pick_s(0, num_signals - 1);
+      std::uniform_int_distribution<size_t> pick_c(0, len / kChunkLen - 1);
+      for (size_t q = 0; q < kQueriesPerThread; ++q) {
+        size_t a = pick_t(rng), b = pick_t(rng);
+        if (a > b) std::swap(a, b);
+        const size_t sig = pick_s(rng);
+        if (mix == "aggregate") {
+          // Chunk-aligned windows — the dashboard pattern the aggregate
+          // cache exists for (bounded key space, heavy repetition).
+          size_t ca = pick_c(rng), cb = pick_c(rng);
+          if (ca > cb) std::swap(ca, cb);
+          (void)service.Aggregate(0, sig, ca * kChunkLen,
+                                  (cb + 1) * kChunkLen);
+        } else if (mix == "scan") {
+          const size_t hi = std::min(b + 1, a + kMaxScanLen);
+          (void)service.Reconstruct(0, sig, a, hi);
+        } else {
+          switch (q % 3) {
+            case 0: (void)service.Aggregate(0, sig, a, b + 1); break;
+            case 1: (void)service.Point(0, sig, a); break;
+            default: {
+              const size_t hi = std::min(b + 1, a + kMaxScanLen);
+              (void)service.Reconstruct(0, sig, a, hi);
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const auto end = std::chrono::steady_clock::now();
+  const storage::QueryServiceCounters after = service.counters();
+
+  MixResult r;
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.queries = after.queries - before.queries;
+  r.hits = after.cache_hits - before.cache_hits;
+  r.misses = after.cache_misses - before.cache_misses;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sbr;
+  std::printf("== Query service: reader throughput vs thread count ==\n");
+
+  datagen::WeatherOptions wopts;
+  wopts.length = kChunks * kChunkLen;
+  wopts.seed = 7;
+  const datagen::Dataset feed = datagen::GenerateWeather(wopts);
+  const size_t num_signals = feed.num_signals();
+  const size_t n = num_signals * kChunkLen;
+
+  core::EncoderOptions eopts;
+  eopts.total_band = n / 10;
+  eopts.m_base = 1024;
+  core::SbrEncoder encoder(eopts);
+
+  storage::QueryServiceOptions sopts;
+  sopts.m_base = eopts.m_base;
+  storage::QueryService service(sopts);
+
+  std::vector<double> chunk(n);
+  for (size_t c = 0; c < kChunks; ++c) {
+    for (size_t s = 0; s < num_signals; ++s) {
+      for (size_t k = 0; k < kChunkLen; ++k) {
+        chunk[s * kChunkLen + k] = feed.values(s, c * kChunkLen + k);
+      }
+    }
+    auto t = encoder.EncodeChunk(chunk, num_signals);
+    if (!t.ok()) {
+      std::fprintf(stderr, "encode failed: %s\n",
+                   t.status().ToString().c_str());
+      return 1;
+    }
+    if (auto st = service.Ingest(0, *t); !st.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  const size_t len = kChunks * kChunkLen;
+  std::printf("history: %zu samples x %zu signals, epoch %llu\n\n", len,
+              num_signals,
+              static_cast<unsigned long long>(service.epoch(0)));
+
+  FILE* json = std::fopen("BENCH_query.json", "w");
+  if (json != nullptr) std::fprintf(json, "[\n");
+  bool first_record = true;
+
+  std::printf("%-10s %-8s %-10s %-12s %-12s %-10s\n", "mix", "threads",
+              "queries", "seconds", "qps", "hit_rate");
+  for (const char* mix : {"aggregate", "mixed", "scan"}) {
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      const MixResult r = RunMix(service, mix, threads, len, num_signals);
+      const double qps =
+          r.seconds > 0 ? static_cast<double>(r.queries) / r.seconds : 0.0;
+      const uint64_t lookups = r.hits + r.misses;
+      const double hit_rate =
+          lookups > 0 ? static_cast<double>(r.hits) / lookups : 0.0;
+      std::printf("%-10s %-8zu %-10llu %-12.4f %-12.0f %-10.3f\n", mix,
+                  threads, static_cast<unsigned long long>(r.queries),
+                  r.seconds, qps, hit_rate);
+      std::fflush(stdout);
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "%s  {\"mix\": \"%s\", \"threads\": %zu, "
+                     "\"queries\": %llu, \"seconds\": %.6f, "
+                     "\"qps\": %.1f, \"cache_hit_rate\": %.4f}",
+                     first_record ? "" : ",\n", mix, threads,
+                     static_cast<unsigned long long>(r.queries), r.seconds,
+                     qps, hit_rate);
+        first_record = false;
+      }
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n]\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_query.json\n");
+  }
+  return 0;
+}

@@ -4,6 +4,7 @@
 
 #include "net/frame_check.h"
 #include "obs/metrics.h"
+#include "storage/query_service.h"
 
 namespace sbr::net {
 namespace {
@@ -54,10 +55,31 @@ StatusOr<BaseStation::PerSensor*> BaseStation::GetOrCreate(
       sensor_id, PerSensor{std::move(log), std::move(history).value()});
   (void)inserted;
   PerSensor* s = &pos->second;
+  s->id = sensor_id;
   if (persist_protocol_state_ && !s->log.empty()) {
     SBR_RETURN_IF_ERROR(RestoreProtocolState(s));
   }
+  if (query_service_ != nullptr && !s->log.empty()) {
+    SBR_RETURN_IF_ERROR(ReplayIntoQueryService(sensor_id, s->log));
+  }
   return s;
+}
+
+void BaseStation::ForwardToQueryService(uint32_t sensor_id,
+                                        const core::Transmission& t) {
+  if (query_service_ == nullptr) return;
+  if (!query_service_->Ingest(sensor_id, t).ok()) {
+    // The station's own history accepted this record, so a service-side
+    // rejection is an internal disagreement; keep the two chunk timelines
+    // aligned with an explicit service-side gap and count the event.
+    (void)query_service_->MarkGap(sensor_id, 1);
+    SBR_OBS_COUNT("net.station.query_forward_gaps", 1);
+  }
+}
+
+Status BaseStation::ReplayIntoQueryService(uint32_t sensor_id,
+                                           const storage::ChunkLog& log) {
+  return storage::ReplayLog(log, sensor_id, query_service_);
 }
 
 Status BaseStation::AppendProtocolCheckpoint(PerSensor* s) {
@@ -161,12 +183,15 @@ Status BaseStation::Receive(uint32_t sensor_id, const core::Transmission& t) {
   auto sensor = GetOrCreate(sensor_id);
   if (!sensor.ok()) return sensor.status();
   SBR_RETURN_IF_ERROR((*sensor)->log.Append(t));
-  return (*sensor)->history.Ingest(t);
+  SBR_RETURN_IF_ERROR((*sensor)->history.Ingest(t));
+  ForwardToQueryService(sensor_id, t);
+  return Status::Ok();
 }
 
 Status BaseStation::IngestData(PerSensor* s, const core::Transmission& t) {
   SBR_RETURN_IF_ERROR(s->log.Append(t));
   SBR_RETURN_IF_ERROR(s->history.Ingest(t));
+  ForwardToQueryService(s->id, t);
   ++s->stats.frames_accepted;
   ++total_.frames_accepted;
   if (t.base_kind == core::BaseKind::kNone) {
@@ -180,6 +205,9 @@ Status BaseStation::DeclareGap(PerSensor* s, size_t chunks) {
   if (chunks == 0) return Status::Ok();
   SBR_RETURN_IF_ERROR(s->log.AppendGap(static_cast<uint32_t>(chunks)));
   s->history.MarkGap(chunks);
+  if (query_service_ != nullptr) {
+    (void)query_service_->MarkGap(s->id, chunks);
+  }
   s->stats.gap_chunks += chunks;
   total_.gap_chunks += chunks;
   return Status::Ok();
@@ -281,6 +309,10 @@ StatusOr<FrameAck> BaseStation::HandleFrame(core::Frame frame) {
         DeclareGap(s, target > len ? static_cast<size_t>(target - len) : 0));
     SBR_RETURN_IF_ERROR(s->history.ApplySnapshot(*snap));
     SBR_RETURN_IF_ERROR(s->log.AppendSnapshot(*snap));
+    if (query_service_ != nullptr &&
+        !query_service_->ApplySnapshot(s->id, *snap).ok()) {
+      SBR_OBS_COUNT("net.station.query_forward_snapshot_rejects", 1);
+    }
     s->stats.stale_frames_rejected += s->pending.size();
     total_.stale_frames_rejected += s->pending.size();
     s->pending.clear();

@@ -20,6 +20,10 @@
 #include "storage/history_store.h"
 #include "util/status.h"
 
+namespace sbr::storage {
+class QueryService;
+}  // namespace sbr::storage
+
 namespace sbr::net {
 
 /// Typed receiver verdict for one frame.
@@ -101,6 +105,16 @@ class BaseStation {
   /// The raw log of a sensor; NotFound if never heard from.
   StatusOr<const storage::ChunkLog*> Log(uint32_t sensor_id) const;
 
+  /// Attaches a concurrent query front-end: every accepted ingest, gap
+  /// declaration and resync snapshot — including the log replay of sensors
+  /// first heard from after the attach — is mirrored into `service`, which
+  /// publishes an immutable epoch snapshot per mutation for concurrent
+  /// readers. Not owned; must outlive the station. Pass nullptr to detach.
+  void AttachQueryService(storage::QueryService* service) {
+    query_service_ = service;
+  }
+  storage::QueryService* query_service() const { return query_service_; }
+
  private:
   struct PerSensor {
     storage::ChunkLog log;
@@ -111,6 +125,7 @@ class BaseStation {
     bool awaiting_resync = false;
     std::map<uint64_t, core::Frame> pending;  ///< bounded reorder window
     ProtocolStats stats;
+    uint32_t id = 0;
   };
 
   StatusOr<PerSensor*> GetOrCreate(uint32_t sensor_id);
@@ -125,6 +140,14 @@ class BaseStation {
   /// records appended after it (persist mode only; checkpoint-less legacy
   /// logs keep the fresh-sensor defaults).
   Status RestoreProtocolState(PerSensor* s);
+  /// Mirrors one accepted transmission into the attached query service
+  /// (no-op without one). A service-side rejection becomes a service-side
+  /// gap so the two timelines never drift apart.
+  void ForwardToQueryService(uint32_t sensor_id, const core::Transmission& t);
+  /// Replays a recovered log into the attached query service so a sensor
+  /// restored from disk is immediately queryable.
+  Status ReplayIntoQueryService(uint32_t sensor_id,
+                                const storage::ChunkLog& log);
 
   size_t m_base_;
   std::string log_dir_;
@@ -132,6 +155,7 @@ class BaseStation {
   bool persist_protocol_state_;
   std::map<uint32_t, PerSensor> sensors_;
   ProtocolStats total_;
+  storage::QueryService* query_service_ = nullptr;
 };
 
 }  // namespace sbr::net

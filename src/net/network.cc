@@ -59,6 +59,14 @@ NetworkSim::NetworkSim(Topology topology,
       station_(encoder_options_.m_base, "", link.reorder_window),
       engine_(&station_, EnergyModel(energy), ToEngineOptions(link)) {}
 
+void NetworkSim::EnableQueryService(size_t probe_every_chunks) {
+  storage::QueryServiceOptions opts;
+  opts.m_base = encoder_options_.m_base;
+  query_service_ = std::make_unique<storage::QueryService>(opts);
+  probe_every_chunks_ = probe_every_chunks == 0 ? 1 : probe_every_chunks;
+  station_.AttachQueryService(query_service_.get());
+}
+
 Status NetworkSim::RunNode(size_t index, const datagen::Dataset& feed,
                            NodeReport* nr_out, RelayCharges* charges) {
   SBR_OBS_SPAN(node_span, "net.node");
@@ -122,6 +130,7 @@ Status NetworkSim::RunNode(size_t index, const datagen::Dataset& feed,
   sink.malformed_relayed = &nr.malformed_relayed;
 
   std::vector<double> sample(feed.num_signals());
+  size_t chunks_resolved = 0;
   for (size_t t = 0; t < feed.length(); ++t) {
     for (size_t s = 0; s < feed.num_signals(); ++s) {
       sample[s] = feed.values(s, t);
@@ -134,6 +143,21 @@ Status NetworkSim::RunNode(size_t index, const datagen::Dataset& feed,
     nr.raw_energy_nj += engine_.energy().RawTransmissionNj(
         feed.num_signals() * chunk_len_, num_hops);
     SBR_RETURN_IF_ERROR(engine_.ResolveChunk(**emitted, &route, sink));
+
+    // Mid-round read-only probe: a concurrent reader hitting this node's
+    // published snapshot while other nodes are still ingesting. Answers
+    // feed only obs metrics and the service's own counters — never the
+    // report — so the digest is identical with the service detached.
+    if (query_service_ != nullptr &&
+        ++chunks_resolved % probe_every_chunks_ == 0) {
+      SBR_OBS_COUNT("net.sim.query_probes", 1);
+      auto snap = query_service_->Snapshot(place.id);
+      if (snap != nullptr && snap->compressed.history_len() > 0) {
+        const size_t len = snap->compressed.history_len();
+        (void)query_service_->Aggregate(place.id, 0, 0, len);
+        (void)query_service_->Point(place.id, 0, len - 1);
+      }
+    }
   }
 
   // Trailing losses still deserve a gap report: resync once more if the

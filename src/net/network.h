@@ -20,6 +20,7 @@
 #define SBR_NET_NETWORK_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "datagen/dataset.h"
@@ -27,6 +28,7 @@
 #include "net/energy.h"
 #include "net/sim_engine.h"
 #include "net/topology.h"
+#include "storage/query_service.h"
 
 namespace sbr::net {
 
@@ -113,6 +115,19 @@ class NetworkSim {
 
   const BaseStation& base_station() const { return station_; }
 
+  /// Attaches a concurrent storage::QueryService to the base station and
+  /// makes every node issue a read-only probe (aggregate + point) against
+  /// its own history after every `probe_every_chunks` resolved chunks —
+  /// concurrent readers exercising the snapshot path while ingest runs.
+  /// Probe answers feed only obs metrics and the service counters; the
+  /// SimulationReport stays bitwise identical to a run without the service.
+  void EnableQueryService(size_t probe_every_chunks = 4);
+
+  /// nullptr unless EnableQueryService was called.
+  const storage::QueryService* query_service() const {
+    return query_service_.get();
+  }
+
  private:
   /// The entire lifetime of one node: sampling, encoding, delivery (via
   /// the engine), trailing resync, hop flush and history scoring. Touches
@@ -132,6 +147,9 @@ class NetworkSim {
   /// The shared delivery engine, running the null lifecycle policy.
   /// Declared after station_: the engine holds a pointer to it.
   SimEngine engine_;
+  /// Optional concurrent read front-end (EnableQueryService).
+  std::unique_ptr<storage::QueryService> query_service_;
+  size_t probe_every_chunks_ = 0;
 };
 
 }  // namespace sbr::net

@@ -1,5 +1,7 @@
 #include "storage/history_store.h"
 
+#include <algorithm>
+
 namespace sbr::storage {
 
 StatusOr<HistoryStore> HistoryStore::FromLog(const ChunkLog& log,
@@ -46,12 +48,13 @@ Status HistoryStore::Ingest(const core::Transmission& t) {
   }
   auto decoded = decoder_.DecodeChunk(t);
   if (!decoded.ok()) return decoded.status();
-  chunks_.push_back(std::move(decoded).value());
+  chunks_.push_back(std::make_shared<const std::vector<double>>(
+      std::move(decoded).value()));
   return Status::Ok();
 }
 
 void HistoryStore::MarkGap(size_t chunks) {
-  for (size_t i = 0; i < chunks; ++i) chunks_.emplace_back();
+  for (size_t i = 0; i < chunks; ++i) chunks_.emplace_back(nullptr);
   num_gaps_ += chunks;
 }
 
@@ -72,14 +75,22 @@ StatusOr<std::vector<double>> HistoryStore::QueryRange(size_t signal,
   }
   std::vector<double> out;
   out.reserve(t1 - t0);
-  for (size_t t = t0; t < t1; ++t) {
+  // Chunk-wise walk. Only chunks with at least one sample inside [t0, t1)
+  // are touched: a range that merely abuts a gap (ends exactly where the
+  // gap starts, or starts exactly where it ends) succeeds, while any range
+  // with a sample inside a gap reports DataLoss.
+  for (size_t t = t0; t < t1;) {
     const size_t c = t / chunk_len_;
-    const size_t offset = t % chunk_len_;
     if (IsGap(c)) {
       return Status::DataLoss("range touches lost chunk " +
                               std::to_string(c));
     }
-    out.push_back(chunks_[c][signal * chunk_len_ + offset]);
+    const size_t offset = t % chunk_len_;
+    const size_t take = std::min(chunk_len_ - offset, t1 - t);
+    const std::vector<double>& flat = *chunks_[c];
+    const double* row = flat.data() + signal * chunk_len_ + offset;
+    out.insert(out.end(), row, row + take);
+    t += take;
   }
   return out;
 }
@@ -97,7 +108,7 @@ StatusOr<linalg::Matrix> HistoryStore::Chunk(size_t c) const {
   if (IsGap(c)) {
     return Status::DataLoss("chunk " + std::to_string(c) + " was lost");
   }
-  return linalg::Matrix(num_signals_, chunk_len_, chunks_[c]);
+  return linalg::Matrix(num_signals_, chunk_len_, *chunks_[c]);
 }
 
 }  // namespace sbr::storage

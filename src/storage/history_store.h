@@ -9,6 +9,7 @@
 #ifndef SBR_STORAGE_HISTORY_STORE_H_
 #define SBR_STORAGE_HISTORY_STORE_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/decoder.h"
@@ -45,7 +46,7 @@ class HistoryStore {
   /// Chunks recorded as lost.
   size_t num_gaps() const { return num_gaps_; }
   /// True if chunk `c` is a loss gap.
-  bool IsGap(size_t c) const { return chunks_[c].empty(); }
+  bool IsGap(size_t c) const { return chunks_[c] == nullptr; }
   /// Signals per chunk (0 until the first ingest).
   size_t num_signals() const { return num_signals_; }
   /// Values per signal per chunk.
@@ -71,9 +72,11 @@ class HistoryStore {
   size_t num_signals_ = 0;
   size_t chunk_len_ = 0;
   size_t num_gaps_ = 0;
-  /// chunks_[c] is the flat concatenated reconstruction of chunk c; an
-  /// empty vector marks a loss gap.
-  std::vector<std::vector<double>> chunks_;
+  /// chunks_[c] is the flat concatenated reconstruction of chunk c; a
+  /// nullptr marks a loss gap. Payloads are immutable once decoded and
+  /// shared between copies, so copying a store (the QueryService snapshot
+  /// publish path) costs O(chunks) pointer copies, not O(samples).
+  std::vector<std::shared_ptr<const std::vector<double>>> chunks_;
 };
 
 }  // namespace sbr::storage

@@ -23,49 +23,62 @@ double SumT2(size_t lo, size_t hi) {
 
 }  // namespace
 
+void CompressedHistory::PublishBaseVersion() {
+  auto version = std::make_shared<BaseVersion>();
+  version->values.assign(mirror_.values().begin(), mirror_.values().end());
+  version->sums.Reset(version->values);
+  current_base_ = std::move(version);
+  ++num_base_versions_;
+}
+
 Status CompressedHistory::Ingest(const core::Transmission& t) {
   if (!t.signal_lengths.empty()) {
     return Status::Unimplemented(
         "multi-rate chunks are not indexable by the query engine");
   }
+  if (t.num_signals == 0 || t.chunk_len == 0 || t.w == 0) {
+    return Status::DataLoss("zero geometry");
+  }
   if (num_signals_ == 0) {
     num_signals_ = t.num_signals;
     chunk_len_ = t.chunk_len;
-    w_ = t.w;
-    base_kind_ = t.base_kind;
-    quadratic_ = t.quadratic;
-    if (num_signals_ == 0 || chunk_len_ == 0 || w_ == 0) {
-      return Status::DataLoss("zero geometry");
-    }
-    if (base_kind_ == core::BaseKind::kStored) {
-      if (m_base_ < w_) {
-        return Status::InvalidArgument("m_base smaller than W");
-      }
-      mirror_ = core::BaseSignal(w_, m_base_);
-    } else if (base_kind_ == core::BaseKind::kDctFixed) {
-      auto version = std::make_shared<BaseVersion>();
-      version->values = core::MakeDctFixedBase(w_);
-      version->sums.Reset(version->values);
-      current_base_ = std::move(version);
-      ++num_base_versions_;
-    }
-  } else if (t.num_signals != num_signals_ || t.chunk_len != chunk_len_ ||
-             t.w != w_ || t.base_kind != base_kind_ ||
-             t.quadratic != quadratic_) {
+  } else if (t.num_signals != num_signals_ || t.chunk_len != chunk_len_) {
     return Status::FailedPrecondition("transmission geometry changed");
   }
 
-  if (base_kind_ == core::BaseKind::kStored &&
-      (!t.base_updates.empty() || current_base_ == nullptr)) {
-    for (const core::BaseUpdate& bu : t.base_updates) {
-      SBR_RETURN_IF_ERROR(mirror_.Overwrite(bu.slot, bu.values));
+  // A self-contained (degraded-mode) chunk references no base signal:
+  // like the decoder, it neither initializes nor constrains the stream's
+  // base state and may appear at any point of any stream.
+  const bool self_contained = t.base_kind == core::BaseKind::kNone;
+  if (!self_contained) {
+    if (w_ == 0) {
+      w_ = t.w;
+      base_kind_ = t.base_kind;
+      if (base_kind_ == core::BaseKind::kStored) {
+        if (m_base_ < w_) {
+          return Status::InvalidArgument("m_base smaller than W");
+        }
+        mirror_ = core::BaseSignal(w_, m_base_);
+      } else if (base_kind_ == core::BaseKind::kDctFixed) {
+        mirror_ = core::BaseSignal();
+        auto version = std::make_shared<BaseVersion>();
+        version->values = core::MakeDctFixedBase(w_);
+        version->sums.Reset(version->values);
+        current_base_ = std::move(version);
+        ++num_base_versions_;
+      }
+    } else if (t.w != w_ || t.base_kind != base_kind_) {
+      return Status::DataLoss("transmission base geometry changed mid-stream");
     }
-    auto version = std::make_shared<BaseVersion>();
-    version->values.assign(mirror_.values().begin(),
-                           mirror_.values().end());
-    version->sums.Reset(version->values);
-    current_base_ = std::move(version);
-    ++num_base_versions_;
+    if (base_kind_ == core::BaseKind::kStored &&
+        (!t.base_updates.empty() || current_base_ == nullptr)) {
+      for (const core::BaseUpdate& bu : t.base_updates) {
+        SBR_RETURN_IF_ERROR(mirror_.Overwrite(bu.slot, bu.values));
+      }
+      PublishBaseVersion();
+    }
+  } else if (!t.base_updates.empty()) {
+    return Status::DataLoss("base updates present without a stored base");
   }
 
   // Resolve interval records into concrete intervals.
@@ -77,7 +90,10 @@ Status CompressedHistory::Ingest(const core::Transmission& t) {
     return Status::DataLoss("interval records do not start at 0");
   }
   ChunkRep rep;
-  rep.base = current_base_;
+  // A self-contained chunk gets no base: any interval still claiming a
+  // base reference is corrupt, not silently resolved against unrelated
+  // state (base_len 0 rejects every non-fallback shift below).
+  rep.base = self_contained ? nullptr : current_base_;
   rep.intervals.reserve(recs.size());
   const size_t base_len = rep.base ? rep.base->values.size() : 0;
   for (size_t i = 0; i < recs.size(); ++i) {
@@ -99,7 +115,50 @@ Status CompressedHistory::Ingest(const core::Transmission& t) {
     }
     rep.intervals.push_back(iv);
   }
-  chunks_.push_back(std::move(rep));
+  chunks_.push_back(std::make_shared<const ChunkRep>(std::move(rep)));
+  return Status::Ok();
+}
+
+void CompressedHistory::MarkGap(size_t chunks) {
+  for (size_t i = 0; i < chunks; ++i) chunks_.emplace_back(nullptr);
+  num_gaps_ += chunks;
+}
+
+Status CompressedHistory::ApplySnapshot(const core::BaseSnapshot& snapshot) {
+  if (snapshot.w == 0) {
+    // The sensor had not warmed up yet (no base signal); nothing to mirror.
+    return Status::Ok();
+  }
+  if (w_ == 0) {
+    w_ = snapshot.w;
+    base_kind_ = snapshot.base_kind;
+    if (base_kind_ == core::BaseKind::kDctFixed) {
+      auto version = std::make_shared<BaseVersion>();
+      version->values = core::MakeDctFixedBase(w_);
+      version->sums.Reset(version->values);
+      current_base_ = std::move(version);
+      ++num_base_versions_;
+    }
+  } else if (snapshot.w != w_) {
+    return Status::DataLoss("snapshot W does not match the stream");
+  } else if (snapshot.base_kind != base_kind_) {
+    return Status::DataLoss("snapshot base kind does not match the stream");
+  }
+  if (base_kind_ != core::BaseKind::kStored) {
+    if (!snapshot.slots.empty()) {
+      return Status::DataLoss("snapshot slots present without a stored base");
+    }
+    return Status::Ok();
+  }
+  if (m_base_ < w_) {
+    return Status::InvalidArgument("m_base smaller than W");
+  }
+  core::BaseSignal rebuilt(w_, m_base_);
+  for (const core::BaseUpdate& s : snapshot.slots) {
+    SBR_RETURN_IF_ERROR(rebuilt.Overwrite(s.slot, s.values));
+  }
+  mirror_ = std::move(rebuilt);
+  PublishBaseVersion();
   return Status::Ok();
 }
 
@@ -190,8 +249,15 @@ StatusOr<AggregateResult> CompressedHistory::Aggregate(size_t signal,
   out.max = -out.min;
   // `variance` doubles as the running sum of squares until the end.
 
+  // Only chunks with at least one sample inside [t0, t1) are visited: a
+  // range that merely abuts a gap succeeds, one with a sample inside a
+  // lost chunk reports DataLoss.
   for (size_t c = t0 / chunk_len_; c <= (t1 - 1) / chunk_len_; ++c) {
-    const ChunkRep& chunk = chunks_[c];
+    if (chunks_[c] == nullptr) {
+      return Status::DataLoss("range touches lost chunk " +
+                              std::to_string(c));
+    }
+    const ChunkRep& chunk = *chunks_[c];
     // Sample range of this chunk (within the signal's row), in chunk-local
     // concatenated coordinates.
     const size_t chunk_t0 = c * chunk_len_;

@@ -38,7 +38,11 @@ struct AggregateResult {
   size_t count = 0;
 };
 
-/// Per-sensor compressed history with aggregate queries.
+/// Per-sensor compressed history with aggregate queries. Mirrors the
+/// HistoryStore timeline chunk for chunk: transmissions become interval
+/// lists, protocol losses become explicit gaps (MarkGap) and resync
+/// snapshots re-anchor the base-signal mirror (ApplySnapshot), so the two
+/// stores agree on chunk indices even across faults.
 class CompressedHistory {
  public:
   /// `m_base` must match the encoder's configuration.
@@ -47,12 +51,26 @@ class CompressedHistory {
   /// Ingests the next transmission (in order). Uniform-rate chunks only.
   Status Ingest(const core::Transmission& t);
 
+  /// Records `chunks` lost chunks: the timeline advances but the interval
+  /// lists are gone; aggregates touching them report DataLoss.
+  void MarkGap(size_t chunks = 1);
+
+  /// Re-establishes the base-signal mirror from a resync snapshot (the
+  /// compressed-domain analogue of SbrDecoder::ApplySnapshot).
+  Status ApplySnapshot(const core::BaseSnapshot& snapshot);
+
   size_t num_chunks() const { return chunks_.size(); }
+  /// Chunks recorded as lost.
+  size_t num_gaps() const { return num_gaps_; }
+  /// True if chunk `c` is a loss gap.
+  bool IsGap(size_t c) const { return chunks_[c] == nullptr; }
   size_t num_signals() const { return num_signals_; }
   size_t chunk_len() const { return chunk_len_; }
   size_t history_len() const { return chunks_.size() * chunk_len_; }
 
-  /// Aggregates of `signal` over global sample range [t0, t1).
+  /// Aggregates of `signal` over global sample range [t0, t1). A range
+  /// with a sample inside a lost chunk returns DataLoss; a range that
+  /// merely abuts a gap succeeds.
   StatusOr<AggregateResult> Aggregate(size_t signal, size_t t0,
                                       size_t t1) const;
 
@@ -70,6 +88,9 @@ class CompressedHistory {
     PrefixSums sums;
   };
 
+  /// Immutable once ingested; shared between copies of the history (the
+  /// QueryService snapshot publish path), so copying a CompressedHistory
+  /// costs O(chunks) pointer copies. A nullptr entry marks a loss gap.
   struct ChunkRep {
     /// Intervals sorted by start, lengths resolved.
     std::vector<core::Interval> intervals;
@@ -81,16 +102,20 @@ class CompressedHistory {
   void AccumulateInterval(const ChunkRep& chunk, const core::Interval& iv,
                           size_t lo, size_t hi, AggregateResult* out) const;
 
+  /// Publishes the mirror's current contents as a new immutable
+  /// BaseVersion (called whenever the mirror changed).
+  void PublishBaseVersion();
+
   size_t m_base_ = 0;
   size_t w_ = 0;
   core::BaseKind base_kind_ = core::BaseKind::kStored;
-  bool quadratic_ = false;
   size_t num_signals_ = 0;
   size_t chunk_len_ = 0;
+  size_t num_gaps_ = 0;
   core::BaseSignal mirror_;  // evolving decoder-side buffer
   std::shared_ptr<const BaseVersion> current_base_;
   size_t num_base_versions_ = 0;
-  std::vector<ChunkRep> chunks_;
+  std::vector<std::shared_ptr<const ChunkRep>> chunks_;
 };
 
 }  // namespace sbr::storage

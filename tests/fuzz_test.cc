@@ -17,6 +17,7 @@
 #include "core/encoder.h"
 #include "core/transmission.h"
 #include "net/base_station.h"
+#include "storage/query_service.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 
@@ -246,6 +247,160 @@ TEST(DecoderFuzz, StationReceiveBytesSurvivesGarbageAndMutants) {
   auto ack = station.ReceiveBytes(fw.buffer());
   ASSERT_TRUE(ack.ok());
   EXPECT_EQ(ack->type, net::AckType::kAccept);
+}
+
+// ------------------------------------------------------ query surface
+
+// Builds a small query service + standalone stores over the same stream:
+// two clean chunks, a declared gap, one more clean chunk (2 signals x
+// 128 samples per chunk).
+struct QueryFuzzFixture {
+  storage::QueryService service{[] {
+    storage::QueryServiceOptions o;
+    o.m_base = 64;
+    return o;
+  }()};
+  storage::CompressedHistory compressed{64};
+  storage::HistoryStore history{64};
+  std::vector<Transmission> txs;
+
+  void Build() {
+    EncoderOptions opts;
+    opts.total_band = 60;
+    opts.m_base = 64;
+    SbrEncoder enc(opts);
+    Rng rng(31);
+    std::vector<double> y(2 * 128);
+    for (size_t c = 0; c < 3; ++c) {
+      for (size_t i = 0; i < y.size(); ++i) {
+        y[i] = std::cos(i * 0.07 + c) * 3 + rng.Gaussian(0, 0.2);
+      }
+      auto t = enc.EncodeChunk(y, 2);
+      ASSERT_TRUE(t.ok()) << t.status().ToString();
+      txs.push_back(std::move(*t));
+    }
+    ASSERT_TRUE(service.Ingest(0, txs[0]).ok());
+    ASSERT_TRUE(compressed.Ingest(txs[0]).ok());
+    ASSERT_TRUE(history.Ingest(txs[0]).ok());
+    ASSERT_TRUE(service.Ingest(0, txs[1]).ok());
+    ASSERT_TRUE(compressed.Ingest(txs[1]).ok());
+    ASSERT_TRUE(history.Ingest(txs[1]).ok());
+    ASSERT_TRUE(service.MarkGap(0).ok());
+    compressed.MarkGap(1);
+    history.MarkGap(1);
+    ASSERT_TRUE(service.Ingest(0, txs[2]).ok());
+    ASSERT_TRUE(compressed.Ingest(txs[2]).ok());
+    ASSERT_TRUE(history.Ingest(txs[2]).ok());
+  }
+};
+
+TEST(QueryFuzz, AdversarialArgumentsGetTypedStatusesNeverCrash) {
+  QueryFuzzFixture f;
+  f.Build();
+  if (::testing::Test::HasFatalFailure()) return;
+  const size_t len = f.compressed.history_len();  // 4 chunks x 128
+  ASSERT_EQ(len, 4u * 128u);
+
+  // Reversed range: typed OutOfRange everywhere.
+  EXPECT_EQ(f.compressed.Aggregate(0, 10, 5).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(f.history.QueryRange(0, 10, 5).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(f.service.Aggregate(0, 0, 10, 5).status().code(),
+            StatusCode::kOutOfRange);
+  // Zero-length range: an empty reconstruction is well-defined, an empty
+  // aggregate is not (avg of nothing) — pinned as OutOfRange.
+  auto empty = f.history.QueryRange(0, 5, 5);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_EQ(f.compressed.Aggregate(0, 5, 5).status().code(),
+            StatusCode::kOutOfRange);
+  // Past-the-end and far-out-of-range.
+  EXPECT_EQ(f.compressed.Aggregate(0, 0, len + 1).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(f.service.Reconstruct(0, 0, len - 1, len + 7).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(f.service.Point(0, 0, len).status().code(),
+            StatusCode::kOutOfRange);
+  // Signal index out of bounds.
+  EXPECT_EQ(f.compressed.Aggregate(7, 0, 1).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(f.service.Aggregate(0, 7, 0, 1).status().code(),
+            StatusCode::kOutOfRange);
+  // Ranges with a sample inside the declared gap (chunk 2).
+  EXPECT_EQ(f.service.Aggregate(0, 0, 0, len).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(f.service.Point(0, 0, 2 * 128).status().code(),
+            StatusCode::kDataLoss);
+  // Multi-rate chunks are rejected as Unimplemented by every ingest
+  // surface, not mis-indexed.
+  Transmission multi_rate = f.txs[0];
+  multi_rate.signal_lengths = {128, 128};
+  EXPECT_EQ(f.compressed.Ingest(multi_rate).code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(f.history.Ingest(multi_rate).code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(f.service.Ingest(0, multi_rate).code(),
+            StatusCode::kUnimplemented);
+
+  // Randomized argument fuzz: any (signal, t0, t1) combination answers
+  // with ok or a typed error; nothing throws, nothing crashes.
+  Rng rng(501);
+  for (size_t iter = 0; iter < 3000; ++iter) {
+    const size_t sig = static_cast<size_t>(rng.UniformInt(0, 5));
+    const size_t t0 = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(3 * len)));
+    const size_t t1 = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(3 * len)));
+    for (const Status& s :
+         {f.compressed.Aggregate(sig, t0, t1).status(),
+          f.history.QueryRange(sig, t0, t1).status(),
+          f.service.Aggregate(0, sig, t0, t1).status(),
+          f.service.Reconstruct(0, sig, t0, t1).status(),
+          f.service.Point(0, sig, t0).status()}) {
+      EXPECT_TRUE(s.code() == StatusCode::kOk ||
+                  s.code() == StatusCode::kOutOfRange ||
+                  s.code() == StatusCode::kDataLoss)
+          << s.ToString();
+    }
+  }
+}
+
+TEST(QueryFuzz, MutatedIngestKeepsServiceTimelinesAligned) {
+  // Mutants of valid wire images straight into the query-service ingest
+  // path: every outcome is a typed status, the service survives, and the
+  // compressed and materialized timelines never drift apart — the
+  // invariant the aggregate/reconstruction split depends on.
+  const auto corpus = BuildTransmissionCorpus();
+  ASSERT_FALSE(corpus.empty());
+  Rng rng(909);
+  storage::QueryServiceOptions opts;
+  opts.m_base = 64;
+  storage::QueryService service(opts);
+  storage::CompressedHistory compressed(64);
+
+  for (size_t iter = 0; iter < 2000; ++iter) {
+    const auto& seed_bytes = corpus[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(corpus.size()) - 1))];
+    const std::vector<uint8_t> mutant = Mutate(seed_bytes, &rng);
+    BinaryReader reader(mutant);
+    auto t = Transmission::Deserialize(&reader);
+    if (!t.ok()) continue;
+    (void)service.Ingest(1, *t);
+    (void)compressed.Ingest(*t);
+
+    auto snap = service.Snapshot(1);
+    if (snap != nullptr) {
+      ASSERT_EQ(snap->compressed.num_chunks(), snap->history.num_chunks());
+      ASSERT_EQ(snap->compressed.chunk_len(), snap->history.chunk_len());
+    }
+  }
+  // Still serviceable: a pristine stream on a fresh sensor answers.
+  BinaryReader r(corpus[0]);
+  auto t = Transmission::Deserialize(&r);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(service.Ingest(2, *t).ok());
+  EXPECT_TRUE(service.Aggregate(2, 0, 0, t->chunk_len).ok());
 }
 
 }  // namespace

@@ -519,6 +519,55 @@ TEST(NetworkSim, StarTopologyMatchesLegacyReportBitwise) {
   EXPECT_EQ(a->total_chunks_lost, b->total_chunks_lost);
 }
 
+// The query-service determinism guarantee (DESIGN.md §5j): mid-round
+// probe queries are read-only and draw no RNG, so enabling the service
+// must leave the SimulationReport bitwise identical — same fields the
+// legacy-star pin compares — and the service must actually have served
+// the probed sensors.
+TEST(NetworkSim, QueryServiceProbesDoNotPerturbReport) {
+  const auto feeds = TreeFeeds(3, 500);
+  std::vector<NodePlacement> placements;
+  for (uint32_t id = 0; id < 3; ++id) placements.push_back({id, 1});
+  core::EncoderOptions opts;
+  opts.total_band = 300;
+  opts.m_base = 256;
+  LinkOptions link;
+  link.loss_probability = 0.1;
+  link.bit_flip_probability = 0.02;
+
+  NetworkSim plain(placements, opts, 256, EnergyParams(), link);
+  auto a = plain.Run(feeds);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+
+  NetworkSim probed(placements, opts, 256, EnergyParams(), link);
+  probed.EnableQueryService(/*probe_every_chunks=*/2);
+  auto b = probed.Run(feeds);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  ASSERT_EQ(a->nodes.size(), b->nodes.size());
+  for (size_t i = 0; i < a->nodes.size(); ++i) {
+    const NodeReport& x = a->nodes[i];
+    const NodeReport& y = b->nodes[i];
+    EXPECT_EQ(x.values_sent, y.values_sent) << "node " << i;
+    EXPECT_EQ(x.retransmissions, y.retransmissions) << "node " << i;
+    EXPECT_EQ(x.backoff_slots, y.backoff_slots) << "node " << i;
+    EXPECT_EQ(x.chunks_lost, y.chunks_lost) << "node " << i;
+    EXPECT_EQ(x.charged_values, y.charged_values) << "node " << i;
+    EXPECT_EQ(x.energy.total_nj(), y.energy.total_nj()) << "node " << i;
+    EXPECT_EQ(x.sse, y.sse) << "node " << i;
+  }
+  EXPECT_EQ(a->total_energy_nj, b->total_energy_nj);
+  EXPECT_EQ(a->total_sse, b->total_sse);
+  EXPECT_EQ(a->total_chunks_lost, b->total_chunks_lost);
+
+  const storage::QueryService* service = probed.query_service();
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->num_sensors(), placements.size());
+  const storage::QueryServiceCounters c = service->counters();
+  EXPECT_GT(c.publishes, 0u);
+  EXPECT_GT(c.queries, 0u);
+}
+
 // The tentpole behavior: on a chain, every copy a relay forwards is
 // charged to the relay's account, and each node's account reconciles
 // *exactly* against the closed form (the default EnergyParams are

@@ -7,7 +7,9 @@
 # suite there, then aggregates gcov line stats for every source under
 # `scope` (default: src/core). Uses only gcc's gcov and python3 — no
 # gcovr/lcov required. The per-file table and TOTAL line land on stdout;
-# record the src/core TOTAL in TESTING.md when it moves.
+# record the src/core TOTAL in TESTING.md when it moves. The full suite
+# includes the `query` label, so `tools/coverage.sh src/storage` measures
+# the query-service layer; its TOTAL is tracked in TESTING.md too.
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,31 +20,27 @@ cmake --preset coverage -S "$REPO" >/dev/null
 cmake --build --preset coverage -j"$(nproc)"
 (cd "$BUILD" && ctest -j"$(nproc)" --output-on-failure)
 
-# gcov --json-format writes one .gcov.json.gz per source next to the cwd;
-# collect them in a scratch dir, then merge line hits across test binaries
-# (the same source is compiled into several objects).
+# gcov --json-format writes one .gcov.json.gz per source into the cwd,
+# named after the source *basename* — so each .gcda gets its own scratch
+# subdirectory (same-named sources from different objects would otherwise
+# overwrite each other) and the merge below folds line hits across test
+# binaries.
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
-(
-  cd "$TMP"
-  find "$BUILD" -name '*.gcda' -print0 |
-    xargs -0 -r -n 16 gcov --json-format --object-file >/dev/null 2>&1 || true
-  # xargs batching passes multiple .gcda files per gcov invocation; gcov
-  # treats each as its own --object-file argument only when given one, so
-  # fall back to one-at-a-time if the batch produced nothing.
-  if ! ls ./*.gcov.json.gz >/dev/null 2>&1; then
-    find "$BUILD" -name '*.gcda' | while read -r f; do
-      gcov --json-format "$f" >/dev/null 2>&1 || true
-    done
-  fi
-)
+i=0
+find "$BUILD" -name '*.gcda' | while read -r f; do
+  d="$TMP/g$i"
+  mkdir -p "$d"
+  (cd "$d" && gcov --json-format "$f" >/dev/null 2>&1) || true
+  i=$((i + 1))
+done
 
 python3 - "$TMP" "$REPO" "$SCOPE" <<'EOF'
 import glob, gzip, json, os, sys
 
 tmp, repo, scope = sys.argv[1], sys.argv[2], sys.argv[3]
 hits = {}  # relpath -> {line_number: bool}
-for path in glob.glob(os.path.join(tmp, "*.gcov.json.gz")):
+for path in glob.glob(os.path.join(tmp, "g*", "*.gcov.json.gz")):
     with gzip.open(path) as f:
         data = json.load(f)
     for fil in data.get("files", []):
