@@ -1,9 +1,18 @@
 // Query-service throughput bench: concurrent readers against published
 // epoch snapshots. A weather stream is encoded through SBR and ingested
 // into a storage::QueryService; reader fleets of increasing size then
-// drive three query mixes against it and the bench reports aggregate
-// throughput, per-mix scaling and cache effectiveness. One record per
-// (threads, mix) cell lands in BENCH_query.json for future PRs to diff.
+// drive four query mixes against it and the bench reports aggregate
+// throughput, per-query latency percentiles and cache effectiveness.
+// Every timed cell runs a warmup pass first so one-time costs (page
+// faults, snapshot pin, cache fill ramp) stay out of the numbers.
+//
+// The "wide" mix spans >= 64 chunk-aligned chunks per query — the shape
+// the hierarchical moment index exists for. A separate cache-disabled
+// head-to-head (index on vs the legacy interval scan, identical stream,
+// identical queries) records the raw engine speedup as the
+// "wide_speedup" summary record in BENCH_query.json; tools/
+// bench_compare.py diffs the file against bench/baselines/.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <random>
@@ -21,25 +30,93 @@ namespace {
 using namespace sbr;
 
 constexpr size_t kChunkLen = 512;
-constexpr size_t kChunks = 24;
+constexpr size_t kChunks = 96;  // the wide mix needs >= 64-chunk spans
 constexpr size_t kQueriesPerThread = 8000;
+constexpr size_t kWarmupPerThread = 500;
+/// Minimum chunk span of a "wide" query.
+constexpr size_t kWideSpanChunks = 64;
 /// Reconstruction ranges are capped so the scan mix measures the snapshot
 /// path, not memcpy of the whole history.
 constexpr size_t kMaxScanLen = 2048;
+/// Queries per side of the cache-disabled index-vs-scan head-to-head.
+constexpr size_t kCompareQueries = 1500;
 
 struct MixResult {
   double seconds = 0.0;
   uint64_t queries = 0;
   uint64_t hits = 0;
   uint64_t misses = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
 };
 
-/// Runs `threads` readers of one mix against the service. `mix` is
-/// "aggregate" (pure compressed-domain aggregates), "mixed"
+/// One query of mix `mix` against `service`, range geometry drawn from
+/// `rng`. Shared by the warmup and the timed pass so they exercise the
+/// identical code path.
+void RunOne(const storage::QueryService& service, const std::string& mix,
+            size_t q, size_t len, size_t num_signals, std::mt19937_64* rng) {
+  std::uniform_int_distribution<size_t> pick_t(0, len - 1);
+  std::uniform_int_distribution<size_t> pick_s(0, num_signals - 1);
+  std::uniform_int_distribution<size_t> pick_c(0, len / kChunkLen - 1);
+  size_t a = pick_t(*rng), b = pick_t(*rng);
+  if (a > b) std::swap(a, b);
+  const size_t sig = pick_s(*rng);
+  if (mix == "aggregate") {
+    // Chunk-aligned windows — the dashboard pattern the aggregate cache
+    // exists for (bounded key space, heavy repetition).
+    size_t ca = pick_c(*rng), cb = pick_c(*rng);
+    if (ca > cb) std::swap(ca, cb);
+    (void)service.Aggregate(0, sig, ca * kChunkLen, (cb + 1) * kChunkLen);
+  } else if (mix == "wide") {
+    // Chunk-aligned spans of >= kWideSpanChunks chunks: interior-heavy
+    // aggregates where the moment index does almost all the work.
+    std::uniform_int_distribution<size_t> pick_span(kWideSpanChunks,
+                                                    kChunks);
+    const size_t span = pick_span(*rng);
+    std::uniform_int_distribution<size_t> pick_start(0, kChunks - span);
+    const size_t start = pick_start(*rng);
+    (void)service.Aggregate(0, sig, start * kChunkLen,
+                            (start + span) * kChunkLen);
+  } else if (mix == "scan") {
+    const size_t hi = std::min(b + 1, a + kMaxScanLen);
+    (void)service.Reconstruct(0, sig, a, hi);
+  } else {
+    switch (q % 3) {
+      case 0: (void)service.Aggregate(0, sig, a, b + 1); break;
+      case 1: (void)service.Point(0, sig, a); break;
+      default: {
+        const size_t hi = std::min(b + 1, a + kMaxScanLen);
+        (void)service.Reconstruct(0, sig, a, hi);
+        break;
+      }
+    }
+  }
+}
+
+/// Runs `threads` readers of one mix against the service: a warmup pass
+/// per worker, then `kQueriesPerThread` timed queries each with per-query
+/// latency capture. `mix` is "aggregate" (cache-friendly chunk-aligned
+/// aggregates), "wide" (>= 64-chunk index-heavy aggregates), "mixed"
 /// (aggregate/point/reconstruct round-robin) or "scan" (pure range
 /// reconstruction).
 MixResult RunMix(const storage::QueryService& service, const std::string& mix,
                  size_t threads, size_t len, size_t num_signals) {
+  std::vector<std::vector<double>> latencies(threads);
+  // Warmup: untimed, uncounted; drains cold-start effects and pre-fills
+  // the epoch's cache shards the way a long-lived service would be.
+  {
+    std::vector<std::thread> workers;
+    for (size_t w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        std::mt19937_64 rng(77 + w);
+        for (size_t q = 0; q < kWarmupPerThread; ++q) {
+          RunOne(service, mix, q, len, num_signals, &rng);
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+
   const storage::QueryServiceCounters before = service.counters();
   std::vector<std::thread> workers;
   workers.reserve(threads);
@@ -47,34 +124,14 @@ MixResult RunMix(const storage::QueryService& service, const std::string& mix,
   for (size_t w = 0; w < threads; ++w) {
     workers.emplace_back([&, w] {
       std::mt19937_64 rng(1234 + w);
-      std::uniform_int_distribution<size_t> pick_t(0, len - 1);
-      std::uniform_int_distribution<size_t> pick_s(0, num_signals - 1);
-      std::uniform_int_distribution<size_t> pick_c(0, len / kChunkLen - 1);
+      std::vector<double>& lat = latencies[w];
+      lat.reserve(kQueriesPerThread);
       for (size_t q = 0; q < kQueriesPerThread; ++q) {
-        size_t a = pick_t(rng), b = pick_t(rng);
-        if (a > b) std::swap(a, b);
-        const size_t sig = pick_s(rng);
-        if (mix == "aggregate") {
-          // Chunk-aligned windows — the dashboard pattern the aggregate
-          // cache exists for (bounded key space, heavy repetition).
-          size_t ca = pick_c(rng), cb = pick_c(rng);
-          if (ca > cb) std::swap(ca, cb);
-          (void)service.Aggregate(0, sig, ca * kChunkLen,
-                                  (cb + 1) * kChunkLen);
-        } else if (mix == "scan") {
-          const size_t hi = std::min(b + 1, a + kMaxScanLen);
-          (void)service.Reconstruct(0, sig, a, hi);
-        } else {
-          switch (q % 3) {
-            case 0: (void)service.Aggregate(0, sig, a, b + 1); break;
-            case 1: (void)service.Point(0, sig, a); break;
-            default: {
-              const size_t hi = std::min(b + 1, a + kMaxScanLen);
-              (void)service.Reconstruct(0, sig, a, hi);
-              break;
-            }
-          }
-        }
+        const auto t0 = std::chrono::steady_clock::now();
+        RunOne(service, mix, q, len, num_signals, &rng);
+        const auto t1 = std::chrono::steady_clock::now();
+        lat.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
       }
     });
   }
@@ -87,7 +144,36 @@ MixResult RunMix(const storage::QueryService& service, const std::string& mix,
   r.queries = after.queries - before.queries;
   r.hits = after.cache_hits - before.cache_hits;
   r.misses = after.cache_misses - before.cache_misses;
+
+  std::vector<double> all;
+  all.reserve(threads * kQueriesPerThread);
+  for (const auto& lat : latencies) all.insert(all.end(), lat.begin(),
+                                               lat.end());
+  if (!all.empty()) {
+    const auto pct = [&](double p) {
+      const size_t idx = std::min(
+          all.size() - 1, static_cast<size_t>(p * (all.size() - 1)));
+      std::nth_element(all.begin(), all.begin() + idx, all.end());
+      return all[idx];
+    };
+    r.p50_us = pct(0.50);
+    r.p99_us = pct(0.99);
+  }
   return r;
+}
+
+void WriteRecord(FILE* json, bool* first, const char* mix, size_t threads,
+                 const MixResult& r, double qps, double hit_rate) {
+  if (json == nullptr) return;
+  std::fprintf(json,
+               "%s  {\"mix\": \"%s\", \"threads\": %zu, "
+               "\"queries\": %llu, \"seconds\": %.6f, \"qps\": %.1f, "
+               "\"p50_us\": %.3f, \"p99_us\": %.3f, "
+               "\"cache_hit_rate\": %.4f}",
+               *first ? "" : ",\n", mix, threads,
+               static_cast<unsigned long long>(r.queries), r.seconds, qps,
+               r.p50_us, r.p99_us, hit_rate);
+  *first = false;
 }
 
 }  // namespace
@@ -108,9 +194,20 @@ int main() {
   eopts.m_base = 1024;
   core::SbrEncoder encoder(eopts);
 
+  // One encoded stream feeds three services: the cached default service
+  // (throughput table) and two cache-disabled ones for the raw
+  // index-vs-scan engine comparison.
   storage::QueryServiceOptions sopts;
   sopts.m_base = eopts.m_base;
   storage::QueryService service(sopts);
+
+  storage::QueryServiceOptions nocache_indexed = sopts;
+  nocache_indexed.cache_shards = 0;
+  storage::QueryService service_indexed(nocache_indexed);
+
+  storage::QueryServiceOptions nocache_scan = nocache_indexed;
+  nocache_scan.index.enabled = false;
+  storage::QueryService service_scan(nocache_scan);
 
   std::vector<double> chunk(n);
   for (size_t c = 0; c < kChunks; ++c) {
@@ -125,9 +222,12 @@ int main() {
                    t.status().ToString().c_str());
       return 1;
     }
-    if (auto st = service.Ingest(0, *t); !st.ok()) {
-      std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
-      return 1;
+    for (storage::QueryService* svc :
+         {&service, &service_indexed, &service_scan}) {
+      if (auto st = svc->Ingest(0, *t); !st.ok()) {
+        std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
     }
   }
   const size_t len = kChunks * kChunkLen;
@@ -139,9 +239,10 @@ int main() {
   if (json != nullptr) std::fprintf(json, "[\n");
   bool first_record = true;
 
-  std::printf("%-10s %-8s %-10s %-12s %-12s %-10s\n", "mix", "threads",
-              "queries", "seconds", "qps", "hit_rate");
-  for (const char* mix : {"aggregate", "mixed", "scan"}) {
+  std::printf("%-10s %-8s %-10s %-10s %-10s %-10s %-10s %-10s\n", "mix",
+              "threads", "queries", "seconds", "qps", "p50_us", "p99_us",
+              "hit_rate");
+  for (const char* mix : {"aggregate", "wide", "mixed", "scan"}) {
     for (size_t threads : {1u, 2u, 4u, 8u}) {
       const MixResult r = RunMix(service, mix, threads, len, num_signals);
       const double qps =
@@ -149,22 +250,65 @@ int main() {
       const uint64_t lookups = r.hits + r.misses;
       const double hit_rate =
           lookups > 0 ? static_cast<double>(r.hits) / lookups : 0.0;
-      std::printf("%-10s %-8zu %-10llu %-12.4f %-12.0f %-10.3f\n", mix,
-                  threads, static_cast<unsigned long long>(r.queries),
-                  r.seconds, qps, hit_rate);
+      std::printf("%-10s %-8zu %-10llu %-10.4f %-10.0f %-10.3f %-10.3f "
+                  "%-10.3f\n",
+                  mix, threads, static_cast<unsigned long long>(r.queries),
+                  r.seconds, qps, r.p50_us, r.p99_us, hit_rate);
       std::fflush(stdout);
-      if (json != nullptr) {
-        std::fprintf(json,
-                     "%s  {\"mix\": \"%s\", \"threads\": %zu, "
-                     "\"queries\": %llu, \"seconds\": %.6f, "
-                     "\"qps\": %.1f, \"cache_hit_rate\": %.4f}",
-                     first_record ? "" : ",\n", mix, threads,
-                     static_cast<unsigned long long>(r.queries), r.seconds,
-                     qps, hit_rate);
-        first_record = false;
-      }
+      WriteRecord(json, &first_record, mix, threads, r, qps, hit_rate);
     }
   }
+
+  // Raw engine head-to-head: identical wide queries, no cache, moment
+  // index on vs the legacy interval scan. This is the number the index
+  // exists for; the acceptance bar is >= 5x.
+  std::printf("\n== Wide-range engine comparison (no cache, 1 thread) ==\n");
+  const auto run_compare = [&](const storage::QueryService& svc) {
+    std::mt19937_64 rng(4096);
+    std::uniform_int_distribution<size_t> pick_s(0, num_signals - 1);
+    std::uniform_int_distribution<size_t> pick_span(kWideSpanChunks,
+                                                    kChunks);
+    // Untimed warmup sweep.
+    for (size_t q = 0; q < 50; ++q) {
+      (void)svc.Aggregate(0, pick_s(rng), 0, len);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t q = 0; q < kCompareQueries; ++q) {
+      const size_t span = pick_span(rng);
+      std::uniform_int_distribution<size_t> pick_start(0, kChunks - span);
+      const size_t start_c = pick_start(rng);
+      (void)svc.Aggregate(0, pick_s(rng), start_c * kChunkLen,
+                          (start_c + span) * kChunkLen);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start).count();
+  };
+  const double sec_indexed = run_compare(service_indexed);
+  const double sec_scan = run_compare(service_scan);
+  const double qps_indexed =
+      sec_indexed > 0 ? kCompareQueries / sec_indexed : 0.0;
+  const double qps_scan = sec_scan > 0 ? kCompareQueries / sec_scan : 0.0;
+  const double speedup = qps_scan > 0 ? qps_indexed / qps_scan : 0.0;
+  std::printf("index on : %8.0f qps (%.4f s)\n", qps_indexed, sec_indexed);
+  std::printf("index off: %8.0f qps (%.4f s)\n", qps_scan, sec_scan);
+  std::printf("speedup  : %.1fx\n", speedup);
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "%s  {\"mix\": \"wide_nocache_indexed\", \"threads\": 1, "
+                 "\"queries\": %zu, \"seconds\": %.6f, \"qps\": %.1f}",
+                 first_record ? "" : ",\n", kCompareQueries, sec_indexed,
+                 qps_indexed);
+    first_record = false;
+    std::fprintf(json,
+                 ",\n  {\"mix\": \"wide_nocache_scan\", \"threads\": 1, "
+                 "\"queries\": %zu, \"seconds\": %.6f, \"qps\": %.1f}",
+                 kCompareQueries, sec_scan, qps_scan);
+    std::fprintf(json,
+                 ",\n  {\"mix\": \"wide_speedup\", \"threads\": 1, "
+                 "\"speedup\": %.2f}",
+                 speedup);
+  }
+
   if (json != nullptr) {
     std::fprintf(json, "\n]\n");
     std::fclose(json);

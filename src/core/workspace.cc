@@ -1,0 +1,117 @@
+#include "core/workspace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbr::core {
+
+void EncodeWorkspace::BeginChunk(size_t threads) {
+  const size_t pool = std::max<size_t>(threads, 1);
+  if (arenas_.size() < pool) arenas_.resize(pool);
+  trial_.clear();
+  prefix_.Reset({});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sse_cache_.clear();
+    relative_cache_.clear();
+    stats_ = WorkspaceStats{};
+  }
+}
+
+void EncodeWorkspace::ReserveBase(size_t total) {
+  trial_.reserve(total);
+  prefix_.Reserve(total);
+}
+
+void EncodeWorkspace::SetBase(std::span<const double> x) {
+  trial_.assign(x.begin(), x.end());
+  prefix_.Reset(x);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.prefix_resets;
+}
+
+void EncodeWorkspace::AppendBase(std::span<const double> values) {
+  trial_.insert(trial_.end(), values.begin(), values.end());
+  for (double v : values) prefix_.Append(v);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.prefix_appends += values.size();
+}
+
+SseMoments EncodeWorkspace::Sse(std::span<const double> yseg, size_t start) {
+  const uint64_t key = Key(start, yseg.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sse_cache_.find(key);
+    if (it != sse_cache_.end()) {
+      ++stats_.moment_hits;
+      return it->second;
+    }
+  }
+  // The exact accumulation loop of the workspace-less kernel: summing in
+  // index order keeps the cached moments bitwise identical to a local
+  // recomputation.
+  SseMoments m;
+  for (double v : yseg) {
+    m.sum_y += v;
+    m.sum_y2 += v * v;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.moment_misses;
+  sse_cache_.emplace(key, m);
+  return m;
+}
+
+RelativeMoments EncodeWorkspace::Relative(std::span<const double> yseg,
+                                          size_t start, double floor,
+                                          EncodeArena* arena) {
+  const size_t len = yseg.size();
+  std::vector<double>& w = arena->weights();
+  std::vector<double>& wy = arena->weighted_values();
+  w.resize(len);
+  wy.resize(len);
+
+  const uint64_t key = Key(start, len);
+  bool cached = false;
+  RelativeMoments m;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = relative_cache_.find(key);
+    if (it != relative_cache_.end()) {
+      ++stats_.moment_hits;
+      m = it->second;
+      cached = true;
+    }
+  }
+  if (cached) {
+    // Moments are cached but this arena's weight arrays may hold another
+    // interval's values; refill them. Each element is independent of the
+    // others, so the fill needs no particular order to stay byte-stable.
+    for (size_t i = 0; i < len; ++i) {
+      const double d = std::max(std::abs(yseg[i]), floor);
+      w[i] = 1.0 / (d * d);
+      wy[i] = w[i] * yseg[i];
+    }
+    return m;
+  }
+  // Miss path: the exact loop of ComputeRelativeMoments, weights and
+  // running sums interleaved in index order.
+  for (size_t i = 0; i < len; ++i) {
+    const double d = std::max(std::abs(yseg[i]), floor);
+    w[i] = 1.0 / (d * d);
+    wy[i] = w[i] * yseg[i];
+    m.sw += w[i];
+    m.swy += wy[i];
+    m.swy2 += wy[i] * yseg[i];
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.moment_misses;
+  relative_cache_.emplace(key, m);
+  return m;
+}
+
+WorkspaceStats EncodeWorkspace::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sbr::core

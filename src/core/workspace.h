@@ -1,0 +1,178 @@
+// EncodeWorkspace: the shared scratch arena of the encode pipeline
+// (DESIGN.md §5e). Every stage of one chunk's encode — GetBase scoring,
+// the insert-count search probes, the final GetIntervals approximation —
+// draws from one workspace instead of allocating per call:
+//
+//  * the trial-base buffer plus an *incrementally extended* prefix-sum
+//    table (PrefixSums::Append performs the identical left-to-right
+//    additions as a full Reset, so the grown table is bitwise identical
+//    to a rebuilt one),
+//  * a per-interval moment cache keyed by the y-segment's (start, length)
+//    — the cached sums come from the exact original accumulation loops,
+//    never from prefix-sum subtraction, so byte identity with the
+//    workspace-less kernels holds,
+//  * a pool of EncodeArenas, one per ParallelFor chunk, holding the
+//    relative-metric weight arrays and the time-ramp buffer.
+//
+// The workspace is purely an allocation/reuse mechanism: every consumer
+// produces bitwise-identical results with or without one (golden_test
+// pins this).
+#ifndef SBR_CORE_WORKSPACE_H_
+#define SBR_CORE_WORKSPACE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/prefix_sums.h"
+
+namespace sbr::core {
+
+/// y-side moments of one interval under the SSE metric, hoisted out of
+/// the shift loop (they do not depend on the shift).
+struct SseMoments {
+  double sum_y = 0.0;
+  double sum_y2 = 0.0;
+};
+
+/// y-side weighted moments of one interval under the relative metric
+/// (weights depend only on y, so these too are shift-invariant).
+struct RelativeMoments {
+  double sw = 0.0;
+  double swy = 0.0;
+  double swy2 = 0.0;
+};
+
+/// Per-chunk workspace reuse counters, surfaced via EncodeStats and the
+/// obs registry ("encode.workspace.*").
+struct WorkspaceStats {
+  size_t moment_hits = 0;     ///< moment-cache lookups served from cache
+  size_t moment_misses = 0;   ///< lookups that ran the accumulation loop
+  size_t prefix_resets = 0;   ///< full prefix-table rebuilds (SetBase)
+  size_t prefix_appends = 0;  ///< values appended incrementally
+};
+
+/// Grow-only scratch owned by one ParallelFor chunk (or one serial
+/// caller): no two concurrent BestMap calls may share an arena, which the
+/// pipeline guarantees by indexing EncodeWorkspace::arena(chunk) with the
+/// enclosing parallel region's chunk id. Default-constructible so
+/// workspace-less callers can keep a thread-local fallback.
+class EncodeArena {
+ public:
+  /// The time ramp t = 0, 1, ..., n-1 used by every linear-in-time fit.
+  /// Grow-only: extending never changes existing values, so returned
+  /// spans of length <= n stay valid and identical.
+  std::span<const double> TimeRamp(size_t n) {
+    for (size_t i = ramp_.size(); i < n; ++i) {
+      ramp_.push_back(static_cast<double>(i));
+    }
+    return std::span<const double>(ramp_.data(), n);
+  }
+
+  /// Relative-metric weight array w_i = 1 / max(|y_i|, floor)^2, filled by
+  /// EncodeWorkspace::Relative for the interval being scanned.
+  std::vector<double>& weights() { return weights_; }
+  /// The elementwise product w_i * y_i, filled alongside weights().
+  std::vector<double>& weighted_values() { return weighted_values_; }
+
+ private:
+  std::vector<double> ramp_;
+  std::vector<double> weights_;
+  std::vector<double> weighted_values_;
+};
+
+/// One workspace per encoder (owned by SbrEncoder, or borrowed via its
+/// two-argument constructor). BeginChunk resets it at the start of every
+/// encode; sharing across *sequentially* encoding encoders is therefore
+/// safe, concurrent sharing is not. The moment cache is internally
+/// mutex-guarded because concurrent search probes (and the parallel
+/// GetIntervals bodies they run) query it from pool threads.
+class EncodeWorkspace {
+ public:
+  EncodeWorkspace() = default;
+  EncodeWorkspace(const EncodeWorkspace&) = delete;
+  EncodeWorkspace& operator=(const EncodeWorkspace&) = delete;
+
+  /// Starts a new chunk: clears the per-interval moment cache (the
+  /// y-series changes), zeroes the per-chunk stats and sizes the arena
+  /// pool for `threads` ParallelFor chunks. Arena and trial buffers keep
+  /// their capacity across chunks — that reuse is the point.
+  void BeginChunk(size_t threads);
+
+  /// Reserves trial-base capacity for `total` values so the subsequent
+  /// SetBase/AppendBase sequence does not reallocate.
+  void ReserveBase(size_t total);
+
+  /// Rebinds the trial base to `x`: copies it and rebuilds the prefix
+  /// table from scratch (counted as a prefix_reset).
+  void SetBase(std::span<const double> x);
+
+  /// Extends the trial base by `values`, appending to the prefix table
+  /// incrementally in O(|values|) (counted as prefix_appends).
+  void AppendBase(std::span<const double> values);
+
+  /// Current trial-base length in values.
+  size_t trial_size() const { return trial_.size(); }
+
+  /// Read-only prefix view of the trial base; `length` must not exceed
+  /// trial_size(). Stable across AppendBase only when ReserveBase covered
+  /// the final size (the search builds the maximal trial up front).
+  std::span<const double> TrialPrefix(size_t length) const {
+    assert(length <= trial_.size());
+    return std::span<const double>(trial_.data(), length);
+  }
+
+  /// Prefix sums over the current trial base (SsePolicy's shared table).
+  const PrefixSums& base_prefix() const { return prefix_; }
+
+  /// Scratch arena of ParallelFor chunk `chunk`. BeginChunk must have
+  /// sized the pool for the thread count in use.
+  EncodeArena& arena(size_t chunk) {
+    assert(chunk < arenas_.size());
+    return arenas_[chunk];
+  }
+
+  /// y-side SSE moments of the interval starting at `start` (its offset
+  /// in the chunk's concatenated series, which keys the cache). Thread-safe.
+  SseMoments Sse(std::span<const double> yseg, size_t start);
+
+  /// y-side weighted moments of the interval at `start` under the
+  /// relative metric, additionally filling `arena`'s weights() and
+  /// weighted_values() arrays for the shift scan. The moments are cached;
+  /// the weight arrays are rebuilt elementwise per call (each element is
+  /// independent, so the fill is order-insensitive and byte-stable).
+  /// Thread-safe; concurrent callers must pass distinct arenas.
+  RelativeMoments Relative(std::span<const double> yseg, size_t start,
+                           double floor, EncodeArena* arena);
+
+  /// Per-chunk reuse counters (since the last BeginChunk).
+  WorkspaceStats stats() const;
+
+ private:
+  // Cache key: (start << 32) | length. Chunk series are far below 2^32
+  // values, and intervals at one start with different lengths occur across
+  // split generations, so both halves are significant.
+  static uint64_t Key(size_t start, size_t length) {
+    return (static_cast<uint64_t>(start) << 32) |
+           static_cast<uint64_t>(length & 0xffffffffu);
+  }
+
+  std::vector<double> trial_;
+  PrefixSums prefix_;
+  std::vector<EncodeArena> arenas_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, SseMoments> sse_cache_;
+  // The relative cache assumes one relative_floor per chunk (it is fixed
+  // by EncoderOptions), so the floor is not part of the key.
+  std::unordered_map<uint64_t, RelativeMoments> relative_cache_;
+  WorkspaceStats stats_;
+};
+
+}  // namespace sbr::core
+
+#endif  // SBR_CORE_WORKSPACE_H_

@@ -15,6 +15,8 @@
 #include "core/decoder.h"
 #include "core/transmission.h"
 #include "storage/chunk_log.h"
+#include "storage/moment_index.h"
+#include "storage/query_engine.h"
 #include "util/status.h"
 
 namespace sbr::storage {
@@ -63,6 +65,15 @@ class HistoryStore {
   /// Single reconstructed value.
   StatusOr<double> QueryPoint(size_t signal, size_t t) const;
 
+  /// Exact aggregates of the reconstructed series over [t0, t1) — the
+  /// materialized-side counterpart of CompressedHistory::Aggregate.
+  /// Fully covered chunks are answered from per-chunk moment summaries
+  /// folded at ingest (O(log #chunks) via the hierarchical index); only
+  /// the two partial boundary chunks scan samples. Same gap semantics:
+  /// touching a lost chunk is DataLoss, abutting one succeeds.
+  StatusOr<AggregateResult> AggregateExact(size_t signal, size_t t0,
+                                           size_t t1) const;
+
   /// Whole reconstructed chunk c as a num_signals x chunk_len matrix;
   /// DataLoss if the chunk is a gap.
   StatusOr<linalg::Matrix> Chunk(size_t c) const;
@@ -77,6 +88,13 @@ class HistoryStore {
   /// shared between copies, so copying a store (the QueryService snapshot
   /// publish path) costs O(chunks) pointer copies, not O(samples).
   std::vector<std::shared_ptr<const std::vector<double>>> chunks_;
+  /// One hierarchical moment index per signal over the decoded chunks
+  /// (created at the first ingest; earlier gap chunks are backfilled).
+  /// Sealed blocks are shared across store copies.
+  std::vector<MomentIndex> index_;
+
+  /// Appends chunk summaries (or gap leaves for nullptr) to the index.
+  void AppendIndexLeaves(const std::vector<double>* values);
 };
 
 }  // namespace sbr::storage

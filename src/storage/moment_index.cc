@@ -1,0 +1,67 @@
+#include "storage/moment_index.h"
+
+#include <bit>
+#include <cassert>
+
+namespace sbr::storage {
+
+void MomentIndex::Append(const MomentSummary& leaf) {
+  if (levels_.empty()) levels_.emplace_back();
+  levels_[0].push_back(leaf);
+  const size_t n = levels_[0].size();
+  // Completing leaf n - 1 completes the aligned 2^k group ending at n for
+  // every k dividing n: fold the two level k-1 halves that form it.
+  for (size_t k = 1; (n & ((size_t{1} << k) - 1)) == 0; ++k) {
+    if (levels_.size() <= k) levels_.emplace_back();
+    const size_t node = (n >> k) - 1;
+    MomentSummary merged = levels_[k - 1][2 * node];
+    merged.Merge(levels_[k - 1][2 * node + 1]);
+    levels_[k].push_back(merged);
+  }
+}
+
+MomentSummary MomentIndex::Query(size_t lo, size_t hi) const {
+  assert(hi <= size() && lo <= hi);
+  MomentSummary out;
+  while (lo < hi) {
+    // Largest aligned power-of-two group starting at lo that fits in the
+    // remaining range; both caps keep every referenced node complete.
+    size_t k = lo == 0 ? static_cast<size_t>(std::bit_width(hi - lo)) - 1
+                       : static_cast<size_t>(std::countr_zero(lo));
+    const size_t span_k = static_cast<size_t>(std::bit_width(hi - lo)) - 1;
+    k = std::min(k, span_k);
+    out.Merge(levels_[k][lo >> k]);
+    lo += size_t{1} << k;
+  }
+  return out;
+}
+
+size_t MomentIndex::FirstGap(size_t lo, size_t hi) const {
+  assert(hi <= size() && lo <= hi);
+  while (lo < hi) {
+    size_t k = lo == 0 ? static_cast<size_t>(std::bit_width(hi - lo)) - 1
+                       : static_cast<size_t>(std::countr_zero(lo));
+    const size_t span_k = static_cast<size_t>(std::bit_width(hi - lo)) - 1;
+    k = std::min(k, span_k);
+    if (levels_[k][lo >> k].has_gap) return DescendToGap(k, lo >> k);
+    lo += size_t{1} << k;
+  }
+  return hi;
+}
+
+size_t MomentIndex::DescendToGap(size_t level, size_t i) const {
+  while (level > 0) {
+    // A gap node always has a gap child; prefer the left one (lowest
+    // chunk index, matching the legacy ascending scan's first failure).
+    if (levels_[level - 1][2 * i].has_gap) {
+      i = 2 * i;
+    } else {
+      assert(levels_[level - 1][2 * i + 1].has_gap);
+      i = 2 * i + 1;
+    }
+    --level;
+  }
+  return i;
+}
+
+}  // namespace sbr::storage

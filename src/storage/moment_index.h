@@ -1,0 +1,137 @@
+// Hierarchical moment index: O(log n) compressed-domain aggregates over a
+// chunk timeline.
+//
+// Each leaf is the exact `MomentSummary` {count, sum, sumsq, min, max,
+// has_gap} of one (chunk, signal), folded at ingest with the query
+// engine's own per-interval arithmetic. Above the leaves sits an implicit
+// forest of power-of-two summary nodes: level k node i summarizes the
+// aligned chunk group [i * 2^k, (i + 1) * 2^k) and is materialized the
+// moment its last leaf arrives, so the whole structure is append-only —
+// a node, once written, is never touched again.
+//
+// An aggregate over chunk range [lo, hi) decomposes into at most
+// 2 * log2(n) aligned nodes (the standard sparse-segment decomposition),
+// every one of which exists because complete ranges only reference
+// complete groups. Gap chunks (protocol DataLoss) contribute `has_gap`
+// leaves; the flag ORs upward, so a wide range touching a lost chunk
+// fails in O(log n) too, and `FirstGap` descends the same nodes to name
+// the offending chunk without a linear walk.
+//
+// Storage is copy-on-write friendly by construction: nodes live in sealed
+// power-of-two blocks shared by `shared_ptr`, plus one small mutable tail
+// block per level. Copying an index — the QueryService epoch-publish
+// path — costs O(blocks) pointer bumps and one partial block per level,
+// never O(chunks) summaries, so publishes stay cheap and readers share
+// every sealed block with the writer without synchronization (sealed
+// blocks are immutable).
+#ifndef SBR_STORAGE_MOMENT_INDEX_H_
+#define SBR_STORAGE_MOMENT_INDEX_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <vector>
+
+namespace sbr::storage {
+
+/// Exact moments of one chunk range of one signal, combinable in O(1).
+struct MomentSummary {
+  double sum = 0.0;
+  double sumsq = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  size_t count = 0;
+  /// True if any covered chunk is a declared loss gap.
+  bool has_gap = false;
+
+  /// Folds `other` into this summary (order: this, then other — matching
+  /// an ascending-chunk walk).
+  void Merge(const MomentSummary& other) {
+    sum += other.sum;
+    sumsq += other.sumsq;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+    count += other.count;
+    has_gap = has_gap || other.has_gap;
+  }
+
+  /// The summary of a lost chunk: no samples, only the gap flag.
+  static MomentSummary Gap() {
+    MomentSummary s;
+    s.has_gap = true;
+    return s;
+  }
+};
+
+namespace detail {
+
+/// Append-only vector of T in sealed power-of-two blocks shared by
+/// shared_ptr plus one small mutable tail. Copies cost O(blocks) pointer
+/// bumps + the tail; sealed blocks are immutable and safely shared across
+/// threads (the COW property the epoch-publish path relies on).
+template <typename T, size_t kBlockSize = 64>
+class CowBlockVector {
+  static_assert((kBlockSize & (kBlockSize - 1)) == 0,
+                "block size must be a power of two");
+
+ public:
+  size_t size() const { return sealed_.size() * kBlockSize + tail_.size(); }
+  bool empty() const { return sealed_.empty() && tail_.empty(); }
+  size_t num_sealed_blocks() const { return sealed_.size(); }
+
+  void push_back(const T& value) {
+    tail_.push_back(value);
+    if (tail_.size() == kBlockSize) {
+      auto block = std::make_shared<std::array<T, kBlockSize>>();
+      std::copy(tail_.begin(), tail_.end(), block->begin());
+      sealed_.push_back(std::move(block));
+      tail_.clear();
+    }
+  }
+
+  const T& operator[](size_t i) const {
+    const size_t block = i / kBlockSize;
+    return block < sealed_.size() ? (*sealed_[block])[i % kBlockSize]
+                                  : tail_[i - sealed_.size() * kBlockSize];
+  }
+
+ private:
+  std::vector<std::shared_ptr<const std::array<T, kBlockSize>>> sealed_;
+  std::vector<T> tail_;  // < kBlockSize elements, copied by value
+};
+
+}  // namespace detail
+
+/// Append-only hierarchical index over one signal's per-chunk summaries.
+class MomentIndex {
+ public:
+  /// Leaves appended so far (== chunks on the timeline).
+  size_t size() const {
+    return levels_.empty() ? 0 : levels_[0].size();
+  }
+
+  /// Appends the next chunk's summary and materializes every power-of-two
+  /// group it completes (amortized O(1) merges per append).
+  void Append(const MomentSummary& leaf);
+
+  /// Fold of chunk range [lo, hi), half-open, hi <= size(). Touches at
+  /// most 2 * log2(size()) nodes. An empty range returns the identity.
+  MomentSummary Query(size_t lo, size_t hi) const;
+
+  /// Lowest chunk index in [lo, hi) whose leaf has_gap, or `hi` if none.
+  /// Same node decomposition as Query plus one root-to-leaf descent.
+  size_t FirstGap(size_t lo, size_t hi) const;
+
+ private:
+  /// Descends from node (level, i) to its leftmost gap leaf.
+  size_t DescendToGap(size_t level, size_t i) const;
+
+  /// levels_[k][i] summarizes chunks [i * 2^k, (i + 1) * 2^k).
+  std::vector<detail::CowBlockVector<MomentSummary>> levels_;
+};
+
+}  // namespace sbr::storage
+
+#endif  // SBR_STORAGE_MOMENT_INDEX_H_

@@ -23,12 +23,43 @@ double SumT2(size_t lo, size_t hi) {
 
 }  // namespace
 
-void CompressedHistory::PublishBaseVersion() {
+std::shared_ptr<const CompressedHistory::BaseVersion>
+CompressedHistory::BuildVersion(std::vector<double> values) const {
   auto version = std::make_shared<BaseVersion>();
-  version->values.assign(mirror_.values().begin(), mirror_.values().end());
+  version->values = std::move(values);
   version->sums.Reset(version->values);
-  current_base_ = std::move(version);
+  // The min/max sparse table only pays for itself on the indexed path;
+  // the legacy reference scans the base segment like it always did.
+  if (index_options_.enabled) version->minmax.Reset(version->values);
+  return version;
+}
+
+void CompressedHistory::PublishBaseVersion() {
+  current_base_ = BuildVersion(
+      {mirror_.values().begin(), mirror_.values().end()});
   ++num_base_versions_;
+}
+
+void CompressedHistory::AppendIndexLeaves(const ChunkRep* chunk) {
+  if (!index_options_.enabled || num_signals_ == 0) return;
+  if (index_.empty()) {
+    index_.assign(num_signals_, MomentIndex{});
+    // Every chunk on the timeline before the first successful ingest is
+    // a loss gap (geometry was unknown); backfill their leaves so index
+    // positions equal chunk indices.
+    for (size_t c = 0; c + 1 < chunks_.size(); ++c) {
+      for (MomentIndex& idx : index_) idx.Append(MomentSummary::Gap());
+    }
+  }
+  for (size_t s = 0; s < num_signals_; ++s) {
+    MomentSummary leaf;
+    if (chunk == nullptr) {
+      leaf = MomentSummary::Gap();
+    } else {
+      FoldRowRange(*chunk, s * chunk_len_, (s + 1) * chunk_len_, &leaf);
+    }
+    index_[s].Append(leaf);
+  }
 }
 
 Status CompressedHistory::Ingest(const core::Transmission& t) {
@@ -61,10 +92,7 @@ Status CompressedHistory::Ingest(const core::Transmission& t) {
         mirror_ = core::BaseSignal(w_, m_base_);
       } else if (base_kind_ == core::BaseKind::kDctFixed) {
         mirror_ = core::BaseSignal();
-        auto version = std::make_shared<BaseVersion>();
-        version->values = core::MakeDctFixedBase(w_);
-        version->sums.Reset(version->values);
-        current_base_ = std::move(version);
+        current_base_ = BuildVersion(core::MakeDctFixedBase(w_));
         ++num_base_versions_;
       }
     } else if (t.w != w_ || t.base_kind != base_kind_) {
@@ -116,11 +144,19 @@ Status CompressedHistory::Ingest(const core::Transmission& t) {
     rep.intervals.push_back(iv);
   }
   chunks_.push_back(std::make_shared<const ChunkRep>(std::move(rep)));
+  AppendIndexLeaves(chunks_.back().get());
   return Status::Ok();
 }
 
 void CompressedHistory::MarkGap(size_t chunks) {
-  for (size_t i = 0; i < chunks; ++i) chunks_.emplace_back(nullptr);
+  for (size_t i = 0; i < chunks; ++i) {
+    chunks_.emplace_back(nullptr);
+    // Index structures exist only once geometry is known; earlier gaps
+    // are backfilled by the first AppendIndexLeaves.
+    if (index_options_.enabled && !index_.empty()) {
+      AppendIndexLeaves(nullptr);
+    }
+  }
   num_gaps_ += chunks;
 }
 
@@ -133,10 +169,7 @@ Status CompressedHistory::ApplySnapshot(const core::BaseSnapshot& snapshot) {
     w_ = snapshot.w;
     base_kind_ = snapshot.base_kind;
     if (base_kind_ == core::BaseKind::kDctFixed) {
-      auto version = std::make_shared<BaseVersion>();
-      version->values = core::MakeDctFixedBase(w_);
-      version->sums.Reset(version->values);
-      current_base_ = std::move(version);
+      current_base_ = BuildVersion(core::MakeDctFixedBase(w_));
       ++num_base_versions_;
     }
   } else if (snapshot.w != w_) {
@@ -165,7 +198,7 @@ Status CompressedHistory::ApplySnapshot(const core::BaseSnapshot& snapshot) {
 void CompressedHistory::AccumulateInterval(const ChunkRep& chunk,
                                            const core::Interval& iv,
                                            size_t lo, size_t hi,
-                                           AggregateResult* out) const {
+                                           MomentSummary* out) const {
   const size_t len = hi - lo;
   if (len == 0) return;
   out->count += len;
@@ -179,8 +212,8 @@ void CompressedHistory::AccumulateInterval(const ChunkRep& chunk,
     const double st2 = SumT2(lo, hi);
     const double flen = static_cast<double>(len);
     out->sum += iv.a * st + iv.b * flen;
-    out->variance += iv.a * iv.a * st2 + 2.0 * iv.a * iv.b * st +
-                     iv.b * iv.b * flen;  // accumulating raw sum of squares
+    out->sumsq += iv.a * iv.a * st2 + 2.0 * iv.a * iv.b * st +
+                  iv.b * iv.b * flen;
     // Monotone in t: extremes at the ends.
     const double v0 = iv.a * static_cast<double>(lo) + iv.b;
     const double v1 = iv.a * static_cast<double>(hi - 1) + iv.b;
@@ -197,16 +230,26 @@ void CompressedHistory::AccumulateInterval(const ChunkRep& chunk,
     const double sx2 = ps.RangeSumSquares(xs, len);
     const double flen = static_cast<double>(len);
     out->sum += iv.a * sx + iv.b * flen;
-    out->variance += iv.a * iv.a * sx2 + 2.0 * iv.a * iv.b * sx +
-                     iv.b * iv.b * flen;
-    // Min/max require the base extremes over the segment: short scan
-    // (segments are at most ~2W values).
-    const auto& x = chunk.base->values;
-    double mn = std::numeric_limits<double>::infinity();
-    double mx = -mn;
-    for (size_t i = 0; i < len; ++i) {
-      mn = std::min(mn, x[xs + i]);
-      mx = std::max(mx, x[xs + i]);
+    out->sumsq += iv.a * iv.a * sx2 + 2.0 * iv.a * iv.b * sx +
+                  iv.b * iv.b * flen;
+    // Min/max require the base extremes over the segment: O(1) from the
+    // version's sparse table when indexing is on, a short scan (at most
+    // ~2W values) on the legacy path. Both produce the identical
+    // extremes — min/max are order-insensitive — so the toggle never
+    // changes an answer, only its cost.
+    double mn;
+    double mx;
+    if (!chunk.base->minmax.empty()) {
+      mn = chunk.base->minmax.Min(xs, len);
+      mx = chunk.base->minmax.Max(xs, len);
+    } else {
+      const auto& x = chunk.base->values;
+      mn = std::numeric_limits<double>::infinity();
+      mx = -mn;
+      for (size_t i = 0; i < len; ++i) {
+        mn = std::min(mn, x[xs + i]);
+        mx = std::max(mx, x[xs + i]);
+      }
     }
     const double v0 = iv.a * mn + iv.b;
     const double v1 = iv.a * mx + iv.b;
@@ -228,9 +271,25 @@ void CompressedHistory::AccumulateInterval(const ChunkRep& chunk,
       v = iv.a * xv + iv.b + iv.c * xv * xv;
     }
     out->sum += v;
-    out->variance += v * v;
+    out->sumsq += v * v;
     out->min = std::min(out->min, v);
     out->max = std::max(out->max, v);
+  }
+}
+
+void CompressedHistory::FoldRowRange(const ChunkRep& chunk, size_t row_lo,
+                                     size_t row_hi,
+                                     MomentSummary* out) const {
+  // First interval containing row_lo (intervals tile the chunk).
+  auto it = std::upper_bound(
+      chunk.intervals.begin(), chunk.intervals.end(), row_lo,
+      [](size_t pos, const core::Interval& iv) { return pos < iv.start; });
+  --it;
+  for (; it != chunk.intervals.end() && it->start < row_hi; ++it) {
+    const size_t lo = std::max<size_t>(row_lo, it->start) - it->start;
+    const size_t hi =
+        std::min<size_t>(row_hi, it->start + it->length) - it->start;
+    AccumulateInterval(chunk, *it, lo, hi, out);
   }
 }
 
@@ -244,44 +303,72 @@ StatusOr<AggregateResult> CompressedHistory::Aggregate(size_t signal,
     return Status::OutOfRange("range [" + std::to_string(t0) + ", " +
                               std::to_string(t1) + ")");
   }
-  AggregateResult out;
-  out.min = std::numeric_limits<double>::infinity();
-  out.max = -out.min;
-  // `variance` doubles as the running sum of squares until the end.
+  MomentSummary acc;
 
-  // Only chunks with at least one sample inside [t0, t1) are visited: a
-  // range that merely abuts a gap succeeds, one with a sample inside a
-  // lost chunk reports DataLoss.
-  for (size_t c = t0 / chunk_len_; c <= (t1 - 1) / chunk_len_; ++c) {
-    if (chunks_[c] == nullptr) {
-      return Status::DataLoss("range touches lost chunk " +
-                              std::to_string(c));
+  const size_t c_first = t0 / chunk_len_;
+  const size_t c_last = (t1 - 1) / chunk_len_;
+  // Chunks fully covered by [t0, t1), as the half-open range
+  // [full_lo, full_hi): these are answerable from leaf summaries alone.
+  const size_t full_lo = t0 % chunk_len_ == 0 ? c_first : c_first + 1;
+  const size_t full_hi = t1 % chunk_len_ == 0 ? c_last + 1 : c_last;
+
+  if (index_options_.enabled && !index_.empty() && full_lo < full_hi) {
+    // Indexed path: walk intervals only inside the two partial boundary
+    // chunks; every fully covered chunk comes from O(log n) pre-merged
+    // summary nodes. Gap detection keeps the legacy ascending order: the
+    // leading boundary first, then the lowest interior gap, then the
+    // trailing boundary.
+    if (full_lo > c_first) {
+      if (chunks_[c_first] == nullptr) {
+        return Status::DataLoss("range touches lost chunk " +
+                                std::to_string(c_first));
+      }
+      const size_t lo_t = t0 - c_first * chunk_len_;
+      FoldRowRange(*chunks_[c_first], signal * chunk_len_ + lo_t,
+                   (signal + 1) * chunk_len_, &acc);
     }
-    const ChunkRep& chunk = *chunks_[c];
-    // Sample range of this chunk (within the signal's row), in chunk-local
-    // concatenated coordinates.
-    const size_t chunk_t0 = c * chunk_len_;
-    const size_t lo_t = std::max(t0, chunk_t0) - chunk_t0;
-    const size_t hi_t = std::min(t1, chunk_t0 + chunk_len_) - chunk_t0;
-    const size_t row_lo = signal * chunk_len_ + lo_t;
-    const size_t row_hi = signal * chunk_len_ + hi_t;
-
-    // First interval containing row_lo (intervals tile the chunk).
-    auto it = std::upper_bound(
-        chunk.intervals.begin(), chunk.intervals.end(), row_lo,
-        [](size_t pos, const core::Interval& iv) { return pos < iv.start; });
-    --it;
-    for (; it != chunk.intervals.end() && it->start < row_hi; ++it) {
-      const size_t lo = std::max<size_t>(row_lo, it->start) - it->start;
-      const size_t hi =
-          std::min<size_t>(row_hi, it->start + it->length) - it->start;
-      AccumulateInterval(chunk, *it, lo, hi, &out);
+    const MomentSummary interior = index_[signal].Query(full_lo, full_hi);
+    if (interior.has_gap) {
+      return Status::DataLoss(
+          "range touches lost chunk " +
+          std::to_string(index_[signal].FirstGap(full_lo, full_hi)));
+    }
+    acc.Merge(interior);
+    if (full_hi <= c_last) {
+      if (chunks_[c_last] == nullptr) {
+        return Status::DataLoss("range touches lost chunk " +
+                                std::to_string(c_last));
+      }
+      const size_t hi_t = t1 - c_last * chunk_len_;
+      FoldRowRange(*chunks_[c_last], signal * chunk_len_,
+                   signal * chunk_len_ + hi_t, &acc);
+    }
+  } else {
+    // Legacy scan: every chunk with at least one sample inside [t0, t1)
+    // is walked interval by interval — the differential reference. A
+    // range that merely abuts a gap succeeds, one with a sample inside a
+    // lost chunk reports DataLoss.
+    for (size_t c = c_first; c <= c_last; ++c) {
+      if (chunks_[c] == nullptr) {
+        return Status::DataLoss("range touches lost chunk " +
+                                std::to_string(c));
+      }
+      const size_t chunk_t0 = c * chunk_len_;
+      const size_t lo_t = std::max(t0, chunk_t0) - chunk_t0;
+      const size_t hi_t = std::min(t1, chunk_t0 + chunk_len_) - chunk_t0;
+      FoldRowRange(*chunks_[c], signal * chunk_len_ + lo_t,
+                   signal * chunk_len_ + hi_t, &acc);
     }
   }
 
-  const double n = static_cast<double>(out.count);
-  out.avg = out.sum / n;
-  out.variance = std::max(0.0, out.variance / n - out.avg * out.avg);
+  AggregateResult out;
+  out.sum = acc.sum;
+  out.min = acc.min;
+  out.max = acc.max;
+  out.count = acc.count;
+  const double n = static_cast<double>(acc.count);
+  out.avg = acc.sum / n;
+  out.variance = std::max(0.0, acc.sumsq / n - out.avg * out.avg);
   return out;
 }
 

@@ -44,7 +44,8 @@ QueryService::PerSensor* QueryService::GetOrCreateLocked(
   auto it = sensors_.find(sensor_id);
   if (it != sensors_.end()) return it->second.get();
   auto [pos, inserted] = sensors_.emplace(
-      sensor_id, std::make_unique<PerSensor>(options_.m_base));
+      sensor_id,
+      std::make_unique<PerSensor>(options_.m_base, options_.index));
   (void)inserted;
   return pos->second.get();
 }
@@ -143,9 +144,11 @@ StatusOr<AggregateResult> QueryService::AggregateOn(
     std::lock_guard<std::mutex> lock(shard->mu);
     auto it = shard->entries.find(key);
     if (it != shard->entries.end()) {
+      // LRU touch: move this entry's recency node to the back.
+      shard->lru.splice(shard->lru.end(), shard->lru, it->second.pos);
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       SBR_OBS_COUNT("query.cache.hits", 1);
-      return it->second;
+      return it->second.value;
     }
   }
   auto result = snap.compressed.Aggregate(signal, t0, t1);
@@ -158,15 +161,39 @@ StatusOr<AggregateResult> QueryService::AggregateOn(
     return result;
   }
   if (shard != nullptr) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    auto [it, inserted] = shard->entries.emplace(key, *result);
-    (void)it;
-    if (inserted) {
-      shard->fifo.push_back(key);
-      while (shard->fifo.size() > options_.cache_capacity_per_shard) {
-        shard->entries.erase(shard->fifo.front());
-        shard->fifo.pop_front();
+    uint64_t evicted = 0;
+    bool inserted = false;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      auto [it, fresh] = shard->entries.try_emplace(key);
+      inserted = fresh;
+      if (fresh) {
+        shard->lru.push_back(key);
+        it->second.value = *result;
+        it->second.pos = std::prev(shard->lru.end());
+        while (shard->entries.size() > options_.cache_capacity_per_shard) {
+          shard->entries.erase(shard->lru.front());
+          shard->lru.pop_front();
+          ++evicted;
+        }
       }
+    }
+    // Counter updates outside the shard lock. The resident gauge applies
+    // this call's net delta atomically (modular fetch_add carries the
+    // negative case), so concurrent shards never lose an update.
+    if (inserted || evicted > 0) {
+      const int64_t delta =
+          (inserted ? 1 : 0) - static_cast<int64_t>(evicted);
+      const uint64_t resident =
+          cache_resident_.fetch_add(static_cast<uint64_t>(delta),
+                                    std::memory_order_relaxed) +
+          static_cast<uint64_t>(delta);
+      if (evicted > 0) {
+        cache_evictions_.fetch_add(evicted, std::memory_order_relaxed);
+        SBR_OBS_COUNT("query.cache.evictions", evicted);
+      }
+      SBR_OBS_GAUGE_SET("query.cache.resident",
+                        static_cast<int64_t>(resident));
     }
   }
   return result;
@@ -243,6 +270,8 @@ QueryServiceCounters QueryService::counters() const {
   c.queries = queries_.load(std::memory_order_relaxed);
   c.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   c.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  c.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
+  c.cache_resident = cache_resident_.load(std::memory_order_relaxed);
   c.dataloss = dataloss_.load(std::memory_order_relaxed);
   c.publishes = publishes_.load(std::memory_order_relaxed);
   return c;

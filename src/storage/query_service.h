@@ -25,14 +25,14 @@
 //
 // The sharded aggregate cache keys entries by (sensor, epoch, signal,
 // range); publishing a new epoch invalidates by construction (stale
-// epochs can never be looked up again) and capacity-bounded FIFO eviction
-// reclaims their slots.
+// epochs can never be looked up again) and capacity-bounded LRU eviction
+// reclaims their slots (evictions and resident entries are counted).
 #ifndef SBR_STORAGE_QUERY_SERVICE_H_
 #define SBR_STORAGE_QUERY_SERVICE_H_
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -68,8 +68,12 @@ struct QueryServiceOptions {
   /// Aggregate-cache shards (rounded up to a power of two; 0 disables the
   /// cache entirely).
   size_t cache_shards = 8;
-  /// Cached aggregates per shard; FIFO eviction beyond this.
+  /// Cached aggregates per shard; LRU eviction beyond this.
   size_t cache_capacity_per_shard = 512;
+  /// Compressed-domain acceleration for every sensor's builder (the
+  /// hierarchical moment index + base RMQ; disable for the legacy
+  /// interval-scan reference path).
+  IndexOptions index;
 };
 
 /// Service-level counters, mirrored into obs metrics when enabled; kept
@@ -78,6 +82,8 @@ struct QueryServiceCounters {
   uint64_t queries = 0;      ///< reader-side calls answered (any status)
   uint64_t cache_hits = 0;   ///< aggregate answers served from the cache
   uint64_t cache_misses = 0; ///< aggregate answers computed from a snapshot
+  uint64_t cache_evictions = 0; ///< LRU victims dropped from the cache
+  uint64_t cache_resident = 0;  ///< aggregate entries currently cached
   uint64_t dataloss = 0;     ///< answers that reported DataLoss
   uint64_t publishes = 0;    ///< epoch snapshots published (all sensors)
 };
@@ -154,8 +160,8 @@ class QueryService {
     /// The RCU slot readers load.
     std::atomic<std::shared_ptr<const SensorSnapshot>> published;
 
-    PerSensor(size_t m_base)
-        : builder_compressed(m_base), builder_history(m_base) {}
+    PerSensor(size_t m_base, IndexOptions index)
+        : builder_compressed(m_base, index), builder_history(m_base) {}
   };
 
   struct CacheKey {
@@ -171,8 +177,13 @@ class QueryService {
   };
   struct CacheShard {
     mutable std::mutex mu;
-    std::unordered_map<CacheKey, AggregateResult, CacheKeyHash> entries;
-    std::deque<CacheKey> fifo;  ///< insertion order for eviction
+    /// Recency list: front = LRU victim, back = most recently used.
+    std::list<CacheKey> lru;
+    struct Entry {
+      AggregateResult value;
+      std::list<CacheKey>::iterator pos;  ///< this entry's lru node
+    };
+    std::unordered_map<CacheKey, Entry, CacheKeyHash> entries;
   };
 
   /// Writer path: looks up or creates the sensor's builder state.
@@ -207,6 +218,8 @@ class QueryService {
   mutable std::atomic<uint64_t> queries_{0};
   mutable std::atomic<uint64_t> cache_hits_{0};
   mutable std::atomic<uint64_t> cache_misses_{0};
+  mutable std::atomic<uint64_t> cache_evictions_{0};
+  mutable std::atomic<uint64_t> cache_resident_{0};
   mutable std::atomic<uint64_t> dataloss_{0};
   std::atomic<uint64_t> publishes_{0};
 };

@@ -1,0 +1,94 @@
+// O(1) range-min/range-max queries over an immutable series (sparse
+// table). Built once per base-signal version by the query engine so the
+// min/max legs of a compressed-domain aggregate cost O(1) per interval
+// instead of a scan over the mapped base segment.
+//
+// Build is O(n log n) time and space; queries overlap two power-of-two
+// windows, which is exact for idempotent folds like min/max. The answers
+// are bitwise identical to a left-to-right scan of the same range:
+// std::min/std::max over doubles are associative, commutative and
+// idempotent (no NaN handling is required here — base signals are finite
+// by construction, which the engine's ingest validation enforces).
+#ifndef SBR_UTIL_RANGE_MIN_MAX_H_
+#define SBR_UTIL_RANGE_MIN_MAX_H_
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sbr {
+
+/// Precomputed sparse tables for range min and max over a fixed series.
+class RangeMinMax {
+ public:
+  RangeMinMax() = default;
+
+  explicit RangeMinMax(std::span<const double> values) { Reset(values); }
+
+  /// Rebuilds the tables for a new series. An empty series clears them.
+  void Reset(std::span<const double> values) {
+    n_ = values.size();
+    min_.clear();
+    max_.clear();
+    if (n_ == 0) return;
+    const size_t levels = static_cast<size_t>(std::bit_width(n_));
+    min_.reserve(levels);
+    max_.reserve(levels);
+    min_.emplace_back(values.begin(), values.end());
+    max_.emplace_back(values.begin(), values.end());
+    for (size_t k = 1; (size_t{1} << k) <= n_; ++k) {
+      const size_t half = size_t{1} << (k - 1);
+      const size_t count = n_ - (size_t{1} << k) + 1;
+      const std::vector<double>& pmin = min_[k - 1];
+      const std::vector<double>& pmax = max_[k - 1];
+      std::vector<double> lmin(count);
+      std::vector<double> lmax(count);
+      for (size_t i = 0; i < count; ++i) {
+        lmin[i] = std::min(pmin[i], pmin[i + half]);
+        lmax[i] = std::max(pmax[i], pmax[i + half]);
+      }
+      min_.push_back(std::move(lmin));
+      max_.push_back(std::move(lmax));
+    }
+  }
+
+  /// Number of values covered (0 = no tables built).
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// True when [start, start + length) lies within the covered series and
+  /// is non-empty. Written without computing start + length, which could
+  /// wrap on adversarial inputs.
+  bool CoversRange(size_t start, size_t length) const {
+    return length > 0 && start < n_ && length <= n_ - start;
+  }
+
+  /// Minimum over [start, start + length); length must be >= 1.
+  double Min(size_t start, size_t length) const {
+    assert(CoversRange(start, length));
+    const size_t k = static_cast<size_t>(std::bit_width(length)) - 1;
+    return std::min(min_[k][start],
+                    min_[k][start + length - (size_t{1} << k)]);
+  }
+
+  /// Maximum over [start, start + length); length must be >= 1.
+  double Max(size_t start, size_t length) const {
+    assert(CoversRange(start, length));
+    const size_t k = static_cast<size_t>(std::bit_width(length)) - 1;
+    return std::max(max_[k][start],
+                    max_[k][start + length - (size_t{1} << k)]);
+  }
+
+ private:
+  size_t n_ = 0;
+  /// min_[k][i] = min over [i, i + 2^k); likewise max_.
+  std::vector<std::vector<double>> min_;
+  std::vector<std::vector<double>> max_;
+};
+
+}  // namespace sbr
+
+#endif  // SBR_UTIL_RANGE_MIN_MAX_H_

@@ -403,5 +403,57 @@ TEST(QueryFuzz, MutatedIngestKeepsServiceTimelinesAligned) {
   EXPECT_TRUE(service.Aggregate(2, 0, 0, t->chunk_len).ok());
 }
 
+TEST(QueryFuzz, MutatedIngestKeepsIndexAndScanPathsAligned) {
+  // Whatever a mutated wire image smuggles past deserialization, the
+  // moment-indexed engine and the legacy interval-scan engine must keep
+  // telling the same story: identical ingest verdicts, identical
+  // timelines, and aggregate answers that agree on status, count and the
+  // exact min/max selections (sums re-associate; compare only when both
+  // are finite — a mutant can legitimately cook up overflowing
+  // coefficients).
+  const auto corpus = BuildTransmissionCorpus();
+  ASSERT_FALSE(corpus.empty());
+  Rng rng(4711);
+  storage::CompressedHistory indexed(64);
+  storage::CompressedHistory legacy(64, storage::IndexOptions{false});
+
+  for (size_t iter = 0; iter < 2000; ++iter) {
+    const auto& seed_bytes = corpus[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(corpus.size()) - 1))];
+    const std::vector<uint8_t> mutant = Mutate(seed_bytes, &rng);
+    BinaryReader reader(mutant);
+    auto t = Transmission::Deserialize(&reader);
+    if (!t.ok()) continue;
+    const Status a = indexed.Ingest(*t);
+    const Status b = legacy.Ingest(*t);
+    ASSERT_EQ(a.code(), b.code()) << "iter " << iter;
+    ASSERT_EQ(indexed.num_chunks(), legacy.num_chunks());
+
+    const size_t len = indexed.history_len();
+    if (len == 0 || iter % 16 != 0) continue;
+    size_t lo = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(len) - 1));
+    size_t hi = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(len) - 1));
+    if (lo > hi) std::swap(lo, hi);
+    const size_t s = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(indexed.num_signals()) - 1));
+    auto ia = indexed.Aggregate(s, lo, hi + 1);
+    auto la = legacy.Aggregate(s, lo, hi + 1);
+    ASSERT_EQ(ia.status().code(), la.status().code())
+        << "iter " << iter << " [" << lo << "," << hi + 1 << ")";
+    if (!ia.ok()) continue;
+    ASSERT_EQ(ia->count, la->count);
+    if (std::isfinite(ia->sum) && std::isfinite(la->sum)) {
+      EXPECT_EQ(ia->min, la->min) << "iter " << iter;
+      EXPECT_EQ(ia->max, la->max) << "iter " << iter;
+      EXPECT_NEAR(ia->sum, la->sum,
+                  1e-9 * (std::abs(la->sum) +
+                          static_cast<double>(la->count) + 1.0))
+          << "iter " << iter;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sbr::core

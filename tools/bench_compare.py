@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Diff a bench JSON file against a committed baseline.
+
+Bench binaries (bench_query and friends) emit BENCH_*.json — a JSON array
+of records, each keyed by ("mix", "threads") or similar identifying
+fields. A blessed snapshot lives under bench/baselines/. This tool lines
+the two files up record by record and reports throughput and latency
+drift, failing (exit 1) when a comparable metric regresses beyond the
+threshold — the check a perf PR runs before moving the baseline.
+
+Usage:
+  tools/bench_compare.py build/BENCH_query.json \
+      bench/baselines/BENCH_query.json [--threshold 0.30]
+
+Higher-is-better metrics: qps, speedup. Lower-is-better: seconds, p50_us,
+p99_us. Records present on only one side are reported but never fatal
+(new mixes appear, old ones retire). Only qps and speedup regressions are
+fatal; latency drift is advisory (single-run percentiles are noisy).
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_IS_BETTER = ("qps", "speedup")
+LOWER_IS_BETTER = ("p50_us", "p99_us", "seconds")
+KEY_FIELDS = ("mix", "threads", "name", "case")
+
+
+def record_key(record, index):
+    key = tuple(
+        (f, record[f]) for f in KEY_FIELDS if f in record)
+    return key if key else (("index", index),)
+
+
+def load(path):
+    with open(path) as f:
+        records = json.load(f)
+    if not isinstance(records, list):
+        raise ValueError(f"{path}: expected a JSON array of records")
+    return {record_key(r, i): r for i, r in enumerate(records)}
+
+
+def fmt_key(key):
+    return "/".join(str(v) for _, v in key)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument("baseline", help="blessed snapshot to diff against")
+    parser.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="fatal relative regression on qps/speedup (default 0.30)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    regressions = []
+    rows = 0
+    for key in sorted(baseline, key=fmt_key):
+        if key not in current:
+            print(f"  only-in-baseline: {fmt_key(key)}")
+            continue
+        base, cur = baseline[key], current[key]
+        for metric in HIGHER_IS_BETTER + LOWER_IS_BETTER:
+            if metric not in base or metric not in cur:
+                continue
+            b, c = float(base[metric]), float(cur[metric])
+            if b == 0:
+                continue
+            delta = (c - b) / b
+            worse = -delta if metric in HIGHER_IS_BETTER else delta
+            marker = " "
+            if worse > args.threshold:
+                if metric in HIGHER_IS_BETTER:
+                    marker = "!"
+                    regressions.append(
+                        f"{fmt_key(key)} {metric}: {b:.1f} -> {c:.1f} "
+                        f"({delta:+.1%})")
+                else:
+                    marker = "~"  # advisory: latency/seconds drift
+            print(f"{marker} {fmt_key(key):32s} {metric:10s} "
+                  f"{b:14.3f} -> {c:14.3f}  {delta:+7.1%}")
+            rows += 1
+    for key in sorted(set(current) - set(baseline), key=fmt_key):
+        print(f"  only-in-current:  {fmt_key(key)}")
+
+    if rows == 0:
+        print("no comparable metrics found", file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {rows} metric rows within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

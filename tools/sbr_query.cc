@@ -14,10 +14,15 @@
 //   --csv PATH      write the reconstructed range as CSV instead of stdout
 //   --stats         print summary statistics instead of raw values
 //
+// aggregate-only flags:
+//   --noindex       answer via the legacy interval scan (index disabled)
+//   --exact         also print the materialized store's exact aggregates
+//
 // serve-only flags:
 //   --threads N     concurrent reader threads (default 4)
 //   --queries N     queries per thread (default 1000)
 //   --seed S        query-mix seed (default 42)
+//   --noindex       disable the moment index for every sensor
 //
 // The log is the complete state (base-signal updates travel inside the
 // records): `aggregate` and `serve` replay it into a storage::QueryService
@@ -110,9 +115,12 @@ int RunReconstruct(const tools::Args& args) {
 }
 
 int RunAggregate(const tools::Args& args) {
-  if (!args.Validate({"mbase", "signal", "from", "to"})) return 2;
+  if (!args.Validate({"mbase", "signal", "from", "to", "noindex", "exact"})) {
+    return 2;
+  }
   storage::QueryServiceOptions opts;
   opts.m_base = static_cast<size_t>(args.GetInt("mbase", 1024));
+  opts.index.enabled = !args.Has("noindex");
   storage::QueryService service(opts);
   if (int rc = LoadService(args.positional()[1], &service); rc != 0) {
     return rc;
@@ -129,13 +137,28 @@ int RunAggregate(const tools::Args& args) {
               signal, from, to,
               static_cast<unsigned long long>(service.epoch(0)), agg->count,
               agg->sum, agg->avg, agg->variance, agg->min, agg->max);
+  if (args.Has("exact") && snap != nullptr) {
+    // Second row: the materialized store's exact recompute of the same
+    // range — eyeballable compressed-vs-exact drift.
+    auto exact = snap->history.AggregateExact(signal, from, to);
+    if (!exact.ok()) return Fail(exact.status());
+    std::printf("exact   %zu, samples [%zu, %zu): epoch=%llu n=%zu "
+                "sum=%.10g avg=%.10g variance=%.10g min=%.10g max=%.10g\n",
+                signal, from, to,
+                static_cast<unsigned long long>(snap->epoch), exact->count,
+                exact->sum, exact->avg, exact->variance, exact->min,
+                exact->max);
+  }
   return 0;
 }
 
 int RunServe(const tools::Args& args) {
-  if (!args.Validate({"mbase", "threads", "queries", "seed"})) return 2;
+  if (!args.Validate({"mbase", "threads", "queries", "seed", "noindex"})) {
+    return 2;
+  }
   storage::QueryServiceOptions opts;
   opts.m_base = static_cast<size_t>(args.GetInt("mbase", 1024));
+  opts.index.enabled = !args.Has("noindex");
   storage::QueryService service(opts);
   if (int rc = LoadService(args.positional()[1], &service); rc != 0) {
     return rc;
@@ -185,10 +208,12 @@ int RunServe(const tools::Args& args) {
               "(epoch %llu, %zu threads)\n",
               static_cast<unsigned long long>(c.queries), len, num_signals,
               static_cast<unsigned long long>(service.epoch(0)), threads);
-  std::printf("cache: %llu hits, %llu misses; dataloss answers: %llu; "
-              "publishes: %llu\n",
+  std::printf("cache: %llu hits, %llu misses, %llu evictions, "
+              "%llu resident; dataloss answers: %llu; publishes: %llu\n",
               static_cast<unsigned long long>(c.cache_hits),
               static_cast<unsigned long long>(c.cache_misses),
+              static_cast<unsigned long long>(c.cache_evictions),
+              static_cast<unsigned long long>(c.cache_resident),
               static_cast<unsigned long long>(c.dataloss),
               static_cast<unsigned long long>(c.publishes));
   return 0;
@@ -197,7 +222,8 @@ int RunServe(const tools::Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = tools::Args::Parse(argc, argv, {"stats"});
+  const auto args =
+      tools::Args::Parse(argc, argv, {"stats", "noindex", "exact"});
   const auto& pos = args.positional();
   if (!pos.empty() && pos[0] == "aggregate") {
     if (pos.size() != 2) {
